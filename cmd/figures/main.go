@@ -1,0 +1,37 @@
+// Command figures regenerates the paper's figures (1–10) as textual
+// renderings computed by the partitioning pipeline.
+//
+// Usage:
+//
+//	figures            # all figures
+//	figures -fig 10    # a single figure
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"commfree/internal/figures"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure number (1-10); 0 renders all")
+	flag.Parse()
+
+	nums := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if *fig != 0 {
+		nums = []int{*fig}
+	}
+	for i, n := range nums {
+		s, err := figures.Render(n)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Print(s)
+	}
+}

@@ -1,0 +1,53 @@
+// Command gallery prints the kernel gallery: for each classic scientific
+// kernel (the UPPER-project workloads of the paper's conclusion), the
+// degree of communication-free parallelism each strategy achieves.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"commfree/internal/kernels"
+)
+
+func main() {
+	name := flag.String("kernel", "", "show one kernel (default: all)")
+	src := flag.Bool("src", false, "also print each kernel's DSL source")
+	flag.Parse()
+
+	list := kernels.All()
+	if *name != "" {
+		k, err := kernels.Get(*name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gallery:", err)
+			os.Exit(1)
+		}
+		list = []kernels.Kernel{k}
+	}
+
+	fmt.Printf("%-16s %14s %11s %13s %13s\n",
+		"kernel", "non-duplicate", "duplicate", "min non-dup", "min dup")
+	for _, k := range list {
+		outs, err := k.Outcomes()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gallery:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-16s", k.Name)
+		for _, o := range outs {
+			status := ""
+			if !o.Verified {
+				status = "!"
+			}
+			fmt.Printf(" %9d blk%s", o.Blocks, status)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\n(blk = communication-free iteration blocks; all partitions verified)")
+	if *src {
+		for _, k := range list {
+			fmt.Printf("\n--- %s ---\n%s\n%s", k.Name, k.About, k.Source)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+// Command report regenerates the reproduction report (Tables I–II with
+// the paper's reference values, figure index, kernel gallery, strategy
+// ranking) live from the pipeline and prints it as markdown.
+//
+// Usage:
+//
+//	report                # full report to stdout
+//	report -o report.md   # write to a file
+//	report -sections tables,gallery
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"commfree/internal/report"
+)
+
+func main() {
+	var (
+		out      = flag.String("o", "", "output file (default stdout)")
+		sections = flag.String("sections", "all", "comma list: tables,figures,gallery,selector or 'all'")
+	)
+	flag.Parse()
+
+	opts := report.AllSections()
+	if *sections != "all" {
+		opts = report.Options{}
+		for _, s := range strings.Split(*sections, ",") {
+			switch strings.TrimSpace(s) {
+			case "tables":
+				opts.Tables = true
+			case "figures":
+				opts.Figures = true
+			case "gallery":
+				opts.Gallery = true
+			case "selector":
+				opts.Selector = true
+			default:
+				fmt.Fprintf(os.Stderr, "report: unknown section %q\n", s)
+				os.Exit(1)
+			}
+		}
+	}
+	md, err := report.Generate(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "report:", err)
+		os.Exit(1)
+	}
+	if *out == "" {
+		fmt.Print(md)
+		return
+	}
+	if err := os.WriteFile(*out, []byte(md), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "report:", err)
+		os.Exit(1)
+	}
+	fmt.Println("report written to", *out)
+}

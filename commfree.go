@@ -1,0 +1,337 @@
+// Package commfree implements communication-free data allocation for
+// parallelizing compilers on distributed-memory multicomputers, after
+// Chen & Sheu, "Communication-Free Data Allocation Techniques for
+// Parallelizing Compilers on Multicomputers" (ICPP 1993 / IEEE TPDS
+// 5(9):924–938, 1994).
+//
+// Given a normalized nested loop with uniformly generated array
+// references, the library:
+//
+//  1. analyzes the reference pattern of every array (package deps),
+//  2. derives a communication-free partitioning space Ψ under one of four
+//     strategies — non-duplicate data (Theorem 1), duplicate data
+//     (Theorem 2), and their minimal variants after redundant-computation
+//     elimination (Theorems 3–4) — in package partition,
+//  3. transforms the loop into parallel forall form with exact
+//     Fourier–Motzkin bounds (package transform),
+//  4. maps blocks cyclically onto a fixed-size processor grid for load
+//     balance (package assign), and
+//  5. can execute the result on a simulated multicomputer with strictly
+//     local memories, proving zero interprocessor communication
+//     (packages machine and exec).
+//
+// The typical entry point is Compile:
+//
+//	comp, err := commfree.Compile(src, commfree.Duplicate, 16)
+//	fmt.Println(comp.Partition.Summary())
+//	fmt.Println(comp.Transformed)        // paper-style forall pseudocode
+//	rep, err := comp.Execute(commfree.TransputerCost())
+package commfree
+
+import (
+	"fmt"
+	"strings"
+
+	"commfree/internal/assign"
+	"commfree/internal/baseline"
+	"commfree/internal/codegen"
+	"commfree/internal/deps"
+	"commfree/internal/distplan"
+	"commfree/internal/exec"
+	"commfree/internal/lang"
+	"commfree/internal/layout"
+	"commfree/internal/loop"
+	"commfree/internal/machine"
+	"commfree/internal/partition"
+	"commfree/internal/redundant"
+	"commfree/internal/selector"
+	"commfree/internal/transform"
+)
+
+// Re-exported strategy constants (see partition.Strategy).
+const (
+	// NonDuplicate keeps exactly one copy of every array element
+	// (Theorem 1).
+	NonDuplicate = partition.NonDuplicate
+	// Duplicate allows replicated array elements; only flow dependences
+	// constrain the partition (Theorem 2).
+	Duplicate = partition.Duplicate
+	// MinimalNonDuplicate applies Theorem 3: non-duplicate partitioning
+	// after redundant-computation elimination.
+	MinimalNonDuplicate = partition.MinimalNonDuplicate
+	// MinimalDuplicate applies Theorem 4.
+	MinimalDuplicate = partition.MinimalDuplicate
+)
+
+// Core type aliases — the public names for the library's data model.
+type (
+	// Strategy selects one of the paper's four partitioning schemes.
+	Strategy = partition.Strategy
+	// Nest is a normalized n-nested loop with uniformly generated
+	// references.
+	Nest = loop.Nest
+	// Level is one loop level with affine bounds.
+	Level = loop.Level
+	// Affine is an affine function of the loop indices.
+	Affine = loop.Affine
+	// Ref is an array reference A[H·ī + c̄].
+	Ref = loop.Ref
+	// Statement is one assignment in the loop body.
+	Statement = loop.Statement
+	// PartitionResult is the outcome of the partitioning pipeline.
+	PartitionResult = partition.Result
+	// Transformed is the forall-form parallel loop of Section IV.
+	Transformed = transform.Transformed
+	// Assignment is the cyclic mapping of blocks onto processors.
+	Assignment = assign.Assignment
+	// CostModel is the t_comp/t_start/t_comm machine model.
+	CostModel = machine.CostModel
+	// ExecutionReport is the result of simulated parallel execution.
+	ExecutionReport = exec.Report
+	// DependenceAnalysis is the per-array dependence information.
+	DependenceAnalysis = deps.Analysis
+	// RedundancyResult is the outcome of Section III.C elimination.
+	RedundancyResult = redundant.Result
+	// HyperplaneResult is the Ramanujam–Sadayappan baseline outcome.
+	HyperplaneResult = baseline.Result
+)
+
+// ParseProgram parses DSL source containing one or more consecutive loop
+// nests. The paper's compilation model treats each nest independently;
+// CompileProgram partitions each one.
+func ParseProgram(src string) ([]*Nest, error) { return lang.ParseProgram(src) }
+
+// CompileProgram compiles every nest of a multi-loop program under one
+// strategy and processor count.
+func CompileProgram(src string, strat Strategy, processors int) ([]*Compilation, error) {
+	nests, err := ParseProgram(src)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Compilation, 0, len(nests))
+	for i, n := range nests {
+		c, err := CompileNest(n, strat, processors)
+		if err != nil {
+			return nil, fmt.Errorf("commfree: nest %d: %w", i+1, err)
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// FormatLoop renders a nest back into DSL source (parsed nests round-trip
+// exactly; hand-built nests get an equivalent rendering).
+func FormatLoop(nest *Nest) string { return lang.Format(nest) }
+
+// Parse parses loop DSL source such as
+//
+//	for i = 1 to 4
+//	  for j = 1 to 4
+//	    S1: A[2i, j]  = C[i, j] * 7
+//	    S2: B[j, i+1] = A[2i-2, j-1] + C[i-1, j-1]
+//	  end
+//	end
+//
+// into a validated Nest.
+func Parse(src string) (*Nest, error) { return lang.Parse(src) }
+
+// MustParse is Parse that panics on error (for fixtures and examples).
+func MustParse(src string) *Nest { return lang.MustParse(src) }
+
+// Analyze runs dependence analysis on a nest.
+func Analyze(nest *Nest) (*DependenceAnalysis, error) { return deps.Analyze(nest) }
+
+// Partition computes the communication-free partition of a nest under the
+// given strategy (Theorems 1–4).
+func Partition(nest *Nest, strat Strategy) (*PartitionResult, error) {
+	return partition.Compute(nest, strat)
+}
+
+// PartitionSelective duplicates only the named arrays (Section IV's L5′
+// duplicates B but not A).
+func PartitionSelective(nest *Nest, duplicated map[string]bool) (*PartitionResult, error) {
+	return partition.ComputeSelective(nest, duplicated)
+}
+
+// EliminateRedundant runs Section III.C redundant-computation elimination.
+func EliminateRedundant(nest *Nest) (*RedundancyResult, error) {
+	a, err := deps.Analyze(nest)
+	if err != nil {
+		return nil, err
+	}
+	return redundant.Eliminate(a)
+}
+
+// TransformLoop rewrites a partitioned nest into forall form.
+func TransformLoop(res *PartitionResult) (*Transformed, error) {
+	return transform.Transform(res.Analysis.Nest, res.Psi)
+}
+
+// Hyperplane runs the Ramanujam–Sadayappan baseline partitioner.
+func Hyperplane(nest *Nest) (*HyperplaneResult, error) { return baseline.Hyperplane(nest) }
+
+// TransputerCost returns the Transputer-calibrated cost model used for
+// the Table I/II reproduction.
+func TransputerCost() CostModel { return machine.Transputer() }
+
+// StrategyCandidate is one evaluated allocation alternative.
+type StrategyCandidate = selector.Candidate
+
+// SelectStrategy prices every allocation alternative — the four theorems
+// plus all selective duplication subsets — on p processors under the cost
+// model and returns the cheapest with the full ranking (the paper's
+// closing "estimate which duplication is suitable" remark, automated).
+func SelectStrategy(nest *Nest, p int, cost CostModel) (StrategyCandidate, []StrategyCandidate, error) {
+	return selector.Best(nest, p, cost)
+}
+
+// StrategyRanking renders a SelectStrategy ranking.
+func StrategyRanking(all []StrategyCandidate) string { return selector.Report(all) }
+
+// Compilation bundles the full pipeline output for one nest.
+type Compilation struct {
+	Nest        *Nest
+	Strategy    Strategy
+	Processors  int
+	Partition   *PartitionResult
+	Transformed *Transformed
+	Assignment  *Assignment
+}
+
+// Compile parses, partitions, transforms, and assigns in one call.
+func Compile(src string, strat Strategy, processors int) (*Compilation, error) {
+	nest, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return CompileNest(nest, strat, processors)
+}
+
+// CompileNest is Compile for an already-built nest.
+func CompileNest(nest *Nest, strat Strategy, processors int) (*Compilation, error) {
+	if processors < 1 {
+		return nil, fmt.Errorf("commfree: processors = %d", processors)
+	}
+	res, err := partition.Compute(nest, strat)
+	if err != nil {
+		return nil, err
+	}
+	return finishCompilation(nest, res, processors)
+}
+
+// CompileCandidate compiles the allocation a SelectStrategy candidate
+// describes (including selective duplication subsets).
+func CompileCandidate(nest *Nest, cand StrategyCandidate, processors int) (*Compilation, error) {
+	if processors < 1 {
+		return nil, fmt.Errorf("commfree: processors = %d", processors)
+	}
+	var res *PartitionResult
+	var err error
+	if cand.Strategy == partition.Selective {
+		dup := map[string]bool{}
+		for _, a := range cand.Duplicated {
+			dup[a] = true
+		}
+		res, err = partition.ComputeSelective(nest, dup)
+	} else {
+		res, err = partition.Compute(nest, cand.Strategy)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return finishCompilation(nest, res, processors)
+}
+
+func finishCompilation(nest *Nest, res *PartitionResult, processors int) (*Compilation, error) {
+	tr, err := transform.Transform(nest, res.Psi)
+	if err != nil {
+		return nil, err
+	}
+	return &Compilation{
+		Nest:        nest,
+		Strategy:    res.Strategy,
+		Processors:  processors,
+		Partition:   res,
+		Transformed: tr,
+		Assignment:  assign.Assign(tr, processors),
+	}, nil
+}
+
+// Verify exhaustively checks the compilation's communication-freeness on
+// the finite iteration space.
+func (c *Compilation) Verify() error { return c.Partition.Verify() }
+
+// Execute runs the compilation on the simulated multicomputer and checks
+// nothing crossed between nodes.
+func (c *Compilation) Execute(cost CostModel) (*ExecutionReport, error) {
+	rep, err := exec.Parallel(c.Partition, c.Processors, cost)
+	if err != nil {
+		return nil, err
+	}
+	if n := rep.Machine.InterNodeMessages(); n != 0 {
+		return rep, fmt.Errorf("commfree: %d inter-node messages during execution", n)
+	}
+	return rep, nil
+}
+
+// SequentialReference executes the nest sequentially with the shared
+// deterministic initial values (for comparing against Execute).
+func SequentialReference(nest *Nest) map[string]float64 {
+	return exec.Sequential(nest, nil)
+}
+
+// GenerateGo emits a standalone, runnable Go program implementing the
+// compiled loop in the paper's SPMD form: cyclically strided forall
+// loops, extended statements, and the original body — the compiler's
+// code-generation back end. The program's main() prints the sequential
+// result state and per-processor iteration counts for external diffing.
+func (c *Compilation) GenerateGo() (string, error) {
+	return codegen.Generate(c.Transformed, c.Assignment, codegen.Options{})
+}
+
+// DistributionPlan is the host's derived distribution schedule: element
+// groups with identical consumer sets mapped to unicast, multicast, or
+// broadcast (Section IV's manual primitive choice, automated).
+type DistributionPlan = distplan.Plan
+
+// ExecutePlanned is Execute with plan-based initial-data distribution:
+// shared element groups are multicast/broadcast instead of sent per node.
+func (c *Compilation) ExecutePlanned(cost CostModel) (*ExecutionReport, *DistributionPlan, error) {
+	rep, plan, err := distplan.ParallelPlanned(c.Partition, c.Processors, cost)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n := rep.Machine.InterNodeMessages(); n != 0 {
+		return rep, plan, fmt.Errorf("commfree: %d inter-node messages during execution", n)
+	}
+	return rep, plan, nil
+}
+
+// MemoryLayout is the per-processor local layout of one array.
+type MemoryLayout = layout.Layout
+
+// Layouts computes the local memory layout of every array's data blocks:
+// dense local addresses plus footprint statistics (replication factor,
+// savings versus whole-array replication, bounding-box packing).
+func (c *Compilation) Layouts() []*MemoryLayout {
+	return layout.BuildAll(c.Partition)
+}
+
+// Report renders a full human-readable compilation report.
+func (c *Compilation) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== source ==\n%s\n", c.Nest)
+	fmt.Fprintf(&b, "== dependence analysis ==\n%s\n", c.Partition.Analysis.Summary())
+	fmt.Fprintf(&b, "== partition ==\n%s\n", c.Partition.Summary())
+	if c.Partition.Redundant != nil {
+		fmt.Fprintf(&b, "== redundant computations ==\n%s\n", c.Partition.Redundant.Summary())
+	}
+	fmt.Fprintf(&b, "== transformed loop ==\n%s\n", c.Transformed)
+	fmt.Fprintf(&b, "== local memory layout ==\n")
+	for _, l := range c.Layouts() {
+		fmt.Fprintf(&b, "  %s\n", l.Summary())
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "== processor assignment (%d processors) ==\n%s", c.Processors, c.Assignment.Summary())
+	return b.String()
+}

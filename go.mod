@@ -1,0 +1,3 @@
+module commfree
+
+go 1.22

@@ -1,0 +1,158 @@
+// Package assign maps the forall space of a transformed loop onto a
+// fixed-size processor grid (Section IV of the paper).
+//
+// The paper numbers p processors as a k-dimensional grid p₁×…×p_k with
+// pᵢ = ⌊p^(1/k)⌋ for i < k and p_k = ⌊p / ⌊p^(1/k)⌋^(k−1)⌋, and assigns
+// forall point (I′_{y₁}, …, I′_{y_k}) to processor (I′_{y₁} mod p₁, …,
+// I′_{y_k} mod p_k) — the cyclic ("mod") distribution. Neighboring blocks
+// have nearly equal iteration counts, so the cyclic assignment balances
+// the workload.
+package assign
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"commfree/internal/transform"
+)
+
+// Factor returns the paper's grid factorization p₁×…×p_k of p processors.
+// For k = 0 (a sequential loop) it returns an empty slice.
+func Factor(p, k int) []int {
+	if p < 1 {
+		panic(fmt.Errorf("assign: processor count %d < 1", p))
+	}
+	if k <= 0 {
+		return nil
+	}
+	dims := make([]int, k)
+	side := int(math.Floor(math.Pow(float64(p), 1/float64(k))))
+	if side < 1 {
+		side = 1
+	}
+	// Floating-point roots can land just below the exact integer root
+	// (e.g. p=27, k=3 → 2.9999); fix up.
+	for pow(side+1, k) <= p {
+		side++
+	}
+	rest := p
+	for i := 0; i < k-1; i++ {
+		dims[i] = side
+		rest /= side
+	}
+	dims[k-1] = rest
+	return dims
+}
+
+func pow(b, e int) int {
+	out := 1
+	for i := 0; i < e; i++ {
+		out *= b
+	}
+	return out
+}
+
+// Assignment is a cyclic mapping of forall points to processors.
+type Assignment struct {
+	Tr   *transform.Transformed
+	P    int   // requested processor count
+	Dims []int // grid shape p₁×…×p_k (len = Tr.K, or empty when K = 0)
+}
+
+// Assign builds the cyclic assignment for p processors.
+func Assign(tr *transform.Transformed, p int) *Assignment {
+	return &Assignment{Tr: tr, P: p, Dims: Factor(p, tr.K)}
+}
+
+// OwnerCoords returns the grid coordinates of the processor owning the
+// forall point: aᵢ = forall_i mod pᵢ (canonical, non-negative).
+func (a *Assignment) OwnerCoords(forall []int64) []int {
+	coords := make([]int, len(a.Dims))
+	for i := range a.Dims {
+		m := int(((forall[i] % int64(a.Dims[i])) + int64(a.Dims[i])) % int64(a.Dims[i]))
+		coords[i] = m
+	}
+	return coords
+}
+
+// OwnerID linearizes OwnerCoords row-major into [0, NumProcessors()).
+func (a *Assignment) OwnerID(forall []int64) int {
+	id := 0
+	for i, c := range a.OwnerCoords(forall) {
+		id = id*a.Dims[i] + c
+	}
+	return id
+}
+
+// NumProcessors returns the number of grid processors actually used
+// (∏ pᵢ ≤ P; 1 when the loop is sequential).
+func (a *Assignment) NumProcessors() int {
+	n := 1
+	for _, d := range a.Dims {
+		n *= d
+	}
+	return n
+}
+
+// Workloads returns the iteration count executed by each processor ID.
+func (a *Assignment) Workloads() []int64 {
+	loads := make([]int64, a.NumProcessors())
+	a.Tr.Visit(nil, func(forall, _ []int64) {
+		loads[a.OwnerID(forall)]++
+	})
+	return loads
+}
+
+// BlocksOf returns the forall points owned by the processor with the
+// given ID, in lexicographic order.
+func (a *Assignment) BlocksOf(id int) [][]int64 {
+	var out [][]int64
+	for _, f := range a.Tr.ForallPoints() {
+		if a.OwnerID(f) == id {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Imbalance returns (max load − min load) / mean load; 0 is perfect.
+func (a *Assignment) Imbalance() float64 {
+	loads := a.Workloads()
+	if len(loads) == 0 {
+		return 0
+	}
+	min, max, sum := loads[0], loads[0], int64(0)
+	for _, l := range loads {
+		if l < min {
+			min = l
+		}
+		if l > max {
+			max = l
+		}
+		sum += l
+	}
+	if sum == 0 {
+		return 0
+	}
+	mean := float64(sum) / float64(len(loads))
+	return float64(max-min) / mean
+}
+
+// Summary renders the assignment as a per-processor load table.
+func (a *Assignment) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "processors: %d as grid %v\n", a.NumProcessors(), a.Dims)
+	loads := a.Workloads()
+	ids := make([]int, len(loads))
+	for i := range ids {
+		ids[i] = i
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		fmt.Fprintf(&b, "  PE%d: %d iterations\n", id, loads[id])
+	}
+	fmt.Fprintf(&b, "imbalance: %.3f\n", a.Imbalance())
+	return b.String()
+}

@@ -1,0 +1,84 @@
+package assign
+
+import (
+	"testing"
+)
+
+func TestPolicyStrings(t *testing.T) {
+	if Cyclic.String() != "cyclic" || Blocked.String() != "blocked" {
+		t.Error("policy names wrong")
+	}
+}
+
+func TestCyclicPolicyMatchesAssignment(t *testing.T) {
+	a := Assign(l4Transformed(t), 4)
+	pa := AssignWithPolicy(a, Cyclic)
+	base := a.Workloads()
+	pol := pa.Workloads()
+	for i := range base {
+		if base[i] != pol[i] {
+			t.Fatalf("cyclic policy diverges from base assignment: %v vs %v", base, pol)
+		}
+	}
+	if pa.Imbalance() != 0 {
+		t.Errorf("cyclic imbalance = %v", pa.Imbalance())
+	}
+}
+
+func TestBlockedPolicyConservesWork(t *testing.T) {
+	a := Assign(l4Transformed(t), 4)
+	pa := AssignWithPolicy(a, Blocked)
+	loads := pa.Workloads()
+	var sum int64
+	for _, l := range loads {
+		sum += l
+	}
+	if sum != 64 {
+		t.Errorf("blocked workloads sum = %d, want 64: %v", sum, loads)
+	}
+}
+
+// TestCyclicBeatsBlockedOnL4 is the paper's load-balancing claim made
+// measurable: the diagonal partition of L4 has its big blocks in the
+// middle of the forall space, so contiguous ranges are uneven while the
+// cyclic distribution is perfectly balanced.
+func TestCyclicBeatsBlockedOnL4(t *testing.T) {
+	a := Assign(l4Transformed(t), 4)
+	cyc := AssignWithPolicy(a, Cyclic)
+	blk := AssignWithPolicy(a, Blocked)
+	if cyc.Imbalance() != 0 {
+		t.Errorf("cyclic imbalance = %v, want 0", cyc.Imbalance())
+	}
+	if blk.Imbalance() <= cyc.Imbalance() {
+		t.Errorf("blocked imbalance %v not worse than cyclic %v (loads %v)",
+			blk.Imbalance(), cyc.Imbalance(), blk.Workloads())
+	}
+}
+
+func TestBlockedCoordsWithinGrid(t *testing.T) {
+	a := Assign(l4Transformed(t), 4)
+	pa := AssignWithPolicy(a, Blocked)
+	for _, f := range a.Tr.ForallPoints() {
+		for i, c := range pa.OwnerCoords(f) {
+			if c < 0 || c >= a.Dims[i] {
+				t.Fatalf("coords out of grid: %v for %v", c, f)
+			}
+		}
+	}
+}
+
+func TestPoliciesOnSequentialLoop(t *testing.T) {
+	tr := spanPsiL1(t)
+	a := Assign(tr, 2)
+	for _, pol := range []Policy{Cyclic, Blocked} {
+		pa := AssignWithPolicy(a, pol)
+		loads := pa.Workloads()
+		var sum int64
+		for _, l := range loads {
+			sum += l
+		}
+		if sum != 16 {
+			t.Errorf("%s: sum = %d", pol, sum)
+		}
+	}
+}

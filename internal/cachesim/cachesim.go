@@ -1,0 +1,166 @@
+// Package cachesim models a bus-based shared-memory multiprocessor with
+// private write-invalidate caches, to make the paper's closing claim
+// measurable: "the communication-free partitioning strategies proposed in
+// this paper can also prevent the cache-thrashing problem in shared
+// memory multiprocessor systems."
+//
+// Each CPU has a private cache; a write to an element invalidates every
+// other CPU's copy (MSI-style write-invalidate). When iterations are
+// scheduled by the communication-free partition, no element is touched by
+// two CPUs, so coherence traffic is zero; a naive round-robin schedule of
+// the same loop ping-pongs shared lines between caches.
+package cachesim
+
+import (
+	"container/list"
+	"fmt"
+)
+
+// Config shapes the simulated caches.
+type Config struct {
+	// Capacity is the per-CPU cache capacity in lines; 0 means unbounded
+	// (isolates coherence effects from capacity effects).
+	Capacity int
+}
+
+// Stats aggregates one CPU's cache behavior.
+type Stats struct {
+	Accesses      int64
+	Hits          int64
+	Misses        int64
+	Invalidations int64 // lines this CPU lost to other CPUs' writes
+	Transfers     int64 // dirty lines this CPU had to fetch from another CPU
+	Evictions     int64 // capacity evictions
+}
+
+// Sim is the multiprocessor cache simulator.
+type Sim struct {
+	cfg    Config
+	caches []*cache
+	stats  []Stats
+	// owner tracks the CPU holding each element in modified state
+	// (-1 = memory is clean/authoritative).
+	owner map[string]int
+}
+
+// cache is one private cache: an LRU set of resident element keys.
+type cache struct {
+	capacity int
+	order    *list.List               // front = most recent
+	resident map[string]*list.Element // key → order node
+}
+
+func newCache(capacity int) *cache {
+	return &cache{capacity: capacity, order: list.New(), resident: map[string]*list.Element{}}
+}
+
+// New builds a simulator for p CPUs.
+func New(p int, cfg Config) *Sim {
+	s := &Sim{
+		cfg:    cfg,
+		caches: make([]*cache, p),
+		stats:  make([]Stats, p),
+		owner:  map[string]int{},
+	}
+	for i := range s.caches {
+		s.caches[i] = newCache(cfg.Capacity)
+	}
+	return s
+}
+
+// CPUs returns the processor count.
+func (s *Sim) CPUs() int { return len(s.caches) }
+
+// Access simulates one read or write of an element by a CPU under an
+// MSI-style protocol: a write invalidates every other copy; a read of a
+// line held modified by another CPU forces a cache-to-cache transfer
+// (and downgrades the line to shared).
+func (s *Sim) Access(cpu int, elem string, write bool) {
+	c := s.caches[cpu]
+	st := &s.stats[cpu]
+	st.Accesses++
+	if node, ok := c.resident[elem]; ok {
+		st.Hits++
+		c.order.MoveToFront(node)
+	} else {
+		st.Misses++
+		c.insert(elem, st)
+	}
+	holder, dirty := s.owner[elem]
+	if write {
+		// Invalidate every other CPU's copy.
+		for other, oc := range s.caches {
+			if other == cpu {
+				continue
+			}
+			if node, ok := oc.resident[elem]; ok {
+				oc.order.Remove(node)
+				delete(oc.resident, elem)
+				s.stats[other].Invalidations++
+			}
+		}
+		s.owner[elem] = cpu
+		return
+	}
+	// Read: fetching a line another CPU holds modified is a coherence
+	// transfer; the line becomes shared (memory clean).
+	if dirty && holder != cpu {
+		st.Transfers++
+		delete(s.owner, elem)
+	}
+}
+
+func (c *cache) insert(elem string, st *Stats) {
+	if c.capacity > 0 && c.order.Len() >= c.capacity {
+		back := c.order.Back()
+		c.order.Remove(back)
+		delete(c.resident, back.Value.(string))
+		st.Evictions++
+	}
+	c.resident[elem] = c.order.PushFront(elem)
+}
+
+// Stats returns a copy of the per-CPU statistics.
+func (s *Sim) Stats() []Stats {
+	out := make([]Stats, len(s.stats))
+	copy(out, s.stats)
+	return out
+}
+
+// TotalInvalidations sums coherence invalidations over all CPUs.
+func (s *Sim) TotalInvalidations() int64 {
+	var total int64
+	for _, st := range s.stats {
+		total += st.Invalidations
+	}
+	return total
+}
+
+// CoherenceTraffic sums invalidations and dirty-line transfers — the
+// cache-thrashing (ping-pong) metric.
+func (s *Sim) CoherenceTraffic() int64 {
+	var total int64
+	for _, st := range s.stats {
+		total += st.Invalidations + st.Transfers
+	}
+	return total
+}
+
+// TotalMisses sums cache misses over all CPUs.
+func (s *Sim) TotalMisses() int64 {
+	var total int64
+	for _, st := range s.stats {
+		total += st.Misses
+	}
+	return total
+}
+
+// String renders the per-CPU statistics.
+func (s *Sim) String() string {
+	out := ""
+	for i, st := range s.stats {
+		out += fmt.Sprintf("CPU%d: %d accesses, %d misses, %d invalidations, %d evictions\n",
+			i, st.Accesses, st.Misses, st.Invalidations, st.Evictions)
+	}
+	return out
+}

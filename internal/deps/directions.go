@@ -1,0 +1,175 @@
+package deps
+
+// Direction vectors: the classical (<, =, >) abstraction of dependence
+// distances, computed exactly from the integer solution coset intersected
+// with the iteration space. A level's direction is the set of signs the
+// distance component can take over realizable instances; the dependence
+// level (outermost < level) tells which loop carries the dependence.
+
+import "strings"
+
+// Direction is the sign set of one distance component.
+type Direction int
+
+const (
+	// DirNone means no realizable instance constrains the level (should
+	// not occur for a recorded dependence).
+	DirNone Direction = 0
+	// DirLT: the component can be positive (source earlier), rendered <.
+	DirLT Direction = 1 << iota
+	// DirEQ: the component can be zero, rendered =.
+	DirEQ
+	// DirGT: the component can be negative, rendered >.
+	DirGT
+)
+
+// String renders the direction set in the usual notation: "<", "=", ">",
+// "<=", "*" (all three), etc.
+func (d Direction) String() string {
+	switch d {
+	case DirLT:
+		return "<"
+	case DirEQ:
+		return "="
+	case DirGT:
+		return ">"
+	case DirLT | DirEQ:
+		return "<="
+	case DirGT | DirEQ:
+		return ">="
+	case DirLT | DirGT:
+		return "<>"
+	case DirLT | DirEQ | DirGT:
+		return "*"
+	}
+	return "?"
+}
+
+// DirectionVector computes the per-level direction set of a dependence,
+// considering only instances ordered source-before-destination (t̄ ≻ 0, or
+// t̄ = 0 when the dependence has a loop-independent component).
+func (a *Analysis) DirectionVector(d *Dependence) ([]Direction, error) {
+	n := a.Nest.Depth()
+	out := make([]Direction, n)
+	// Fast path: unique distance.
+	if d.Distance != nil {
+		for k, t := range d.Distance {
+			switch {
+			case t > 0:
+				out[k] = DirLT
+			case t < 0:
+				out[k] = DirGT
+			default:
+				out[k] = DirEQ
+			}
+		}
+		return out, nil
+	}
+	// General case: per level, test feasibility of each sign subject to
+	// lexicographic source-before-destination ordering.
+	for k := 0; k < n; k++ {
+		for _, sign := range []int64{1, 0, -1} {
+			var extra []tConstraint
+			w := make([]int64, n)
+			w[k] = 1
+			switch sign {
+			case 1:
+				extra = append(extra, tConstraint{w: w, cmp: cmpGE, bound: 1})
+			case -1:
+				extra = append(extra, tConstraint{w: w, cmp: cmpLE, bound: -1})
+			default:
+				extra = append(extra, tConstraint{w: w, cmp: cmpEQ, bound: 0})
+			}
+			// Ordering: t̄ ⪰ 0 lexicographically (source first). A negative
+			// component at level k is only admissible when an earlier
+			// level is positive; encode by requiring the lex-positivity
+			// prefix OR full zero. We test both arms.
+			ok, err := a.feasibleOrdered(d, extra)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				switch sign {
+				case 1:
+					out[k] |= DirLT
+				case 0:
+					out[k] |= DirEQ
+				default:
+					out[k] |= DirGT
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// feasibleOrdered reports whether a realizable instance satisfies the
+// extra constraints together with source-before-destination ordering.
+func (a *Analysis) feasibleOrdered(d *Dependence, extra []tConstraint) (bool, error) {
+	n := a.Nest.Depth()
+	// Arm 1: t̄ ≻ 0 at some leading level.
+	for lead := 0; lead < n; lead++ {
+		cons := append([]tConstraint{}, extra...)
+		for j := 0; j < lead; j++ {
+			w := make([]int64, n)
+			w[j] = 1
+			cons = append(cons, tConstraint{w: w, cmp: cmpEQ, bound: 0})
+		}
+		w := make([]int64, n)
+		w[lead] = 1
+		cons = append(cons, tConstraint{w: w, cmp: cmpGE, bound: 1})
+		ok, err := a.realizable(d.Solution, cons)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+	}
+	// Arm 2: t̄ = 0 (loop-independent), only if the dependence has one.
+	if d.ZeroDistance {
+		cons := append([]tConstraint{}, extra...)
+		for j := 0; j < n; j++ {
+			w := make([]int64, n)
+			w[j] = 1
+			cons = append(cons, tConstraint{w: w, cmp: cmpEQ, bound: 0})
+		}
+		ok, err := a.realizable(d.Solution, cons)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// CarryingLevel returns the outermost loop level (1-based) that carries
+// the dependence: the first level whose direction includes <. Zero means
+// loop-independent (all levels =).
+func (a *Analysis) CarryingLevel(d *Dependence) (int, error) {
+	dirs, err := a.DirectionVector(d)
+	if err != nil {
+		return 0, err
+	}
+	for k, dir := range dirs {
+		if dir&DirLT != 0 {
+			return k + 1, nil
+		}
+		if dir == DirEQ {
+			continue
+		}
+		break
+	}
+	return 0, nil
+}
+
+// RenderDirections formats a direction vector like "(<, =, *)".
+func RenderDirections(dirs []Direction) string {
+	parts := make([]string, len(dirs))
+	for i, d := range dirs {
+		parts[i] = d.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}

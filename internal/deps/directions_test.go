@@ -1,0 +1,135 @@
+package deps
+
+import (
+	"testing"
+
+	"commfree/internal/loop"
+)
+
+func TestDirectionVectorL1(t *testing.T) {
+	a := analyze(t, loop.L1())
+	d := a.Dependences("A")[0] // flow with distance (1,1)
+	dirs, err := a.DirectionVector(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if RenderDirections(dirs) != "(<, <)" {
+		t.Errorf("directions = %s, want (<, <)", RenderDirections(dirs))
+	}
+	lvl, err := a.CarryingLevel(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lvl != 1 {
+		t.Errorf("carrying level = %d, want 1", lvl)
+	}
+}
+
+func TestDirectionVectorL3Anti(t *testing.T) {
+	a := analyze(t, loop.L3())
+	var anti *Dependence
+	for _, d := range a.Dependences("A") {
+		if d.Kind == Anti && d.Distance != nil && d.Distance[0] == 1 && d.Distance[1] == -1 {
+			anti = d
+		}
+	}
+	if anti == nil {
+		t.Fatal("anti (1,-1) not found")
+	}
+	dirs, err := a.DirectionVector(anti)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if RenderDirections(dirs) != "(<, >)" {
+		t.Errorf("directions = %s, want (<, >)", RenderDirections(dirs))
+	}
+	if lvl, _ := a.CarryingLevel(anti); lvl != 1 {
+		t.Errorf("carrying level = %d", lvl)
+	}
+}
+
+func TestDirectionVectorL5Flow(t *testing.T) {
+	a := analyze(t, loop.L5(4))
+	var flow *Dependence
+	for _, d := range a.Dependences("C") {
+		if d.Kind == Flow {
+			flow = d
+		}
+	}
+	if flow == nil {
+		t.Fatal("flow on C not found")
+	}
+	// Distance coset is (0,0,k) for k ≥ 1: directions (=, =, <).
+	dirs, err := a.DirectionVector(flow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if RenderDirections(dirs) != "(=, =, <)" {
+		t.Errorf("directions = %s, want (=, =, <)", RenderDirections(dirs))
+	}
+	if lvl, _ := a.CarryingLevel(flow); lvl != 3 {
+		t.Errorf("carrying level = %d, want 3 (innermost loop carries the accumulation)", lvl)
+	}
+}
+
+func TestDirectionVectorZeroDistanceAnti(t *testing.T) {
+	a := analyze(t, loop.L5(4))
+	var anti *Dependence
+	for _, d := range a.Dependences("C") {
+		if d.Kind == Anti && d.ZeroDistance {
+			anti = d
+		}
+	}
+	if anti == nil {
+		t.Fatal("zero-distance anti not found")
+	}
+	dirs, err := a.DirectionVector(anti)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Instances: t = (0,0,k) for k ≥ 0 → third level can be = or <.
+	if dirs[2]&DirEQ == 0 || dirs[2]&DirLT == 0 {
+		t.Errorf("level 3 direction = %s, want <=", dirs[2])
+	}
+	if lvl, _ := a.CarryingLevel(anti); lvl != 3 {
+		t.Errorf("carrying level = %d", lvl)
+	}
+}
+
+func TestDirectionStringForms(t *testing.T) {
+	cases := map[Direction]string{
+		DirLT: "<", DirEQ: "=", DirGT: ">",
+		DirLT | DirEQ: "<=", DirGT | DirEQ: ">=",
+		DirLT | DirGT: "<>", DirLT | DirEQ | DirGT: "*",
+		DirNone: "?",
+	}
+	for d, want := range cases {
+		if d.String() != want {
+			t.Errorf("Direction(%d) = %q, want %q", int(d), d.String(), want)
+		}
+	}
+}
+
+func TestDirectionVectorOutputKernelReuse(t *testing.T) {
+	// L2's A: output self-dependence via the kernel span{(1,-1)} — the
+	// coset admits both (1,-1)-style and statement-order instances; the
+	// first level must include <.
+	a := analyze(t, loop.L2())
+	var out *Dependence
+	for _, d := range a.Dependences("A") {
+		if d.Kind == Output && d.Distance == nil {
+			out = d
+			break
+		}
+	}
+	if out == nil {
+		t.Skip("no coset output dependence recorded")
+	}
+	dirs, err := a.DirectionVector(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dirs[0]&DirLT == 0 {
+		t.Errorf("level 1 direction = %s, expected to include <", dirs[0])
+	}
+}

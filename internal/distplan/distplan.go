@@ -1,0 +1,333 @@
+// Package distplan plans the host-to-node distribution of initial data
+// for a partitioned loop. Section IV chooses distribution primitives by
+// hand for L5′ and L5″ (pipelined unicast of A's rows, broadcast of the
+// whole of B, row/column multicasts); this package derives the same
+// decisions automatically from the partition:
+//
+//   - group array elements by their consumer set (the set of processors
+//     whose blocks read them);
+//   - a group consumed by every processor is broadcast;
+//   - a group consumed by several processors is multicast;
+//   - a group consumed by one processor is appended to that processor's
+//     pipelined unicast.
+//
+// The plan executes against the simulated machine, loading real values
+// and charging the paper's costs.
+package distplan
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"commfree/internal/assign"
+	"commfree/internal/exec"
+	"commfree/internal/loop"
+	"commfree/internal/machine"
+	"commfree/internal/partition"
+	"commfree/internal/transform"
+)
+
+// StepKind is a distribution primitive.
+type StepKind int
+
+const (
+	// Unicast sends a group to a single processor.
+	Unicast StepKind = iota
+	// Multicast sends one group to several processors.
+	Multicast
+	// Broadcast sends one group to all processors.
+	Broadcast
+)
+
+// String names the primitive.
+func (k StepKind) String() string {
+	switch k {
+	case Unicast:
+		return "unicast"
+	case Multicast:
+		return "multicast"
+	case Broadcast:
+		return "broadcast"
+	}
+	return fmt.Sprintf("StepKind(%d)", int(k))
+}
+
+// Step is one host send: a stream of element values delivered to a node
+// set, where each node installs the values under the private keys of its
+// resident block copies (several copies per node cost nothing extra on
+// the wire).
+type Step struct {
+	Kind  StepKind
+	Nodes []int // destination processors, sorted
+	// Words is the wire size of the stream (distinct element values).
+	Words int
+	// Install lists the per-node datum copies (block-namespaced keys).
+	Install map[int][]machine.Datum
+}
+
+// Plan is the full distribution schedule.
+type Plan struct {
+	Steps []Step
+	// Nodes is the number of processors the plan addresses.
+	Nodes int
+}
+
+// Build derives the plan for a partitioning result on p processors. The
+// consumer set of an element is the set of processors whose iterations
+// read it (redundant computations excluded under minimal strategies).
+func Build(res *partition.Result, p int) (*Plan, *transform.Transformed, *assign.Assignment, error) {
+	nest := res.Analysis.Nest
+	tr, err := transform.Transform(nest, res.Psi)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	asg := assign.Assign(tr, p)
+	used := asg.NumProcessors()
+
+	// element key → consumer blocks (block copies are private; the block
+	// set determines both the wire fan-out and the install targets).
+	type consumerSet struct {
+		blocks map[int]int // block ID → owner node
+		value  float64
+	}
+	consumers := map[string]*consumerSet{}
+	red := res.Redundant
+	tr.Visit(nil, func(forall, orig []int64) {
+		node := asg.OwnerID(forall)
+		blk := res.Iter.BlockOf(orig).ID
+		for si, st := range nest.Body {
+			if red != nil && red.IsRedundant(si, orig) {
+				continue
+			}
+			for _, r := range st.Reads {
+				idx := r.Index(orig)
+				key := exec.Key(r.Array, idx)
+				cs := consumers[key]
+				if cs == nil {
+					cs = &consumerSet{blocks: map[int]int{}, value: exec.InitValue(r.Array, idx)}
+					consumers[key] = cs
+				}
+				cs.blocks[blk] = node
+			}
+		}
+	})
+
+	// Group elements by identical consumer NODE sets (the wire pattern);
+	// installs carry the block-private copies.
+	type group struct {
+		nodes   []int
+		words   int
+		install map[int][]machine.Datum
+	}
+	groups := map[string]*group{}
+	keys := make([]string, 0, len(consumers))
+	for k := range consumers {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		cs := consumers[k]
+		nodeSet := map[int]bool{}
+		for _, n := range cs.blocks {
+			nodeSet[n] = true
+		}
+		nodes := make([]int, 0, len(nodeSet))
+		for n := range nodeSet {
+			nodes = append(nodes, n)
+		}
+		sort.Ints(nodes)
+		sk := fmt.Sprint(nodes)
+		g := groups[sk]
+		if g == nil {
+			g = &group{nodes: nodes, install: map[int][]machine.Datum{}}
+			groups[sk] = g
+		}
+		g.words++
+		blocks := make([]int, 0, len(cs.blocks))
+		for b := range cs.blocks {
+			blocks = append(blocks, b)
+		}
+		sort.Ints(blocks)
+		for _, b := range blocks {
+			n := cs.blocks[b]
+			g.install[n] = append(g.install[n], machine.Datum{Key: exec.BlockKey(b, k), Value: cs.value})
+		}
+	}
+
+	plan := &Plan{Nodes: used}
+	setKeys := make([]string, 0, len(groups))
+	for sk := range groups {
+		setKeys = append(setKeys, sk)
+	}
+	sort.Strings(setKeys)
+	// Single-node groups coalesce into one pipelined unicast per node;
+	// multi-node groups keep their exact node sets.
+	uniWords := map[int]int{}
+	uniInstall := map[int][]machine.Datum{}
+	for _, sk := range setKeys {
+		g := groups[sk]
+		switch {
+		case len(g.nodes) == used && used > 1:
+			plan.Steps = append(plan.Steps, Step{Kind: Broadcast, Nodes: g.nodes, Words: g.words, Install: g.install})
+		case len(g.nodes) > 1:
+			plan.Steps = append(plan.Steps, Step{Kind: Multicast, Nodes: g.nodes, Words: g.words, Install: g.install})
+		default:
+			n := g.nodes[0]
+			uniWords[n] += g.words
+			uniInstall[n] = append(uniInstall[n], g.install[n]...)
+		}
+	}
+	nodeIDs := make([]int, 0, len(uniWords))
+	for n := range uniWords {
+		nodeIDs = append(nodeIDs, n)
+	}
+	sort.Ints(nodeIDs)
+	for _, n := range nodeIDs {
+		plan.Steps = append(plan.Steps, Step{
+			Kind: Unicast, Nodes: []int{n}, Words: uniWords[n],
+			Install: map[int][]machine.Datum{n: uniInstall[n]},
+		})
+	}
+	return plan, tr, asg, nil
+}
+
+// Execute performs the plan on a machine, installing block-private
+// copies and charging the wire costs.
+func (p *Plan) Execute(m *machine.Machine) {
+	for _, s := range p.Steps {
+		switch s.Kind {
+		case Broadcast:
+			m.BroadcastInstall(s.Words, s.Install)
+		default: // Multicast and Unicast share the pipelined stream model
+			m.MulticastInstall(s.Nodes, s.Words, s.Install)
+		}
+	}
+}
+
+// Stats summarizes the plan.
+type Stats struct {
+	Unicasts, Multicasts, Broadcasts int
+	Words                            int // Σ wire words
+	DeliveredWords                   int // Σ installed copies
+}
+
+// Stats computes the plan summary.
+func (p *Plan) Stats() Stats {
+	var st Stats
+	for _, s := range p.Steps {
+		switch s.Kind {
+		case Broadcast:
+			st.Broadcasts++
+		case Multicast:
+			st.Multicasts++
+		default:
+			st.Unicasts++
+		}
+		st.Words += s.Words
+		for _, ds := range s.Install {
+			st.DeliveredWords += len(ds)
+		}
+	}
+	return st
+}
+
+// String renders the plan.
+func (p *Plan) String() string {
+	var b strings.Builder
+	st := p.Stats()
+	fmt.Fprintf(&b, "distribution plan for %d processors: %d unicasts, %d multicasts, %d broadcasts (%d words, %d delivered)\n",
+		p.Nodes, st.Unicasts, st.Multicasts, st.Broadcasts, st.Words, st.DeliveredWords)
+	for _, s := range p.Steps {
+		fmt.Fprintf(&b, "  %s → %v: %d words\n", s.Kind, s.Nodes, s.Words)
+	}
+	return b.String()
+}
+
+// ParallelPlanned executes a partitioned loop like exec.Parallel but with
+// plan-based distribution (multicast groups instead of per-node
+// unicasts), returning the plan alongside the report.
+func ParallelPlanned(res *partition.Result, p int, cost machine.CostModel) (*exec.Report, *Plan, error) {
+	plan, tr, asg, err := Build(res, p)
+	if err != nil {
+		return nil, nil, err
+	}
+	used := asg.NumProcessors()
+	topo := machine.Mesh{P1: 1, P2: used}
+	if sq, err := machine.SquareMesh(used); err == nil {
+		topo = sq
+	}
+	mach := machine.New(topo, cost)
+	plan.Execute(mach)
+
+	nest := res.Analysis.Nest
+	red := res.Redundant
+	type blockIter struct {
+		block int
+		iter  []int64
+	}
+	perNode := make([][]blockIter, used)
+	tr.Visit(nil, func(forall, orig []int64) {
+		id := asg.OwnerID(forall)
+		cp := make([]int64, len(orig))
+		copy(cp, orig)
+		perNode[id] = append(perNode[id], blockIter{block: res.Iter.BlockOf(cp).ID, iter: cp})
+	})
+	err = mach.Run(func(n *machine.Node) error {
+		for _, bi := range perNode[n.ID] {
+			for si, st := range nest.Body {
+				if red != nil && red.IsRedundant(si, bi.iter) {
+					continue
+				}
+				vals := make([]float64, len(st.Reads))
+				for ri, r := range st.Reads {
+					v, err := n.Read(exec.BlockKey(bi.block, exec.Key(r.Array, r.Index(bi.iter))))
+					if err != nil {
+						return err
+					}
+					vals[ri] = v
+				}
+				n.Write(exec.BlockKey(bi.block, exec.Key(st.Write.Array, st.Write.Index(bi.iter))), st.EvalExpr(bi.iter, vals))
+			}
+			n.CountIteration()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	type ownerInfo struct {
+		node  int
+		block int
+	}
+	owner := map[string]ownerInfo{}
+	for _, it := range nest.Iterations() {
+		f := tr.NewPoint(it)[:tr.K]
+		id := asg.OwnerID(f)
+		blk := res.Iter.BlockOf(it).ID
+		for si, st := range nest.Body {
+			if red != nil && red.IsRedundant(si, it) {
+				continue
+			}
+			owner[exec.Key(st.Write.Array, st.Write.Index(it))] = ownerInfo{node: id, block: blk}
+		}
+	}
+	final := map[string]float64{}
+	for k, o := range owner {
+		if v, ok := mach.Node(o.node).Value(exec.BlockKey(o.block, k)); ok {
+			final[k] = v
+		}
+	}
+	rep := &exec.Report{
+		Machine:    mach,
+		Transform:  tr,
+		Assignment: asg,
+		Final:      final,
+	}
+	for id := 0; id < used; id++ {
+		rep.IterationsPerNode = append(rep.IterationsPerNode, mach.Node(id).Stats().Iterations)
+	}
+	return rep, plan, nil
+}
+
+var _ = loop.LexLess // reserved for future ordering needs

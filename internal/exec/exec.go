@@ -1,0 +1,223 @@
+// Package exec executes loop nests — sequentially as the reference
+// semantics, and in parallel on the simulated multicomputer under a
+// communication-free partition. The parallel path is the end-to-end proof
+// of the paper's construction: iterations run on per-node goroutines
+// against strictly local memories, and the final array state must equal
+// the sequential one with zero inter-node messages.
+package exec
+
+import (
+	"fmt"
+
+	"commfree/internal/assign"
+	"commfree/internal/loop"
+	"commfree/internal/machine"
+	"commfree/internal/partition"
+	"commfree/internal/redundant"
+	"commfree/internal/transform"
+)
+
+// Key names an array element in memory, e.g. "A[2 1]".
+func Key(array string, idx []int64) string {
+	return array + fmt.Sprint(idx)
+}
+
+// InitValue is the deterministic initial value of every array element —
+// shared by the sequential and parallel executors so results compare
+// exactly.
+func InitValue(array string, idx []int64) float64 {
+	h := float64(len(array)) * 7
+	for _, c := range array {
+		h = h*31 + float64(c%13)
+	}
+	for _, x := range idx {
+		h = h*31 + float64(x)
+	}
+	return float64(int64(h) % 1009)
+}
+
+// Sequential executes the nest in lexicographic order and returns the
+// final array state (only elements actually written appear). When red is
+// non-nil, redundant computations are skipped — by Section III.C this
+// leaves the final state unchanged.
+func Sequential(nest *loop.Nest, red *redundant.Result) map[string]float64 {
+	state := map[string]float64{}
+	readVal := func(array string, idx []int64) float64 {
+		k := Key(array, idx)
+		if v, ok := state[k]; ok {
+			return v
+		}
+		return InitValue(array, idx)
+	}
+	for _, it := range nest.Iterations() {
+		for si, st := range nest.Body {
+			if red != nil && red.IsRedundant(si, it) {
+				continue
+			}
+			vals := make([]float64, len(st.Reads))
+			for ri, r := range st.Reads {
+				vals[ri] = readVal(r.Array, r.Index(it))
+			}
+			state[Key(st.Write.Array, st.Write.Index(it))] = st.EvalExpr(it, vals)
+		}
+	}
+	return state
+}
+
+// Report is the outcome of a parallel execution.
+type Report struct {
+	Machine    *machine.Machine
+	Transform  *transform.Transformed
+	Assignment *assign.Assignment
+	// Final is the gathered array state (authoritative copies only).
+	Final map[string]float64
+	// IterationsPerNode is the per-node workload.
+	IterationsPerNode []int64
+}
+
+// BlockKey namespaces an element key with the block that owns the copy.
+// Duplicate-data strategies give every block a PRIVATE copy of the
+// elements it touches; when several blocks land on one processor, the
+// copies must stay distinct or cross-block anti/output dependences
+// (legal under duplication) would corrupt each other through the shared
+// local memory. The executor therefore stores each copy under
+// "b<ID>|<element>".
+func BlockKey(blockID int, elemKey string) string {
+	return fmt.Sprintf("b%d|%s", blockID, elemKey)
+}
+
+// Parallel executes a communication-free partition on p simulated
+// processors with the given cost model. It distributes each block's read
+// set to its processor by pipelined unicast (private block copies), runs
+// all nodes concurrently, and gathers the final state from the block
+// holding each element's globally last write.
+func Parallel(res *partition.Result, p int, cost machine.CostModel) (*Report, error) {
+	nest := res.Analysis.Nest
+	tr, err := transform.Transform(nest, res.Psi)
+	if err != nil {
+		return nil, err
+	}
+	asg := assign.Assign(tr, p)
+	used := asg.NumProcessors()
+	topo := machine.Mesh{P1: 1, P2: used}
+	if sq, err := machine.SquareMesh(used); err == nil {
+		topo = sq
+	}
+	mach := machine.New(topo, cost)
+	mach.EnableTrace()
+
+	// Per-node iteration lists (with their block IDs), in transformed
+	// execution order.
+	type blockIter struct {
+		block int
+		iter  []int64
+	}
+	perNode := make([][]blockIter, used)
+	tr.Visit(nil, func(forall, orig []int64) {
+		id := asg.OwnerID(forall)
+		cp := make([]int64, len(orig))
+		copy(cp, orig)
+		perNode[id] = append(perNode[id], blockIter{block: res.Iter.BlockOf(cp).ID, iter: cp})
+	})
+
+	// Distribution: every element a block reads is preloaded into its
+	// node under the block's private key. Charged as one pipelined
+	// unicast per node.
+	red := res.Redundant
+	for id, iters := range perNode {
+		elems := map[string]float64{}
+		for _, bi := range iters {
+			for si, st := range nest.Body {
+				if red != nil && red.IsRedundant(si, bi.iter) {
+					continue
+				}
+				for _, r := range st.Reads {
+					idx := r.Index(bi.iter)
+					elems[BlockKey(bi.block, Key(r.Array, idx))] = InitValue(r.Array, idx)
+				}
+			}
+		}
+		data := make([]machine.Datum, 0, len(elems))
+		for k, v := range elems {
+			data = append(data, machine.Datum{Key: k, Value: v})
+		}
+		mach.SendTo(id, data)
+	}
+
+	// Parallel execution against private block copies.
+	err = mach.Run(func(n *machine.Node) error {
+		for _, bi := range perNode[n.ID] {
+			for si, st := range nest.Body {
+				if red != nil && red.IsRedundant(si, bi.iter) {
+					continue
+				}
+				vals := make([]float64, len(st.Reads))
+				for ri, r := range st.Reads {
+					v, err := n.Read(BlockKey(bi.block, Key(r.Array, r.Index(bi.iter))))
+					if err != nil {
+						return err
+					}
+					vals[ri] = v
+				}
+				n.Write(BlockKey(bi.block, Key(st.Write.Array, st.Write.Index(bi.iter))), st.EvalExpr(bi.iter, vals))
+			}
+			n.CountIteration()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Ownership: the block performing the globally last (non-redundant)
+	// write holds the authoritative copy; gather from its node.
+	type ownerInfo struct {
+		node  int
+		block int
+	}
+	owner := map[string]ownerInfo{}
+	for _, it := range nest.Iterations() {
+		f := tr.NewPoint(it)[:tr.K]
+		id := asg.OwnerID(f)
+		blk := res.Iter.BlockOf(it).ID
+		for si, st := range nest.Body {
+			if red != nil && red.IsRedundant(si, it) {
+				continue
+			}
+			owner[Key(st.Write.Array, st.Write.Index(it))] = ownerInfo{node: id, block: blk}
+		}
+	}
+	final := map[string]float64{}
+	for k, o := range owner {
+		if v, ok := mach.Node(o.node).Value(BlockKey(o.block, k)); ok {
+			final[k] = v
+		}
+	}
+	rep := &Report{
+		Machine:    mach,
+		Transform:  tr,
+		Assignment: asg,
+		Final:      final,
+	}
+	for id := 0; id < used; id++ {
+		rep.IterationsPerNode = append(rep.IterationsPerNode, mach.Node(id).Stats().Iterations)
+	}
+	return rep, nil
+}
+
+// Equal compares two array states and returns the first difference.
+func Equal(a, b map[string]float64) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("exec: state sizes differ: %d vs %d", len(a), len(b))
+	}
+	for k, v := range a {
+		w, ok := b[k]
+		if !ok {
+			return fmt.Errorf("exec: element %s missing", k)
+		}
+		if v != w {
+			return fmt.Errorf("exec: element %s = %v vs %v", k, v, w)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,156 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderDispatch(t *testing.T) {
+	for n := 1; n <= 10; n++ {
+		s, err := Render(n)
+		if err != nil {
+			t.Errorf("fig %d: %v", n, err)
+		}
+		if len(s) == 0 {
+			t.Errorf("fig %d empty", n)
+		}
+	}
+	for _, n := range []int{0, 11} {
+		if _, err := Render(n); err == nil {
+			t.Errorf("fig %d should not exist", n)
+		}
+	}
+}
+
+func TestFig6Fig7Graphs(t *testing.T) {
+	s6 := Fig6()
+	for _, want := range []string{"Definition 6", "δo", "δf", "δa", "δi"} {
+		if !strings.Contains(s6, want) {
+			t.Errorf("Fig6 missing %q", want)
+		}
+	}
+	s7 := Fig7()
+	for _, want := range []string{"G^A:", "w1", "w2", "r1", "r2", "--δf-->", "--δa-->"} {
+		if !strings.Contains(s7, want) {
+			t.Errorf("Fig7 missing %q:\n%s", want, s7)
+		}
+	}
+}
+
+func TestFig1Content(t *testing.T) {
+	s := Fig1()
+	// L1's data-referenced vectors: (2,1) for A, (1,1) for C, none for B.
+	if !strings.Contains(s, "(2,1)") {
+		t.Error("missing A's vector (2,1)")
+	}
+	if !strings.Contains(s, "(1,1)") {
+		t.Error("missing C's vector (1,1)")
+	}
+	if !strings.Contains(s, "none (single reference)") {
+		t.Error("missing B's no-vector note")
+	}
+	// Array A's data space spans rows 0..8 (paper writes A[0:8, 0:4]).
+	if !strings.Contains(s, "array A  [0:8, 0:4]") {
+		t.Errorf("A bounding box wrong:\n%s", s)
+	}
+	// Odd rows of A are unused (H maps to even first coordinates).
+	if !strings.Contains(s, "·") {
+		t.Error("unused elements not marked")
+	}
+}
+
+func TestFig2SevenBlocks(t *testing.T) {
+	s := Fig2()
+	if !strings.Contains(s, "7 blocks per array") {
+		t.Error("missing block count")
+	}
+	// Highest block ID is 7.
+	if !strings.Contains(s, "7") {
+		t.Error("no block 7")
+	}
+	if strings.Contains(s, "  +") {
+		t.Error("non-duplicate figure shows duplicated elements")
+	}
+}
+
+func TestFig3BlockLayout(t *testing.T) {
+	s := Fig3()
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	// Last four lines are the 4×4 grid; the diagonal of the grid shares
+	// one block. Corner (1,1) is in a different block from (1,4).
+	grid := lines[len(lines)-4:]
+	if len(grid) != 4 {
+		t.Fatalf("grid lines = %d", len(grid))
+	}
+	// Base-point markers exist (7 of them, excluding the legend's).
+	gridOnly := strings.Join(grid, "\n")
+	if strings.Count(gridOnly, "*") != 7 {
+		t.Errorf("base points marked = %d, want 7", strings.Count(gridOnly, "*"))
+	}
+}
+
+func TestFig4Duplication(t *testing.T) {
+	s := Fig4()
+	// A must show replicated elements (+n cells); B must not.
+	if !strings.Contains(s, "+") {
+		t.Error("A's duplicated elements not shown")
+	}
+	if !strings.Contains(s, "copy factor") {
+		t.Error("copy factor missing")
+	}
+}
+
+func TestFig5SixteenSingletons(t *testing.T) {
+	s := Fig5()
+	if !strings.Contains(s, "fully parallel") {
+		t.Error("missing title")
+	}
+	// Block IDs 1..16 all present.
+	for id := 1; id <= 16; id++ {
+		if !strings.Contains(s, " "+pad(id)) {
+			t.Errorf("block %d missing", id)
+		}
+	}
+}
+
+func pad(n int) string {
+	if n < 10 {
+		return " " + string(rune('0'+n))
+	}
+	return string(rune('0'+n/10)) + string(rune('0'+n%10))
+}
+
+func TestFig8FourColumnBlocks(t *testing.T) {
+	s := Fig8()
+	if !strings.Contains(s, "span{(1,0)}") {
+		t.Error("missing space")
+	}
+}
+
+func TestFig9RedundantMarks(t *testing.T) {
+	s := Fig9()
+	// 12 redundant S1 computations marked 'o', 4 solid '*'.
+	if got := strings.Count(s, "o"); got < 12 {
+		t.Errorf("dotted points = %d, want ≥ 12", got)
+	}
+	// Count '*' in the grid area only (skip the legend line).
+	legendEnd := strings.Index(s, "redundant)") + len("redundant)")
+	gridPart := s[legendEnd:]
+	if got := strings.Count(gridPart, "*"); got != 4 {
+		t.Errorf("solid points = %d, want 4", got)
+	}
+}
+
+func TestFig10BalancedWorkloads(t *testing.T) {
+	s := Fig10()
+	for pe := 0; pe < 4; pe++ {
+		want := "PE" + string(rune('0'+pe)) + ": 16 iterations"
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q:\n%s", want, s)
+		}
+	}
+	// The central block (i1'=5, i2'=0) has 4 iterations.
+	if !strings.Contains(s, " 4@P") {
+		t.Error("missing a 4-iteration block")
+	}
+}

@@ -1,0 +1,184 @@
+package intlin
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func checkHNF(t *testing.T, a *Mat) *HNF {
+	t.Helper()
+	hnf := HermiteNormalForm(a)
+	// U·A == H.
+	ua := hnf.U.MulMat(a)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			if ua.At(i, j) != hnf.H.At(i, j) {
+				t.Fatalf("UA != H:\nA=\n%s\nUA=\n%s\nH=\n%s", a, ua, hnf.H)
+			}
+		}
+	}
+	// U unimodular.
+	if d := intDet(hnf.U); d != 1 && d != -1 {
+		t.Fatalf("U not unimodular (det %d)\n%s", d, hnf.U)
+	}
+	// Row echelon with positive pivots; entries above pivots in [0, p).
+	lastPivot := -1
+	for i := 0; i < hnf.Rank; i++ {
+		p := -1
+		for j := 0; j < a.Cols; j++ {
+			if hnf.H.At(i, j) != 0 {
+				p = j
+				break
+			}
+		}
+		if p < 0 {
+			t.Fatalf("zero row inside rank prefix:\n%s", hnf.H)
+		}
+		if p <= lastPivot {
+			t.Fatalf("pivots not strictly increasing:\n%s", hnf.H)
+		}
+		lastPivot = p
+		if hnf.H.At(i, p) <= 0 {
+			t.Fatalf("non-positive pivot:\n%s", hnf.H)
+		}
+		for k := 0; k < i; k++ {
+			v := hnf.H.At(k, p)
+			if v < 0 || v >= hnf.H.At(i, p) {
+				t.Fatalf("entry above pivot not reduced: H[%d][%d]=%d pivot %d\n%s",
+					k, p, v, hnf.H.At(i, p), hnf.H)
+			}
+		}
+	}
+	// Rows below rank are zero.
+	for i := hnf.Rank; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			if hnf.H.At(i, j) != 0 {
+				t.Fatalf("nonzero row below rank:\n%s", hnf.H)
+			}
+		}
+	}
+	return hnf
+}
+
+func TestHNFKnown(t *testing.T) {
+	// Classic: [[2,4,4],[-6,6,12],[10,4,16]].
+	a := FromRows([][]int64{{2, 4, 4}, {-6, 6, 12}, {10, 4, 16}})
+	hnf := checkHNF(t, a)
+	if hnf.Rank != 3 {
+		t.Errorf("rank = %d", hnf.Rank)
+	}
+	// Identity stays identity.
+	id := IdentityMat(3)
+	h := checkHNF(t, id)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			want := int64(0)
+			if i == j {
+				want = 1
+			}
+			if h.H.At(i, j) != want {
+				t.Errorf("HNF(I) != I:\n%s", h.H)
+			}
+		}
+	}
+}
+
+func TestHNFShapes(t *testing.T) {
+	cases := [][][]int64{
+		{{0, 0}, {0, 0}},
+		{{3, 6, 9}},
+		{{2}, {4}, {6}},
+		{{1, 1}, {1, 1}},
+		{{0, 5}, {3, 0}},
+	}
+	for _, rows := range cases {
+		checkHNF(t, FromRows(rows))
+	}
+}
+
+func TestPropHNFRandom(t *testing.T) {
+	rnd := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 300; trial++ {
+		r := 1 + rnd.Intn(4)
+		c := 1 + rnd.Intn(4)
+		a := NewMat(r, c)
+		for i := range a.A {
+			a.A[i] = rnd.Int63n(21) - 10
+		}
+		checkHNF(t, a)
+	}
+}
+
+func TestLatticeBasisCanonical(t *testing.T) {
+	// {(2,0),(0,2)} and {(2,2),(0,2)} generate the same lattice.
+	a := [][]int64{{2, 0}, {0, 2}}
+	b := [][]int64{{2, 2}, {0, 2}}
+	if !SameLattice(a, b) {
+		t.Error("equal lattices reported different")
+	}
+	// {(2,0),(0,2)} vs Z² differ.
+	if SameLattice(a, [][]int64{{1, 0}, {0, 1}}) {
+		t.Error("different lattices reported equal")
+	}
+	// Redundant generators collapse.
+	basis := LatticeBasis([][]int64{{1, 1}, {2, 2}, {3, 3}})
+	if len(basis) != 1 || basis[0][0] != 1 || basis[0][1] != 1 {
+		t.Errorf("basis = %v", basis)
+	}
+	if LatticeBasis(nil) != nil {
+		t.Error("empty generators should give nil basis")
+	}
+}
+
+func TestInLattice(t *testing.T) {
+	gens := [][]int64{{2, 0}, {0, 3}}
+	cases := []struct {
+		v    []int64
+		want bool
+	}{
+		{[]int64{4, 3}, true},
+		{[]int64{2, 3}, true},
+		{[]int64{1, 0}, false},
+		{[]int64{0, 0}, true},
+		{[]int64{-2, 6}, true},
+		{[]int64{2, 2}, false},
+	}
+	for _, c := range cases {
+		if got := InLattice(gens, c.v); got != c.want {
+			t.Errorf("InLattice(%v) = %v, want %v", c.v, got, c.want)
+		}
+	}
+	if !InLattice(nil, []int64{0, 0}) || InLattice(nil, []int64{1, 0}) {
+		t.Error("empty lattice membership wrong")
+	}
+}
+
+func TestPropLatticeSelfMembership(t *testing.T) {
+	rnd := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rnd.Intn(2)
+		k := 1 + rnd.Intn(n)
+		gens := make([][]int64, k)
+		for i := range gens {
+			gens[i] = make([]int64, n)
+			for j := range gens[i] {
+				gens[i][j] = rnd.Int63n(9) - 4
+			}
+		}
+		// Every integer combination is in the lattice.
+		v := make([]int64, n)
+		for i := range gens {
+			c := rnd.Int63n(5) - 2
+			for j := range v {
+				v[j] += c * gens[i][j]
+			}
+		}
+		if !InLattice(gens, v) {
+			t.Fatalf("combination %v not in lattice of %v", v, gens)
+		}
+		// The canonical basis spans the same lattice as the generators.
+		if !SameLattice(gens, LatticeBasis(gens)) {
+			t.Fatalf("canonical basis differs from generators: %v", gens)
+		}
+	}
+}

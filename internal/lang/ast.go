@@ -1,0 +1,107 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Expr is a node of the right-hand-side expression AST. Expressions are
+// built from numeric literals, loop-index variables, array references, the
+// four arithmetic operators, and unary negation.
+type Expr interface {
+	// evalWith computes the value at iteration iter; array-reference leaf
+	// values are supplied positionally through reads.
+	evalWith(iter []int64, reads []float64) float64
+	String() string
+}
+
+// NumLit is a numeric literal.
+type NumLit struct{ Value float64 }
+
+func (n *NumLit) evalWith([]int64, []float64) float64 { return n.Value }
+func (n *NumLit) String() string {
+	if n.Value == float64(int64(n.Value)) {
+		return fmt.Sprintf("%d", int64(n.Value))
+	}
+	return fmt.Sprintf("%g", n.Value)
+}
+
+// VarRef is a use of a loop index variable as a scalar value.
+type VarRef struct {
+	Name  string
+	Level int // 0-based loop level
+}
+
+func (v *VarRef) evalWith(iter []int64, _ []float64) float64 { return float64(iter[v.Level]) }
+func (v *VarRef) String() string                             { return v.Name }
+
+// ArrRef is an array read; Slot indexes into the statement's Reads list.
+type ArrRef struct {
+	Text string // source rendering, e.g. "A[2i-2,j-1]"
+	Slot int
+}
+
+func (a *ArrRef) evalWith(_ []int64, reads []float64) float64 { return reads[a.Slot] }
+func (a *ArrRef) String() string                              { return a.Text }
+
+// BinOp is a binary arithmetic operation.
+type BinOp struct {
+	Op   byte // one of + - * /
+	L, R Expr
+}
+
+func (b *BinOp) evalWith(iter []int64, reads []float64) float64 {
+	l, r := b.L.evalWith(iter, reads), b.R.evalWith(iter, reads)
+	switch b.Op {
+	case '+':
+		return l + r
+	case '-':
+		return l - r
+	case '*':
+		return l * r
+	case '/':
+		return l / r
+	}
+	panic(fmt.Errorf("lang: unknown operator %q", b.Op))
+}
+
+func (b *BinOp) String() string {
+	return "(" + b.L.String() + " " + string(b.Op) + " " + b.R.String() + ")"
+}
+
+// Neg is unary negation.
+type Neg struct{ X Expr }
+
+func (n *Neg) evalWith(iter []int64, reads []float64) float64 {
+	return -n.X.evalWith(iter, reads)
+}
+func (n *Neg) String() string { return "-" + n.X.String() }
+
+// renderExprList joins expression strings with commas (diagnostics).
+func renderExprList(es []Expr) string {
+	parts := make([]string, len(es))
+	for i, e := range es {
+		parts[i] = e.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+// RenderGo emits the expression as Go source: array-reference leaves are
+// replaced by readExprs[slot], index variables by
+// float64(indexExprs[level]).
+func RenderGo(e Expr, readExprs, indexExprs []string) string {
+	switch v := e.(type) {
+	case *NumLit:
+		return fmt.Sprintf("%v", v.Value)
+	case *VarRef:
+		return "float64(" + indexExprs[v.Level] + ")"
+	case *ArrRef:
+		return readExprs[v.Slot]
+	case *BinOp:
+		return "(" + RenderGo(v.L, readExprs, indexExprs) + " " + string(v.Op) + " " +
+			RenderGo(v.R, readExprs, indexExprs) + ")"
+	case *Neg:
+		return "(-" + RenderGo(v.X, readExprs, indexExprs) + ")"
+	}
+	panic(fmt.Errorf("lang: unknown expression node %T", e))
+}

@@ -1,0 +1,51 @@
+package lang_test
+
+import (
+	"fmt"
+
+	"commfree/internal/lang"
+)
+
+// ExampleParse parses a paper-style nested loop and prints the derived
+// reference matrix of array A.
+func ExampleParse() {
+	nest, err := lang.Parse(`
+for i = 1 to 4
+  for j = 1 to 4
+    S1: A[2i, j] = C[i, j] * 7
+  end
+end
+`)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("H_A =", nest.ReferenceMatrix("A"))
+	fmt.Println("statements:", len(nest.Body))
+	// Output:
+	// H_A = [[2 0] [0 1]]
+	// statements: 1
+}
+
+// ExampleFormat shows the formatter round trip: parsed source renders
+// back to equivalent DSL.
+func ExampleFormat() {
+	nest, _ := lang.Parse("for i = 1 to 3\n A[i] = A[i-1] + 1\nend")
+	fmt.Print(lang.Format(nest))
+	// Output:
+	// for i = 1 to 3
+	//   A[i] = A[i-1] + 1
+	// end
+}
+
+// ExampleParse_step shows stride normalization: a step-2 loop becomes a
+// unit-stride nest with rescaled references.
+func ExampleParse_step() {
+	nest, _ := lang.Parse("for i = 0 to 8 step 2\n A[i] = A[i-2] + 1\nend")
+	lo, hi, _ := nest.ConstBounds()
+	fmt.Printf("normalized bounds %d..%d\n", lo[0], hi[0])
+	fmt.Println("write:", nest.Body[0].Write)
+	// Output:
+	// normalized bounds 1..5
+	// write: A[2*i1 - 2]
+}

@@ -1,0 +1,104 @@
+package lang
+
+// Formatter: emit DSL source from a loop.Nest. Parsed nests round-trip
+// exactly modulo whitespace (the RHS text is kept verbatim); hand-built
+// nests fall back to a generic f(...) right-hand side, which still
+// re-parses into a nest with identical reference structure.
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+
+	"commfree/internal/loop"
+)
+
+// indexCast matches the float64(identifier) wrapper the Go renderer puts
+// around loop-index uses.
+var indexCast = regexp.MustCompile(`float64\((\w+)\)`)
+
+// Format renders a nest as DSL source.
+func Format(nest *loop.Nest) string {
+	names := make([]string, nest.Depth())
+	for k, lv := range nest.Levels {
+		names[k] = lv.Name
+	}
+	var b strings.Builder
+	indent := ""
+	for _, lv := range nest.Levels {
+		fmt.Fprintf(&b, "%sfor %s = %s to %s\n",
+			indent, lv.Name, formatAffine(lv.Lower, names), formatAffine(lv.Upper, names))
+		indent += "  "
+	}
+	for _, st := range nest.Body {
+		label := ""
+		if st.Label != "" {
+			label = st.Label + ": "
+		}
+		rhs := st.SourceRHS
+		if rhs == "" {
+			var reads []string
+			for _, r := range st.Reads {
+				reads = append(reads, FormatRef(r, names))
+			}
+			if st.Render != nil {
+				// Hand-built statements with a renderer (e.g. the paper
+				// loops) emit their real expression. Parser-built
+				// renderers target Go and wrap index uses in float64();
+				// strip the casts back to plain DSL identifiers.
+				rhs = indexCast.ReplaceAllString(st.Render(reads, names), "$1")
+			} else {
+				// Default semantics is 1 + Σ reads; emit exactly that so
+				// the formatted source re-parses with equal meaning.
+				rhs = strings.Join(append([]string{"1"}, reads...), " + ")
+			}
+		}
+		fmt.Fprintf(&b, "%s%s%s = %s\n", indent, label, FormatRef(st.Write, names), rhs)
+	}
+	for k := nest.Depth() - 1; k >= 0; k-- {
+		fmt.Fprintf(&b, "%send\n", strings.Repeat("  ", k))
+	}
+	return b.String()
+}
+
+// FormatRef renders an array reference with the nest's index names, e.g.
+// "A[2i-2, j-1]".
+func FormatRef(r loop.Ref, names []string) string {
+	subs := make([]string, len(r.H))
+	for row := range r.H {
+		subs[row] = formatAffine(loop.Affine{Coeffs: r.H[row], Const: r.Offset[row]}, names)
+	}
+	return r.Array + "[" + strings.Join(subs, ", ") + "]"
+}
+
+// formatAffine renders an affine function with real index names.
+func formatAffine(a loop.Affine, names []string) string {
+	var parts []string
+	for j, c := range a.Coeffs {
+		name := fmt.Sprintf("i%d", j+1)
+		if j < len(names) {
+			name = names[j]
+		}
+		switch {
+		case c == 0:
+		case c == 1:
+			parts = append(parts, name)
+		case c == -1:
+			parts = append(parts, "-"+name)
+		default:
+			parts = append(parts, fmt.Sprintf("%d%s", c, name))
+		}
+	}
+	if a.Const != 0 || len(parts) == 0 {
+		parts = append(parts, fmt.Sprintf("%d", a.Const))
+	}
+	out := parts[0]
+	for _, p := range parts[1:] {
+		if strings.HasPrefix(p, "-") {
+			out += " - " + p[1:]
+		} else {
+			out += " + " + p
+		}
+	}
+	return out
+}

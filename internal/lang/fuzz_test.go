@@ -1,0 +1,84 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse drives the lexer/parser with arbitrary input (must never
+// panic) and, when the input parses, checks the format→parse round trip.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		srcL1,
+		srcL2,
+		"for i = 1 to 4\n A[i] = 1\nend",
+		"for i = 0 to 8 step 2\n A[i] = A[i-2] + 1\nend",
+		"for i = 1 to 8\nfor j = i to 2i+1\n A[3i-2j+1, j] = A[3i-2j, j-1] / 2 + 5\nend\nend",
+		"for i = 1 to 4\n A[2*(i-1)] = -i\nend",
+		"for i = 1 to 3\n# comment\n A[i] = i * 2 // tail\nend",
+		"for",
+		"for i = 1 to\n",
+		"A[i] = 1",
+		"for i = 1 to 4\n A[i*i] = 1\nend",
+		"for i = 1 to 4\n A[i] = @\nend",
+		"for i = 1 to 4\n A[i] = 1\nend\nfor j = 1 to 2\n B[j] = 1\nend",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		nest, err := Parse(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Accepted input must validate, format, and re-parse.
+		if err := nest.Validate(); err != nil {
+			t.Fatalf("parsed nest fails validation: %v\n%s", err, src)
+		}
+		formatted := Format(nest)
+		back, err := Parse(formatted)
+		if err != nil {
+			t.Fatalf("formatted output does not re-parse: %v\noriginal:\n%s\nformatted:\n%s", err, src, formatted)
+		}
+		if back.Depth() != nest.Depth() || len(back.Body) != len(nest.Body) {
+			t.Fatalf("round trip changed shape\noriginal:\n%s\nformatted:\n%s", src, formatted)
+		}
+	})
+}
+
+// FuzzParseProgram checks the multi-nest entry point never panics.
+func FuzzParseProgram(f *testing.F) {
+	f.Add("for i = 1 to 4\n A[i] = 1\nend\nfor j = 1 to 2\n B[j] = 1\nend")
+	f.Add("")
+	f.Add("end end end")
+	f.Fuzz(func(t *testing.T, src string) {
+		nests, err := ParseProgram(src)
+		if err != nil {
+			return
+		}
+		if len(nests) == 0 {
+			t.Fatal("ParseProgram returned no nests and no error")
+		}
+		for _, n := range nests {
+			if err := n.Validate(); err != nil {
+				t.Fatalf("invalid nest accepted: %v", err)
+			}
+		}
+	})
+}
+
+func TestFuzzSeedsAreInteresting(t *testing.T) {
+	// The seed corpus should include both accepted and rejected inputs.
+	accepted, rejected := 0, 0
+	for _, s := range []string{srcL1, "for", "A[i] = 1"} {
+		if _, err := Parse(s); err != nil {
+			rejected++
+		} else {
+			accepted++
+		}
+	}
+	if accepted == 0 || rejected == 0 {
+		t.Error("seed corpus not diverse")
+	}
+	_ = strings.TrimSpace("")
+}

@@ -1,0 +1,260 @@
+// Package lang implements the loop DSL front end: a lexer and recursive-
+// descent parser that turn paper-style nested-loop source such as
+//
+//	for i = 1 to 4
+//	  for j = 1 to 4
+//	    S1: A[2i, j] = C[i, j] * 7
+//	    S2: B[j, i+1] = A[2i-2, j-1] + C[i-1, j-1]
+//	  end
+//	end
+//
+// into the loop IR (package loop), extracting the affine reference
+// matrices H and offset vectors c̄, checking normalization and uniform
+// generation, and compiling right-hand sides to executable closures.
+package lang
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind enumerates lexical token kinds.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokFor
+	tokTo
+	tokEnd
+	tokAssign // = or :=
+	tokPlus
+	tokMinus
+	tokStar
+	tokSlash
+	tokLParen
+	tokRParen
+	tokLBracket
+	tokRBracket
+	tokComma
+	tokColon
+	tokMax  // max keyword (used in tests of bound expressions)
+	tokMin  // min keyword
+	tokStep // step keyword (loop stride; normalized away by the parser)
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	case tokFor:
+		return "'for'"
+	case tokTo:
+		return "'to'"
+	case tokEnd:
+		return "'end'"
+	case tokAssign:
+		return "'='"
+	case tokPlus:
+		return "'+'"
+	case tokMinus:
+		return "'-'"
+	case tokStar:
+		return "'*'"
+	case tokSlash:
+		return "'/'"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokLBracket:
+		return "'['"
+	case tokRBracket:
+		return "']'"
+	case tokComma:
+		return "','"
+	case tokColon:
+		return "':'"
+	case tokMax:
+		return "'max'"
+	case tokMin:
+		return "'min'"
+	case tokStep:
+		return "'step'"
+	}
+	return "unknown token"
+}
+
+// token is a single lexical token with its source position. start is the
+// byte offset in the source, used to detect adjacency for implicit
+// multiplication ("2i" is 2*i; "4 S1" is not).
+type token struct {
+	kind  tokKind
+	text  string
+	line  int
+	col   int
+	start int
+}
+
+// adjacentTo reports whether t begins exactly where prev ends.
+func (t token) adjacentTo(prev token) bool {
+	return t.start == prev.start+len(prev.text)
+}
+
+// lexer scans DSL source into tokens.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+// Error is a parse or lex error with source position.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func (l *lexer) errorf(format string, args ...any) *Error {
+	return &Error{Line: l.line, Col: l.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+// next returns the next token, skipping whitespace and comments (# … or
+// // … to end of line).
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '#' || (c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/'):
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.advance()
+			}
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == ';':
+			l.advance()
+		default:
+			goto scan
+		}
+	}
+scan:
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, line: l.line, col: l.col, start: l.pos}, nil
+	}
+	startLine, startCol, startPos := l.line, l.col, l.pos
+	c := l.src[l.pos]
+	mk := func(kind tokKind, text string) token {
+		return token{kind: kind, text: text, line: startLine, col: startCol, start: startPos}
+	}
+	switch {
+	case unicode.IsLetter(rune(c)) || c == '_':
+		start := l.pos
+		for l.pos < len(l.src) && (isIdentChar(l.src[l.pos])) {
+			l.advance()
+		}
+		word := l.src[start:l.pos]
+		switch strings.ToLower(word) {
+		case "for", "forall":
+			return mk(tokFor, word), nil
+		case "to":
+			return mk(tokTo, word), nil
+		case "end", "endfor", "end-forall":
+			return mk(tokEnd, word), nil
+		case "max":
+			return mk(tokMax, word), nil
+		case "min":
+			return mk(tokMin, word), nil
+		case "step":
+			return mk(tokStep, word), nil
+		}
+		return mk(tokIdent, word), nil
+	case unicode.IsDigit(rune(c)):
+		start := l.pos
+		for l.pos < len(l.src) && unicode.IsDigit(rune(l.src[l.pos])) {
+			l.advance()
+		}
+		return mk(tokNumber, l.src[start:l.pos]), nil
+	}
+	switch c {
+	case '=':
+		l.advance()
+		return mk(tokAssign, "="), nil
+	case ':':
+		l.advance()
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.advance()
+			return mk(tokAssign, ":="), nil
+		}
+		return mk(tokColon, ":"), nil
+	case '+':
+		l.advance()
+		return mk(tokPlus, "+"), nil
+	case '-':
+		l.advance()
+		return mk(tokMinus, "-"), nil
+	case '*':
+		l.advance()
+		return mk(tokStar, "*"), nil
+	case '/':
+		l.advance()
+		return mk(tokSlash, "/"), nil
+	case '(':
+		l.advance()
+		return mk(tokLParen, "("), nil
+	case ')':
+		l.advance()
+		return mk(tokRParen, ")"), nil
+	case '[':
+		l.advance()
+		return mk(tokLBracket, "["), nil
+	case ']':
+		l.advance()
+		return mk(tokRBracket, "]"), nil
+	case ',':
+		l.advance()
+		return mk(tokComma, ","), nil
+	}
+	return token{}, l.errorf("unexpected character %q", c)
+}
+
+func (l *lexer) advance() {
+	if l.src[l.pos] == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	l.pos++
+}
+
+func isIdentChar(c byte) bool {
+	return unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c)) || c == '_'
+}
+
+// lexAll scans the full source (used by tests and the parser).
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var out []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}

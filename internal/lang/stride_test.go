@@ -1,0 +1,210 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+
+	"commfree/internal/exec"
+	"commfree/internal/partition"
+)
+
+func TestStrideNormalization(t *testing.T) {
+	// for i = 0 to 8 step 2: i ∈ {0,2,4,6,8} → i' ∈ 1..5 with i = 2i'-2.
+	n := MustParse(`
+for i = 0 to 8 step 2
+  A[i] = A[i-2] + 1
+end
+`)
+	lo, hi, ok := n.ConstBounds()
+	if !ok || lo[0] != 1 || hi[0] != 5 {
+		t.Fatalf("normalized bounds = %v..%v", lo, hi)
+	}
+	// Write subscript becomes 2i'-2.
+	w := n.Body[0].Write
+	if w.H[0][0] != 2 || w.Offset[0] != -2 {
+		t.Errorf("write = H %v offset %v, want 2i'-2", w.H, w.Offset)
+	}
+	// Read subscript becomes 2i'-4.
+	r := n.Body[0].Reads[0]
+	if r.H[0][0] != 2 || r.Offset[0] != -4 {
+		t.Errorf("read = H %v offset %v, want 2i'-4", r.H, r.Offset)
+	}
+	// The flow dependence distance in normalized space is 1.
+	res, err := partition.Compute(n, partition.NonDuplicate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iter.NumBlocks() != 1 {
+		t.Errorf("blocks = %d (chain of length 5 must stay together)", res.Iter.NumBlocks())
+	}
+}
+
+func TestStrideRHSIndexUse(t *testing.T) {
+	// The RHS use of i must see the ORIGINAL index value.
+	n := MustParse(`
+for i = 0 to 8 step 2
+  A[i] = i
+end
+`)
+	// At normalized iteration i'=3 the original i is 4.
+	got := n.Body[0].EvalExpr([]int64{3}, nil)
+	if got != 4 {
+		t.Errorf("RHS i at i'=3 = %v, want 4", got)
+	}
+	// Execution touches exactly the even elements 0..8.
+	state := exec.Sequential(n, nil)
+	if len(state) != 5 {
+		t.Fatalf("state = %v", state)
+	}
+	for _, idx := range []int64{0, 2, 4, 6, 8} {
+		k := exec.Key("A", []int64{idx})
+		if state[k] != float64(idx) {
+			t.Errorf("A[%d] = %v, want %v", idx, state[k], idx)
+		}
+	}
+}
+
+func TestStrideInnerBoundsReferencingStridedOuter(t *testing.T) {
+	// for i = 2 to 10 step 4 (i ∈ {2,6,10}); for j = 1 to i: the inner
+	// bound must be rewritten in terms of i' (i = 4i'-2).
+	n := MustParse(`
+for i = 2 to 10 step 4
+  for j = 1 to i
+    A[i,j] = 0
+  end
+end
+`)
+	if n.Levels[1].Upper.Coeffs[0] != 4 || n.Levels[1].Upper.Const != -2 {
+		t.Errorf("inner upper bound = %v, want 4i'-2", n.Levels[1].Upper)
+	}
+	// Iteration count: 2 + 6 + 10 = 18.
+	if got := n.NumIterations(); got != 18 {
+		t.Errorf("iterations = %d, want 18", got)
+	}
+}
+
+func TestStrideMultipleLevels(t *testing.T) {
+	n := MustParse(`
+for i = 1 to 7 step 3
+  for j = 0 to 4 step 2
+    A[i,j] = A[i-3,j-2] * 2
+  end
+end
+`)
+	// i ∈ {1,4,7} → 3 values; j ∈ {0,2,4} → 3 values.
+	if got := n.NumIterations(); got != 9 {
+		t.Errorf("iterations = %d, want 9", got)
+	}
+	res, err := partition.Compute(n, partition.NonDuplicate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dependence (3,2) in original space = (1,1) normalized: diagonal
+	// partition with 5 blocks (3+3-1).
+	if res.Iter.NumBlocks() != 5 {
+		t.Errorf("blocks = %d, want 5", res.Iter.NumBlocks())
+	}
+	if err := res.Verify(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStrideReversedLoop(t *testing.T) {
+	// for i = 8 to 0 step -2: i ∈ {8,6,4,2,0} in that order → i' ∈ 1..5
+	// with i = 10 - 2i'.
+	n := MustParse(`
+for i = 8 to 0 step -2
+  A[i] = i
+end
+`)
+	lo, hi, ok := n.ConstBounds()
+	if !ok || lo[0] != 1 || hi[0] != 5 {
+		t.Fatalf("bounds = %v..%v", lo, hi)
+	}
+	w := n.Body[0].Write
+	if w.H[0][0] != -2 || w.Offset[0] != 10 {
+		t.Errorf("write = H %v offset %v, want -2i'+10", w.H, w.Offset)
+	}
+	// Execution order i'=1..5 visits original i = 8,6,4,2,0 — descending,
+	// as the reversed loop demands. The RHS sees original values.
+	state := exec.Sequential(n, nil)
+	for _, idx := range []int64{0, 2, 4, 6, 8} {
+		k := exec.Key("A", []int64{idx})
+		if state[k] != float64(idx) {
+			t.Errorf("A[%d] = %v", idx, state[k])
+		}
+	}
+	// A reversed recurrence: A[i] = A[i+2] + 1 flows from high i to low;
+	// in normalized space the distance is +1 (later i' reads earlier i').
+	n2 := MustParse(`
+for i = 8 to 0 step -2
+  A[i] = A[i+2] + 1
+end
+`)
+	res, err := partition.Compute(n2, partition.NonDuplicate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iter.NumBlocks() != 1 {
+		t.Errorf("blocks = %d, want 1 (single descending chain)", res.Iter.NumBlocks())
+	}
+	if err := res.Verify(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStrideErrors(t *testing.T) {
+	cases := []struct {
+		src, wantSub string
+	}{
+		{"for i = 1 to 4 step 0\n A[i] = 1\nend", "nonzero integer"},
+		{"for i = 1 to 4 step j\n A[i] = 1\nend", "unknown identifier"},
+		{"for i = 4 to 1 step 2\n A[i] = 1\nend", "empty"},
+		{"for i = 1 to 4 step -1\n A[i] = 1\nend", "empty"},
+		{"for i = 1 to 4\nfor j = 1 to i step 2\n A[i,j] = 1\nend\nend", "constant bounds"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("no error for %q", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("error %q missing %q", err.Error(), c.wantSub)
+		}
+	}
+}
+
+func TestStrideStepOneIsNoop(t *testing.T) {
+	a := MustParse("for i = 1 to 4 step 1\n A[i] = A[i-1] + 1\nend")
+	b := MustParse("for i = 1 to 4\n A[i] = A[i-1] + 1\nend")
+	if a.String() != b.String() {
+		t.Errorf("step 1 changed the nest:\n%s\nvs\n%s", a, b)
+	}
+	// SourceRHS preserved for unit strides.
+	if a.Body[0].SourceRHS == "" {
+		t.Error("SourceRHS dropped for unit stride")
+	}
+}
+
+func TestStrideExecutionEquivalence(t *testing.T) {
+	// Full pipeline on a strided loop: partition, execute, compare.
+	n := MustParse(`
+for i = 0 to 12 step 3
+  for j = 1 to 4
+    B[i,j] = B[i-3,j] + j
+  end
+end
+`)
+	res, err := partition.Compute(n, partition.Duplicate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// Columns are independent: 4 blocks.
+	if res.Iter.NumBlocks() != 4 {
+		t.Errorf("blocks = %d, want 4", res.Iter.NumBlocks())
+	}
+}

@@ -1,0 +1,115 @@
+package linalg
+
+import (
+	"strings"
+	"testing"
+
+	"commfree/internal/rational"
+)
+
+func expectPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s did not panic", name)
+		}
+	}()
+	f()
+}
+
+func TestConstructorPanics(t *testing.T) {
+	expectPanic(t, "negative dims", func() { NewMatrix(-1, 2) })
+	expectPanic(t, "ragged FromInts", func() { FromInts([][]int64{{1, 2}, {3}}) })
+	expectPanic(t, "ragged FromRats", func() {
+		FromRats([][]rational.Rat{{rational.One}, {rational.One, rational.Zero}})
+	})
+}
+
+func TestShapePanics(t *testing.T) {
+	a := NewMatrix(2, 3)
+	b := NewMatrix(2, 3)
+	expectPanic(t, "mul mismatch", func() { a.Mul(b) })
+	expectPanic(t, "mulvec mismatch", func() { a.MulVec([]rational.Rat{rational.One}) })
+	expectPanic(t, "det non-square", func() { a.Det() })
+	expectPanic(t, "solve rhs mismatch", func() { a.Solve([]rational.Rat{rational.One}) })
+	expectPanic(t, "dot mismatch", func() {
+		Dot([]rational.Rat{rational.One}, []rational.Rat{rational.One, rational.One})
+	})
+}
+
+func TestEmptyMatrices(t *testing.T) {
+	z := NewMatrix(0, 0)
+	if z.Rank() != 0 {
+		t.Error("empty rank")
+	}
+	if got := z.Transpose(); got.Rows() != 0 || got.Cols() != 0 {
+		t.Error("empty transpose")
+	}
+	if FromInts(nil).Rows() != 0 {
+		t.Error("nil FromInts")
+	}
+	// 0×n matrix: full nullspace.
+	wide := NewMatrix(0, 3)
+	if got := wide.NullSpace(); len(got) != 3 {
+		t.Errorf("0×3 nullspace dim = %d", len(got))
+	}
+}
+
+func TestRowColAccessors(t *testing.T) {
+	m := ints([]int64{1, 2, 3}, []int64{4, 5, 6})
+	r := m.Row(1)
+	if len(r) != 3 || !r[2].Equal(rational.FromInt(6)) {
+		t.Errorf("Row = %v", r)
+	}
+	// Row returns a copy.
+	r[0] = rational.FromInt(99)
+	if m.At(1, 0).Equal(rational.FromInt(99)) {
+		t.Error("Row shares storage")
+	}
+	c := m.Col(2)
+	if len(c) != 2 || !c[0].Equal(rational.FromInt(3)) {
+		t.Errorf("Col = %v", c)
+	}
+	c[0] = rational.FromInt(99)
+	if m.At(0, 2).Equal(rational.FromInt(99)) {
+		t.Error("Col shares storage")
+	}
+}
+
+func TestEqualShapeMismatch(t *testing.T) {
+	if NewMatrix(2, 2).Equal(NewMatrix(2, 3)) {
+		t.Error("different shapes equal")
+	}
+}
+
+func TestStringOutput(t *testing.T) {
+	m := ints([]int64{1, 2}, []int64{3, 4})
+	s := m.String()
+	if !strings.Contains(s, "[1 2]") || !strings.Contains(s, "[3 4]") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestSolveAllFreeVariables(t *testing.T) {
+	// 0 = 0 system: x free; particular solution is the zero vector.
+	m := NewMatrix(1, 2) // row of zeros
+	x, ok := m.Solve([]rational.Rat{rational.Zero})
+	if !ok {
+		t.Fatal("homogeneous zero system unsolvable")
+	}
+	if !x[0].IsZero() || !x[1].IsZero() {
+		t.Errorf("x = %v", x)
+	}
+	if _, ok := m.Solve([]rational.Rat{rational.One}); ok {
+		t.Error("0 = 1 solvable")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := ints([]int64{1, 2}, []int64{3, 4})
+	c := m.Clone()
+	c.Set(0, 0, rational.FromInt(9))
+	if m.At(0, 0).Equal(rational.FromInt(9)) {
+		t.Error("clone shares storage")
+	}
+}

@@ -1,0 +1,403 @@
+// Package linalg provides dense rational matrices and the elimination
+// algorithms the partitioner relies on: reduced row echelon form, rank,
+// null spaces, linear-system solving, and inverses.
+//
+// Matrices are small (loop depth × array dimension), so the implementation
+// favors clarity and exactness over asymptotics: plain Gauss–Jordan over
+// the rationals with full correctness, no pivoting heuristics needed.
+package linalg
+
+import (
+	"fmt"
+	"strings"
+
+	"commfree/internal/rational"
+)
+
+// Matrix is a dense rows×cols matrix of exact rationals.
+type Matrix struct {
+	rows, cols int
+	a          []rational.Rat // row-major
+}
+
+// NewMatrix returns a zero rows×cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Errorf("linalg: negative dimension %d×%d", rows, cols))
+	}
+	return &Matrix{rows: rows, cols: cols, a: make([]rational.Rat, rows*cols)}
+}
+
+// FromInts builds a matrix from integer rows. All rows must have equal length.
+func FromInts(rows [][]int64) *Matrix {
+	r := len(rows)
+	c := 0
+	if r > 0 {
+		c = len(rows[0])
+	}
+	m := NewMatrix(r, c)
+	for i, row := range rows {
+		if len(row) != c {
+			panic(fmt.Errorf("linalg: ragged row %d: %d != %d", i, len(row), c))
+		}
+		for j, v := range row {
+			m.Set(i, j, rational.FromInt(v))
+		}
+	}
+	return m
+}
+
+// FromRats builds a matrix from rational rows.
+func FromRats(rows [][]rational.Rat) *Matrix {
+	r := len(rows)
+	c := 0
+	if r > 0 {
+		c = len(rows[0])
+	}
+	m := NewMatrix(r, c)
+	for i, row := range rows {
+		if len(row) != c {
+			panic(fmt.Errorf("linalg: ragged row %d: %d != %d", i, len(row), c))
+		}
+		copy(m.a[i*c:(i+1)*c], row)
+	}
+	return m
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, rational.One)
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// At returns the element at row i, column j.
+func (m *Matrix) At(i, j int) rational.Rat {
+	m.check(i, j)
+	return m.a[i*m.cols+j]
+}
+
+// Set stores v at row i, column j.
+func (m *Matrix) Set(i, j int, v rational.Rat) {
+	m.check(i, j)
+	m.a[i*m.cols+j] = v
+}
+
+func (m *Matrix) check(i, j int) {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Errorf("linalg: index (%d,%d) out of %d×%d", i, j, m.rows, m.cols))
+	}
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.rows, m.cols)
+	copy(c.a, m.a)
+	return c
+}
+
+// Row returns a copy of row i.
+func (m *Matrix) Row(i int) []rational.Rat {
+	out := make([]rational.Rat, m.cols)
+	copy(out, m.a[i*m.cols:(i+1)*m.cols])
+	return out
+}
+
+// Col returns a copy of column j.
+func (m *Matrix) Col(j int) []rational.Rat {
+	out := make([]rational.Rat, m.rows)
+	for i := 0; i < m.rows; i++ {
+		out[i] = m.At(i, j)
+	}
+	return out
+}
+
+// Equal reports whether m and n have identical shape and entries.
+func (m *Matrix) Equal(n *Matrix) bool {
+	if m.rows != n.rows || m.cols != n.cols {
+		return false
+	}
+	for i := range m.a {
+		if !m.a[i].Equal(n.a[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Transpose returns mᵀ.
+func (m *Matrix) Transpose() *Matrix {
+	t := NewMatrix(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			t.Set(j, i, m.At(i, j))
+		}
+	}
+	return t
+}
+
+// Mul returns m·n. It panics on shape mismatch.
+func (m *Matrix) Mul(n *Matrix) *Matrix {
+	if m.cols != n.rows {
+		panic(fmt.Errorf("linalg: shape mismatch %d×%d · %d×%d", m.rows, m.cols, n.rows, n.cols))
+	}
+	out := NewMatrix(m.rows, n.cols)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < n.cols; j++ {
+			sum := rational.Zero
+			for k := 0; k < m.cols; k++ {
+				sum = sum.Add(m.At(i, k).Mul(n.At(k, j)))
+			}
+			out.Set(i, j, sum)
+		}
+	}
+	return out
+}
+
+// MulVec returns m·x for a column vector x of length Cols().
+func (m *Matrix) MulVec(x []rational.Rat) []rational.Rat {
+	if len(x) != m.cols {
+		panic(fmt.Errorf("linalg: vector length %d != cols %d", len(x), m.cols))
+	}
+	out := make([]rational.Rat, m.rows)
+	for i := 0; i < m.rows; i++ {
+		sum := rational.Zero
+		for j := 0; j < m.cols; j++ {
+			sum = sum.Add(m.At(i, j).Mul(x[j]))
+		}
+		out[i] = sum
+	}
+	return out
+}
+
+// String renders the matrix row by row.
+func (m *Matrix) String() string {
+	var b strings.Builder
+	for i := 0; i < m.rows; i++ {
+		b.WriteString("[")
+		for j := 0; j < m.cols; j++ {
+			if j > 0 {
+				b.WriteString(" ")
+			}
+			b.WriteString(m.At(i, j).String())
+		}
+		b.WriteString("]")
+		if i+1 < m.rows {
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}
+
+// RREF returns the reduced row echelon form of m, the pivot column of each
+// nonzero row, and leaves m unmodified.
+func (m *Matrix) RREF() (*Matrix, []int) {
+	r := m.Clone()
+	pivots := make([]int, 0, min(r.rows, r.cols))
+	lead := 0
+	for row := 0; row < r.rows && lead < r.cols; {
+		// Find a pivot in column lead at or below row.
+		p := -1
+		for i := row; i < r.rows; i++ {
+			if !r.At(i, lead).IsZero() {
+				p = i
+				break
+			}
+		}
+		if p < 0 {
+			lead++
+			continue
+		}
+		r.swapRows(row, p)
+		// Scale pivot row to 1.
+		inv := r.At(row, lead).Inv()
+		for j := lead; j < r.cols; j++ {
+			r.Set(row, j, r.At(row, j).Mul(inv))
+		}
+		// Eliminate the column everywhere else.
+		for i := 0; i < r.rows; i++ {
+			if i == row || r.At(i, lead).IsZero() {
+				continue
+			}
+			f := r.At(i, lead)
+			for j := lead; j < r.cols; j++ {
+				r.Set(i, j, r.At(i, j).Sub(f.Mul(r.At(row, j))))
+			}
+		}
+		pivots = append(pivots, lead)
+		row++
+		lead++
+	}
+	return r, pivots
+}
+
+func (m *Matrix) swapRows(i, j int) {
+	if i == j {
+		return
+	}
+	for k := 0; k < m.cols; k++ {
+		m.a[i*m.cols+k], m.a[j*m.cols+k] = m.a[j*m.cols+k], m.a[i*m.cols+k]
+	}
+}
+
+// Rank returns the rank of m.
+func (m *Matrix) Rank() int {
+	_, pivots := m.RREF()
+	return len(pivots)
+}
+
+// NullSpace returns a basis for {x : m·x = 0} as a list of column vectors
+// (each of length Cols()). The basis is the standard free-variable basis
+// from the RREF and may contain zero vectors only if the null space is
+// trivial, in which case the returned slice is empty.
+func (m *Matrix) NullSpace() [][]rational.Rat {
+	r, pivots := m.RREF()
+	isPivot := make(map[int]int) // col -> pivot row
+	for row, col := range pivots {
+		isPivot[col] = row
+	}
+	var basis [][]rational.Rat
+	for free := 0; free < m.cols; free++ {
+		if _, ok := isPivot[free]; ok {
+			continue
+		}
+		v := make([]rational.Rat, m.cols)
+		v[free] = rational.One
+		for col, row := range isPivot {
+			v[col] = r.At(row, free).Neg()
+		}
+		basis = append(basis, v)
+	}
+	return basis
+}
+
+// Solve finds one solution x of m·x = b, returning (x, true) if the system
+// is consistent and (nil, false) otherwise. When the system is
+// underdetermined the particular solution sets all free variables to zero.
+func (m *Matrix) Solve(b []rational.Rat) ([]rational.Rat, bool) {
+	if len(b) != m.rows {
+		panic(fmt.Errorf("linalg: rhs length %d != rows %d", len(b), m.rows))
+	}
+	// Augment and reduce.
+	aug := NewMatrix(m.rows, m.cols+1)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			aug.Set(i, j, m.At(i, j))
+		}
+		aug.Set(i, m.cols, b[i])
+	}
+	r, pivots := aug.RREF()
+	// Inconsistent iff a pivot lands in the augmented column.
+	for _, p := range pivots {
+		if p == m.cols {
+			return nil, false
+		}
+	}
+	x := make([]rational.Rat, m.cols)
+	for row, col := range pivots {
+		x[col] = r.At(row, m.cols)
+	}
+	return x, true
+}
+
+// Inverse returns m⁻¹, or nil if m is not square or is singular.
+func (m *Matrix) Inverse() *Matrix {
+	if m.rows != m.cols {
+		return nil
+	}
+	n := m.rows
+	aug := NewMatrix(n, 2*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			aug.Set(i, j, m.At(i, j))
+		}
+		aug.Set(i, n+i, rational.One)
+	}
+	r, pivots := aug.RREF()
+	if len(pivots) < n || pivots[n-1] != n-1 {
+		return nil // rank deficient in the left block
+	}
+	inv := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			inv.Set(i, j, r.At(i, n+j))
+		}
+	}
+	return inv
+}
+
+// Det returns the determinant of a square matrix m.
+func (m *Matrix) Det() rational.Rat {
+	if m.rows != m.cols {
+		panic(fmt.Errorf("linalg: determinant of non-square %d×%d", m.rows, m.cols))
+	}
+	a := m.Clone()
+	det := rational.One
+	n := a.rows
+	for col := 0; col < n; col++ {
+		p := -1
+		for i := col; i < n; i++ {
+			if !a.At(i, col).IsZero() {
+				p = i
+				break
+			}
+		}
+		if p < 0 {
+			return rational.Zero
+		}
+		if p != col {
+			a.swapRows(col, p)
+			det = det.Neg()
+		}
+		piv := a.At(col, col)
+		det = det.Mul(piv)
+		inv := piv.Inv()
+		for i := col + 1; i < n; i++ {
+			f := a.At(i, col).Mul(inv)
+			if f.IsZero() {
+				continue
+			}
+			for j := col; j < n; j++ {
+				a.Set(i, j, a.At(i, j).Sub(f.Mul(a.At(col, j))))
+			}
+		}
+	}
+	return det
+}
+
+// Dot returns the inner product of equal-length rational vectors.
+func Dot(x, y []rational.Rat) rational.Rat {
+	if len(x) != len(y) {
+		panic(fmt.Errorf("linalg: dot length mismatch %d != %d", len(x), len(y)))
+	}
+	sum := rational.Zero
+	for i := range x {
+		sum = sum.Add(x[i].Mul(y[i]))
+	}
+	return sum
+}
+
+// IsZeroVec reports whether every component of x is zero.
+func IsZeroVec(x []rational.Rat) bool {
+	for _, v := range x {
+		if !v.IsZero() {
+			return false
+		}
+	}
+	return true
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

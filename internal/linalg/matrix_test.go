@@ -1,0 +1,300 @@
+package linalg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"commfree/internal/rational"
+)
+
+func ints(rows ...[]int64) *Matrix { return FromInts(rows) }
+
+func TestBasicAccess(t *testing.T) {
+	m := ints([]int64{1, 2}, []int64{3, 4})
+	if m.Rows() != 2 || m.Cols() != 2 {
+		t.Fatalf("shape = %d×%d", m.Rows(), m.Cols())
+	}
+	if got := m.At(1, 0); !got.Equal(rational.FromInt(3)) {
+		t.Errorf("At(1,0) = %s", got)
+	}
+	m.Set(1, 0, rational.New(1, 2))
+	if got := m.At(1, 0); !got.Equal(rational.New(1, 2)) {
+		t.Errorf("after Set, At(1,0) = %s", got)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	m := NewMatrix(2, 2)
+	for _, f := range []func(){
+		func() { m.At(2, 0) },
+		func() { m.At(0, -1) },
+		func() { m.Set(-1, 0, rational.Zero) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMul(t *testing.T) {
+	a := ints([]int64{1, 2}, []int64{3, 4})
+	b := ints([]int64{5, 6}, []int64{7, 8})
+	want := ints([]int64{19, 22}, []int64{43, 50})
+	if got := a.Mul(b); !got.Equal(want) {
+		t.Errorf("a·b =\n%s\nwant\n%s", got, want)
+	}
+	id := Identity(2)
+	if got := a.Mul(id); !got.Equal(a) {
+		t.Errorf("a·I != a")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	h := ints([]int64{2, 0}, []int64{0, 1}) // H_A from loop L1
+	x := []rational.Rat{rational.FromInt(3), rational.FromInt(4)}
+	got := h.MulVec(x)
+	if !got[0].Equal(rational.FromInt(6)) || !got[1].Equal(rational.FromInt(4)) {
+		t.Errorf("H·(3,4) = %v", got)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a := ints([]int64{1, 2, 3}, []int64{4, 5, 6})
+	at := a.Transpose()
+	if at.Rows() != 3 || at.Cols() != 2 {
+		t.Fatalf("transpose shape %d×%d", at.Rows(), at.Cols())
+	}
+	if !at.At(2, 1).Equal(rational.FromInt(6)) {
+		t.Errorf("atᵀ(2,1) = %s", at.At(2, 1))
+	}
+	if !at.Transpose().Equal(a) {
+		t.Error("double transpose != original")
+	}
+}
+
+func TestRREFAndRank(t *testing.T) {
+	cases := []struct {
+		m    *Matrix
+		rank int
+	}{
+		{ints([]int64{1, 1}, []int64{1, 1}), 1},                // H_A from L2
+		{ints([]int64{2, 0}, []int64{0, 1}), 2},                // H_A from L1
+		{ints([]int64{0, 0}, []int64{0, 0}), 0},                // zero
+		{ints([]int64{1, 2, 3}, []int64{2, 4, 6}), 1},          // dependent rows
+		{ints([]int64{1, 0, 0}, []int64{0, 1, 0}), 2},          // wide
+		{ints([]int64{1, 2}, []int64{3, 4}, []int64{5, 6}), 2}, // tall
+	}
+	for i, c := range cases {
+		if got := c.m.Rank(); got != c.rank {
+			t.Errorf("case %d: rank = %d, want %d", i, got, c.rank)
+		}
+	}
+	r, pivots := ints([]int64{2, 4}, []int64{1, 3}).RREF()
+	if !r.Equal(Identity(2)) {
+		t.Errorf("RREF =\n%s", r)
+	}
+	if len(pivots) != 2 || pivots[0] != 0 || pivots[1] != 1 {
+		t.Errorf("pivots = %v", pivots)
+	}
+}
+
+func TestRREFDoesNotMutate(t *testing.T) {
+	m := ints([]int64{2, 4}, []int64{1, 3})
+	orig := m.Clone()
+	m.RREF()
+	if !m.Equal(orig) {
+		t.Error("RREF mutated receiver")
+	}
+}
+
+func TestNullSpace(t *testing.T) {
+	// H_A of loop L2 = [[1,1],[1,1]]: Ker = span{(1,-1)}.
+	h := ints([]int64{1, 1}, []int64{1, 1})
+	ns := h.NullSpace()
+	if len(ns) != 1 {
+		t.Fatalf("nullspace dim = %d, want 1", len(ns))
+	}
+	if !IsZeroVec(h.MulVec(ns[0])) {
+		t.Errorf("H·v != 0 for v = %v", ns[0])
+	}
+	// Full-rank square matrix: trivial kernel.
+	if ns := ints([]int64{2, 0}, []int64{0, 1}).NullSpace(); len(ns) != 0 {
+		t.Errorf("full-rank kernel dim = %d", len(ns))
+	}
+	// Zero matrix: full kernel.
+	if ns := NewMatrix(2, 3).NullSpace(); len(ns) != 3 {
+		t.Errorf("zero-matrix kernel dim = %d", len(ns))
+	}
+}
+
+func TestSolve(t *testing.T) {
+	// L1: H_A t = r with H_A=[[2,0],[0,1]], r=(2,1) → t=(1,1).
+	h := ints([]int64{2, 0}, []int64{0, 1})
+	x, ok := h.Solve([]rational.Rat{rational.FromInt(2), rational.FromInt(1)})
+	if !ok {
+		t.Fatal("solve failed")
+	}
+	if !x[0].Equal(rational.One) || !x[1].Equal(rational.One) {
+		t.Errorf("x = %v, want (1,1)", x)
+	}
+
+	// L2: H_B=[[2,0],[0,1]], r=(1,1) → t=(1/2,1).
+	x, ok = h.Solve([]rational.Rat{rational.FromInt(1), rational.FromInt(1)})
+	if !ok {
+		t.Fatal("solve failed")
+	}
+	if !x[0].Equal(rational.New(1, 2)) || !x[1].Equal(rational.One) {
+		t.Errorf("x = %v, want (1/2,1)", x)
+	}
+
+	// L2: H_A=[[1,1],[1,1]], r=(0,-1) → inconsistent.
+	ha := ints([]int64{1, 1}, []int64{1, 1})
+	if _, ok := ha.Solve([]rational.Rat{rational.Zero, rational.FromInt(-1)}); ok {
+		t.Error("inconsistent system reported solvable")
+	}
+
+	// Underdetermined consistent: verify m·x = b.
+	wide := ints([]int64{1, 2, 3})
+	b := []rational.Rat{rational.FromInt(6)}
+	x, ok = wide.Solve(b)
+	if !ok {
+		t.Fatal("wide solve failed")
+	}
+	got := wide.MulVec(x)
+	if !got[0].Equal(b[0]) {
+		t.Errorf("m·x = %v, want %v", got, b)
+	}
+}
+
+func TestInverse(t *testing.T) {
+	a := ints([]int64{2, 1}, []int64{1, 1})
+	inv := a.Inverse()
+	if inv == nil {
+		t.Fatal("invertible matrix reported singular")
+	}
+	if !a.Mul(inv).Equal(Identity(2)) {
+		t.Errorf("a·a⁻¹ =\n%s", a.Mul(inv))
+	}
+	if sing := ints([]int64{1, 1}, []int64{1, 1}).Inverse(); sing != nil {
+		t.Error("singular matrix reported invertible")
+	}
+	if rect := NewMatrix(2, 3).Inverse(); rect != nil {
+		t.Error("rectangular matrix reported invertible")
+	}
+}
+
+func TestDet(t *testing.T) {
+	cases := []struct {
+		m    *Matrix
+		want rational.Rat
+	}{
+		{ints([]int64{2, 0}, []int64{0, 1}), rational.FromInt(2)},
+		{ints([]int64{1, 1}, []int64{1, 1}), rational.Zero},
+		{ints([]int64{0, 1}, []int64{1, 0}), rational.FromInt(-1)},
+		{Identity(3), rational.One},
+		{ints([]int64{1, 2, 3}, []int64{4, 5, 6}, []int64{7, 8, 10}), rational.FromInt(-3)},
+	}
+	for i, c := range cases {
+		if got := c.m.Det(); !got.Equal(c.want) {
+			t.Errorf("case %d: det = %s, want %s", i, got, c.want)
+		}
+	}
+}
+
+func TestDot(t *testing.T) {
+	x := []rational.Rat{rational.FromInt(1), rational.FromInt(-1), rational.FromInt(1)}
+	y := []rational.Rat{rational.FromInt(1), rational.FromInt(1), rational.Zero}
+	if got := Dot(x, y); !got.IsZero() {
+		t.Errorf("dot = %s", got)
+	}
+}
+
+func randSmallMatrix(rnd *rand.Rand, n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			m.Set(i, j, rational.FromInt(rnd.Int63n(11)-5))
+		}
+	}
+	return m
+}
+
+func TestPropNullSpaceVectorsAreKernel(t *testing.T) {
+	rnd := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rnd.Intn(3)
+		m := randSmallMatrix(rnd, n)
+		ns := m.NullSpace()
+		if len(ns)+m.Rank() != n {
+			t.Fatalf("rank-nullity violated: rank %d + nullity %d != %d", m.Rank(), len(ns), n)
+		}
+		for _, v := range ns {
+			if !IsZeroVec(m.MulVec(v)) {
+				t.Fatalf("kernel vector %v not annihilated by\n%s", v, m)
+			}
+		}
+	}
+}
+
+func TestPropSolveConsistency(t *testing.T) {
+	rnd := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rnd.Intn(3)
+		m := randSmallMatrix(rnd, n)
+		// Construct b in the column space so the system is consistent.
+		x0 := make([]rational.Rat, n)
+		for i := range x0 {
+			x0[i] = rational.FromInt(rnd.Int63n(7) - 3)
+		}
+		b := m.MulVec(x0)
+		x, ok := m.Solve(b)
+		if !ok {
+			t.Fatalf("consistent system reported unsolvable:\n%s b=%v", m, b)
+		}
+		got := m.MulVec(x)
+		for i := range b {
+			if !got[i].Equal(b[i]) {
+				t.Fatalf("m·x != b: %v vs %v", got, b)
+			}
+		}
+	}
+}
+
+func TestPropInverseRoundTrip(t *testing.T) {
+	rnd := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rnd.Intn(3)
+		m := randSmallMatrix(rnd, n)
+		inv := m.Inverse()
+		if inv == nil {
+			if !m.Det().IsZero() {
+				t.Fatalf("nonzero det but no inverse:\n%s", m)
+			}
+			continue
+		}
+		if m.Det().IsZero() {
+			t.Fatalf("zero det but inverse found:\n%s", m)
+		}
+		if !m.Mul(inv).Equal(Identity(n)) || !inv.Mul(m).Equal(Identity(n)) {
+			t.Fatalf("inverse round trip failed for\n%s", m)
+		}
+	}
+}
+
+func TestPropDetMultiplicative(t *testing.T) {
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		n := 2 + rnd.Intn(2)
+		a, b := randSmallMatrix(rnd, n), randSmallMatrix(rnd, n)
+		return a.Mul(b).Det().Equal(a.Det().Mul(b.Det()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,395 @@
+// Package loop defines the intermediate representation of normalized
+// nested loops with uniformly generated array references — the input model
+// of the paper (Section II).
+//
+// A Nest holds n loop levels with affine bounds, a body of assignment
+// statements, and, per statement, one write reference and any number of
+// read references. Each reference to a d-dimensional array A is an affine
+// map ī ↦ H·ī + c̄ from the iteration space Zⁿ to the data space Z^d.
+package loop
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Affine is an affine function of the loop indices:
+// Const + Σ Coeffs[j]·I_{j+1}. Coeffs has one entry per loop level.
+type Affine struct {
+	Coeffs []int64
+	Const  int64
+}
+
+// ConstAffine returns the constant affine function c (with n index slots).
+func ConstAffine(n int, c int64) Affine {
+	return Affine{Coeffs: make([]int64, n), Const: c}
+}
+
+// Eval evaluates the affine function at iteration point i.
+func (a Affine) Eval(i []int64) int64 {
+	if len(i) < len(a.Coeffs) {
+		panic(fmt.Errorf("loop: affine eval with %d indices, need %d", len(i), len(a.Coeffs)))
+	}
+	v := a.Const
+	for j, c := range a.Coeffs {
+		v += c * i[j]
+	}
+	return v
+}
+
+// IsConst reports whether the affine function ignores all indices.
+func (a Affine) IsConst() bool {
+	for _, c := range a.Coeffs {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// DependsOnlyOn reports whether the function uses only index levels < k
+// (0-based), as the normalized-loop bound rule requires for level k.
+func (a Affine) DependsOnlyOn(k int) bool {
+	for j := k; j < len(a.Coeffs); j++ {
+		if a.Coeffs[j] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the function using index names I1..In.
+func (a Affine) String() string {
+	var parts []string
+	for j, c := range a.Coeffs {
+		switch {
+		case c == 0:
+		case c == 1:
+			parts = append(parts, fmt.Sprintf("i%d", j+1))
+		case c == -1:
+			parts = append(parts, fmt.Sprintf("-i%d", j+1))
+		default:
+			parts = append(parts, fmt.Sprintf("%d*i%d", c, j+1))
+		}
+	}
+	if a.Const != 0 || len(parts) == 0 {
+		parts = append(parts, fmt.Sprintf("%d", a.Const))
+	}
+	out := parts[0]
+	for _, p := range parts[1:] {
+		if strings.HasPrefix(p, "-") {
+			out += " - " + p[1:]
+		} else {
+			out += " + " + p
+		}
+	}
+	return out
+}
+
+// Level is one loop level with affine lower/upper bounds (inclusive). The
+// bounds may reference only outer indices.
+type Level struct {
+	Name  string // index variable name, e.g. "i"
+	Lower Affine
+	Upper Affine
+}
+
+// Ref is a single array reference A[H·ī + c̄].
+type Ref struct {
+	Array  string    // array name
+	H      [][]int64 // d×n reference matrix
+	Offset []int64   // length-d constant offset c̄
+}
+
+// Dim returns the array dimensionality d of the reference.
+func (r Ref) Dim() int { return len(r.Offset) }
+
+// Index returns the data-space point H·ī + c̄ touched at iteration ī.
+func (r Ref) Index(i []int64) []int64 {
+	out := make([]int64, r.Dim())
+	for row := range r.H {
+		v := r.Offset[row]
+		for col, h := range r.H[row] {
+			v += h * i[col]
+		}
+		out[row] = v
+	}
+	return out
+}
+
+// String renders the reference like A[2i1,i2+1].
+func (r Ref) String() string {
+	var subs []string
+	for row := range r.H {
+		a := Affine{Coeffs: r.H[row], Const: r.Offset[row]}
+		subs = append(subs, a.String())
+	}
+	return r.Array + "[" + strings.Join(subs, ",") + "]"
+}
+
+// SameFunction reports whether two references to the same array share the
+// reference matrix H (the uniformly-generated-references condition).
+func (r Ref) SameFunction(o Ref) bool {
+	if r.Array != o.Array || len(r.H) != len(o.H) {
+		return false
+	}
+	for i := range r.H {
+		if len(r.H[i]) != len(o.H[i]) {
+			return false
+		}
+		for j := range r.H[i] {
+			if r.H[i][j] != o.H[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Statement is one assignment in the loop body: Write := f(Reads...).
+// Expr is an opaque executable semantics: given the iteration point and the
+// values of the read references (in Reads order), it produces the value to
+// store. A nil Expr defaults to summing the read values plus one, which is
+// enough to make data flow observable in tests.
+//
+// Render, when set, emits the right-hand side as a Go expression for code
+// generation: readExprs[i] is the Go expression yielding the value of
+// Reads[i], and indexExprs[k] the Go expression for loop index k. A nil
+// Render produces the default semantics (1 + Σ reads).
+type Statement struct {
+	Label  string // e.g. "S1"
+	Write  Ref
+	Reads  []Ref
+	Expr   func(iter []int64, reads []float64) float64
+	Render func(readExprs, indexExprs []string) string
+	// SourceRHS is the verbatim DSL text of the right-hand side when the
+	// statement came from the parser; used by the formatter for exact
+	// round-trips. Empty for hand-built statements.
+	SourceRHS string
+}
+
+// EvalExpr applies the statement's expression (or the default).
+func (s *Statement) EvalExpr(iter []int64, reads []float64) float64 {
+	if s.Expr != nil {
+		return s.Expr(iter, reads)
+	}
+	v := 1.0
+	for _, r := range reads {
+		v += r
+	}
+	return v
+}
+
+// RenderRHS emits the right-hand side as a Go expression (see Render).
+func (s *Statement) RenderRHS(readExprs, indexExprs []string) string {
+	if s.Render != nil {
+		return s.Render(readExprs, indexExprs)
+	}
+	out := "1.0"
+	for _, r := range readExprs {
+		out += " + " + r
+	}
+	return out
+}
+
+// Nest is a normalized n-nested loop.
+type Nest struct {
+	Levels []Level
+	Body   []*Statement
+}
+
+// Depth returns the nesting depth n.
+func (l *Nest) Depth() int { return len(l.Levels) }
+
+// Validate checks the structural invariants: normalized bounds (level k
+// bounds reference only indices < k), consistent reference shapes, and
+// per-array uniform generation. It returns a descriptive error otherwise.
+func (l *Nest) Validate() error {
+	n := l.Depth()
+	if n == 0 {
+		return fmt.Errorf("loop: empty nest")
+	}
+	for k, lv := range l.Levels {
+		if len(lv.Lower.Coeffs) != n || len(lv.Upper.Coeffs) != n {
+			return fmt.Errorf("loop: level %d bounds have wrong coefficient count", k+1)
+		}
+		if !lv.Lower.DependsOnlyOn(k) || !lv.Upper.DependsOnlyOn(k) {
+			return fmt.Errorf("loop: level %d (%s) bounds reference inner indices", k+1, lv.Name)
+		}
+	}
+	if len(l.Body) == 0 {
+		return fmt.Errorf("loop: empty body")
+	}
+	byArray := map[string]Ref{}
+	for si, s := range l.Body {
+		for _, r := range append([]Ref{s.Write}, s.Reads...) {
+			if len(r.H) != len(r.Offset) {
+				return fmt.Errorf("loop: statement %d ref %s: H rows %d != offset %d",
+					si+1, r.Array, len(r.H), len(r.Offset))
+			}
+			for _, row := range r.H {
+				if len(row) != n {
+					return fmt.Errorf("loop: statement %d ref %s: H has %d columns, depth %d",
+						si+1, r.Array, len(row), n)
+				}
+			}
+			if prev, ok := byArray[r.Array]; ok {
+				if !prev.SameFunction(r) {
+					return fmt.Errorf("loop: array %s not uniformly generated: %s vs %s",
+						r.Array, prev, r)
+				}
+			} else {
+				byArray[r.Array] = r
+			}
+		}
+	}
+	return nil
+}
+
+// Arrays returns the sorted names of all arrays referenced by the nest.
+func (l *Nest) Arrays() []string {
+	seen := map[string]bool{}
+	for _, s := range l.Body {
+		seen[s.Write.Array] = true
+		for _, r := range s.Reads {
+			seen[r.Array] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for a := range seen {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RefsOf returns every reference to the named array, writes first, in
+// statement order; the boolean slice marks which are writes.
+func (l *Nest) RefsOf(array string) (refs []Ref, isWrite []bool, stmt []int) {
+	for si, s := range l.Body {
+		if s.Write.Array == array {
+			refs = append(refs, s.Write)
+			isWrite = append(isWrite, true)
+			stmt = append(stmt, si)
+		}
+	}
+	for si, s := range l.Body {
+		for _, r := range s.Reads {
+			if r.Array == array {
+				refs = append(refs, r)
+				isWrite = append(isWrite, false)
+				stmt = append(stmt, si)
+			}
+		}
+	}
+	return refs, isWrite, stmt
+}
+
+// ReferenceMatrix returns the shared H of the named array (all references
+// are uniformly generated after Validate).
+func (l *Nest) ReferenceMatrix(array string) [][]int64 {
+	refs, _, _ := l.RefsOf(array)
+	if len(refs) == 0 {
+		return nil
+	}
+	return refs[0].H
+}
+
+// Iterations enumerates the iteration space in lexicographic order.
+func (l *Nest) Iterations() [][]int64 {
+	var out [][]int64
+	point := make([]int64, l.Depth())
+	var walk func(k int)
+	walk = func(k int) {
+		if k == l.Depth() {
+			cp := make([]int64, len(point))
+			copy(cp, point)
+			out = append(out, cp)
+			return
+		}
+		lo := l.Levels[k].Lower.Eval(point)
+		hi := l.Levels[k].Upper.Eval(point)
+		for v := lo; v <= hi; v++ {
+			point[k] = v
+			walk(k + 1)
+		}
+		point[k] = 0
+	}
+	walk(0)
+	return out
+}
+
+// NumIterations counts the iteration-space size without materializing it.
+func (l *Nest) NumIterations() int64 {
+	var count int64
+	point := make([]int64, l.Depth())
+	var walk func(k int)
+	walk = func(k int) {
+		if k == l.Depth() {
+			count++
+			return
+		}
+		lo := l.Levels[k].Lower.Eval(point)
+		hi := l.Levels[k].Upper.Eval(point)
+		for v := lo; v <= hi; v++ {
+			point[k] = v
+			walk(k + 1)
+		}
+		point[k] = 0
+	}
+	walk(0)
+	return count
+}
+
+// LexLess reports whether iteration a precedes b lexicographically.
+func LexLess(a, b []int64) bool {
+	for k := range a {
+		if a[k] != b[k] {
+			return a[k] < b[k]
+		}
+	}
+	return false
+}
+
+// ConstBounds returns (lower, upper) for each level when all bounds are
+// constants, or ok=false when any bound depends on outer indices.
+func (l *Nest) ConstBounds() (lo, hi []int64, ok bool) {
+	lo = make([]int64, l.Depth())
+	hi = make([]int64, l.Depth())
+	for k, lv := range l.Levels {
+		if !lv.Lower.IsConst() || !lv.Upper.IsConst() {
+			return nil, nil, false
+		}
+		lo[k] = lv.Lower.Const
+		hi[k] = lv.Upper.Const
+	}
+	return lo, hi, true
+}
+
+// String renders the nest as DSL-style source.
+func (l *Nest) String() string {
+	var b strings.Builder
+	indent := ""
+	for _, lv := range l.Levels {
+		fmt.Fprintf(&b, "%sfor %s = %s to %s\n", indent, lv.Name, lv.Lower, lv.Upper)
+		indent += "  "
+	}
+	for _, s := range l.Body {
+		label := s.Label
+		if label != "" {
+			label += ": "
+		}
+		var reads []string
+		for _, r := range s.Reads {
+			reads = append(reads, r.String())
+		}
+		rhs := "f(" + strings.Join(reads, ", ") + ")"
+		fmt.Fprintf(&b, "%s%s%s := %s\n", indent, label, s.Write, rhs)
+	}
+	for k := l.Depth() - 1; k >= 0; k-- {
+		indent = strings.Repeat("  ", k)
+		fmt.Fprintf(&b, "%send\n", indent)
+	}
+	return b.String()
+}

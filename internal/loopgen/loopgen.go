@@ -1,0 +1,135 @@
+// Package loopgen generates random—but always valid—loop nests for
+// property-based testing of the whole pipeline: every generated nest has
+// normalized bounds and uniformly generated references, so the theorems'
+// guarantees (communication-free partitions, transform bijectivity,
+// execution equivalence) must hold on it.
+package loopgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"commfree/internal/loop"
+)
+
+// Config bounds the generated shapes.
+type Config struct {
+	MaxDepth      int  // loop nest depth ∈ [2, MaxDepth]
+	MaxExtent     int  // per-level upper bound ∈ [2, MaxExtent]
+	MaxArrays     int  // distinct arrays ∈ [1, MaxArrays]
+	MaxStmts      int  // statements ∈ [1, MaxStmts]
+	MaxReads      int  // reads per statement ∈ [0, MaxReads]
+	MaxCoeff      int  // |H entries| ≤ MaxCoeff
+	MaxOffset     int  // |offset entries| ≤ MaxOffset
+	AllowSingular bool // allow rank-deficient reference matrices
+}
+
+// DefaultConfig is a small shape that exercises all code paths quickly.
+func DefaultConfig() Config {
+	return Config{
+		MaxDepth:      3,
+		MaxExtent:     4,
+		MaxArrays:     3,
+		MaxStmts:      3,
+		MaxReads:      2,
+		MaxCoeff:      2,
+		MaxOffset:     2,
+		AllowSingular: true,
+	}
+}
+
+// Generate returns a random valid nest drawn from cfg.
+func Generate(rnd *rand.Rand, cfg Config) *loop.Nest {
+	for attempt := 0; ; attempt++ {
+		n := tryGenerate(rnd, cfg)
+		if err := n.Validate(); err == nil {
+			return n
+		}
+		if attempt > 100 {
+			panic(fmt.Errorf("loopgen: could not generate a valid nest in 100 attempts"))
+		}
+	}
+}
+
+func tryGenerate(rnd *rand.Rand, cfg Config) *loop.Nest {
+	depth := 2
+	if cfg.MaxDepth > 2 {
+		depth += rnd.Intn(cfg.MaxDepth - 1)
+	}
+	levels := make([]loop.Level, depth)
+	for k := range levels {
+		extent := 2 + rnd.Intn(cfg.MaxExtent-1)
+		levels[k] = loop.Level{
+			Name:  fmt.Sprintf("i%d", k+1),
+			Lower: loop.ConstAffine(depth, 1),
+			Upper: loop.ConstAffine(depth, int64(extent)),
+		}
+	}
+
+	// One reference matrix per array, shared by all its references
+	// (uniform generation by construction).
+	nArrays := 1 + rnd.Intn(cfg.MaxArrays)
+	type arrayShape struct {
+		name string
+		h    [][]int64
+	}
+	arrays := make([]arrayShape, nArrays)
+	for a := range arrays {
+		d := 1 + rnd.Intn(depth) // array dimensionality ≤ depth
+		h := make([][]int64, d)
+		for i := range h {
+			h[i] = make([]int64, depth)
+			nonzero := false
+			for j := range h[i] {
+				c := int64(rnd.Intn(2*cfg.MaxCoeff+1) - cfg.MaxCoeff)
+				h[i][j] = c
+				if c != 0 {
+					nonzero = true
+				}
+			}
+			if !nonzero {
+				h[i][rnd.Intn(depth)] = 1
+			}
+		}
+		arrays[a] = arrayShape{name: fmt.Sprintf("%c", 'A'+a), h: h}
+	}
+	if !cfg.AllowSingular {
+		// Replace each H with an identity-ish full-rank matrix.
+		for a := range arrays {
+			d := len(arrays[a].h)
+			for i := 0; i < d; i++ {
+				for j := range arrays[a].h[i] {
+					arrays[a].h[i][j] = 0
+				}
+				arrays[a].h[i][i%depth] = 1
+			}
+		}
+	}
+
+	randomRef := func(a arrayShape) loop.Ref {
+		off := make([]int64, len(a.h))
+		for i := range off {
+			off[i] = int64(rnd.Intn(2*cfg.MaxOffset+1) - cfg.MaxOffset)
+		}
+		h := make([][]int64, len(a.h))
+		for i := range h {
+			h[i] = append([]int64(nil), a.h[i]...)
+		}
+		return loop.Ref{Array: a.name, H: h, Offset: off}
+	}
+
+	nStmts := 1 + rnd.Intn(cfg.MaxStmts)
+	body := make([]*loop.Statement, nStmts)
+	for s := range body {
+		st := &loop.Statement{
+			Label: fmt.Sprintf("S%d", s+1),
+			Write: randomRef(arrays[rnd.Intn(nArrays)]),
+		}
+		nReads := rnd.Intn(cfg.MaxReads + 1)
+		for r := 0; r < nReads; r++ {
+			st.Reads = append(st.Reads, randomRef(arrays[rnd.Intn(nArrays)]))
+		}
+		body[s] = st
+	}
+	return &loop.Nest{Levels: levels, Body: body}
+}

@@ -1,0 +1,394 @@
+// Package machine simulates the distributed-memory multicomputer of the
+// paper's evaluation (a 16-processor Transputer mesh).
+//
+// The paper's cost model charges t_comp per loop iteration and
+// t_start + x·t_comm to move x data items between neighboring processors;
+// the host distributes initial data by pipelined unicast, row/column
+// multicast, or whole-mesh broadcast. This package reproduces that model
+// as an executable machine: node processors with strictly local memories
+// (a read of an absent datum is an error — the operational meaning of
+// "communication-free"), a host that performs the three distribution
+// primitives while charging the paper's costs, and a parallel execution
+// engine (one goroutine per node) that tracks per-node work.
+package machine
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// CostModel carries the paper's three timing constants, in seconds.
+type CostModel struct {
+	TComp  float64 // time per loop iteration
+	TStart float64 // communication startup time
+	TComm  float64 // time to transmit one datum between neighbors
+}
+
+// Transputer returns constants calibrated so that the simulated Table I
+// matches the paper's measured Transputer times in shape: t_comp fits the
+// sequential M=256 row (161.25 s / 256³), and t_start/t_comm are set to
+// Transputer-era link characteristics (≈0.5 ms software startup, ≈2.3 µs
+// per 4-byte word at ~1.7 MB/s).
+func Transputer() CostModel {
+	return CostModel{TComp: 9.611e-6, TStart: 5e-4, TComm: 2.3e-6}
+}
+
+// Mesh is a p₁×p₂ processor mesh.
+type Mesh struct{ P1, P2 int }
+
+// Size returns the processor count.
+func (m Mesh) Size() int { return m.P1 * m.P2 }
+
+// Diameter returns the mesh diameter (longest shortest path).
+func (m Mesh) Diameter() int { return m.P1 + m.P2 - 2 }
+
+// SquareMesh returns the √p×√p mesh for a perfect square p.
+func SquareMesh(p int) (Mesh, error) {
+	s := int(math.Round(math.Sqrt(float64(p))))
+	if s*s != p {
+		return Mesh{}, fmt.Errorf("machine: %d is not a perfect square", p)
+	}
+	return Mesh{P1: s, P2: s}, nil
+}
+
+// Node is one processor with a strictly local memory.
+type Node struct {
+	ID  int
+	mem map[string]float64
+
+	mu         sync.Mutex
+	iterations int64
+	reads      int64
+	writes     int64
+	misses     []string
+}
+
+// Read fetches a local datum; a miss is recorded and returned as an error
+// — on a real multicomputer it would be an interprocessor message, which
+// the communication-free guarantee forbids.
+func (n *Node) Read(key string) (float64, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.reads++
+	v, ok := n.mem[key]
+	if !ok {
+		n.misses = append(n.misses, key)
+		return 0, fmt.Errorf("machine: node %d: datum %s not in local memory", n.ID, key)
+	}
+	return v, nil
+}
+
+// Write stores a datum locally.
+func (n *Node) Write(key string, v float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.writes++
+	n.mem[key] = v
+}
+
+// Preload stores initial data without touching the access counters.
+func (n *Node) Preload(key string, v float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.mem[key] = v
+}
+
+// Has reports whether the datum is resident.
+func (n *Node) Has(key string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	_, ok := n.mem[key]
+	return ok
+}
+
+// Value returns the local value (and whether it exists) without counting.
+func (n *Node) Value(key string) (float64, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	v, ok := n.mem[key]
+	return v, ok
+}
+
+// MemSize returns the number of resident data.
+func (n *Node) MemSize() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.mem)
+}
+
+// CountIteration charges one loop iteration to the node.
+func (n *Node) CountIteration() {
+	n.mu.Lock()
+	n.iterations++
+	n.mu.Unlock()
+}
+
+// Stats summarizes a node's activity.
+type Stats struct {
+	Iterations   int64
+	Reads        int64
+	Writes       int64
+	Misses       int
+	ResidentData int
+}
+
+// Stats returns a snapshot of the node's counters.
+func (n *Node) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return Stats{
+		Iterations:   n.iterations,
+		Reads:        n.reads,
+		Writes:       n.writes,
+		Misses:       len(n.misses),
+		ResidentData: len(n.mem),
+	}
+}
+
+// Machine is the simulated multicomputer: a host plus P nodes.
+type Machine struct {
+	Topology Mesh
+	Cost     CostModel
+	nodes    []*Node
+
+	mu          sync.Mutex
+	distTime    float64
+	messages    int64
+	dataMoved   int64
+	computeTime float64
+	trace       *Trace
+}
+
+// New builds a machine with the given mesh topology and cost model.
+func New(topo Mesh, cost CostModel) *Machine {
+	m := &Machine{Topology: topo, Cost: cost}
+	for i := 0; i < topo.Size(); i++ {
+		m.nodes = append(m.nodes, &Node{ID: i, mem: map[string]float64{}})
+	}
+	return m
+}
+
+// NumNodes returns the processor count.
+func (m *Machine) NumNodes() int { return len(m.nodes) }
+
+// Node returns processor i.
+func (m *Machine) Node(i int) *Node { return m.nodes[i] }
+
+// Datum is one named value to distribute.
+type Datum struct {
+	Key   string
+	Value float64
+}
+
+// SendTo unicasts data from the host to one node: t_start + n·t_comm.
+func (m *Machine) SendTo(node int, data []Datum) {
+	for _, d := range data {
+		m.nodes[node].Preload(d.Key, d.Value)
+	}
+	m.charge(m.Cost.TStart+float64(len(data))*m.Cost.TComm, 1, len(data))
+}
+
+// Multicast sends the same data to a set of nodes in a pipelined fashion:
+// one startup, then the data stream plus a pipeline-fill term of one hop
+// per extra destination.
+func (m *Machine) Multicast(nodes []int, data []Datum) {
+	for _, id := range nodes {
+		for _, d := range data {
+			m.nodes[id].Preload(d.Key, d.Value)
+		}
+	}
+	fill := 0
+	if len(nodes) > 1 {
+		fill = len(nodes) - 1
+	}
+	m.charge(m.Cost.TStart+float64(len(data)+fill)*m.Cost.TComm, 1, len(data)*len(nodes))
+}
+
+// MulticastInstall sends one stream of `words` data words to a set of
+// nodes, installing per-node datum lists (a node hosting several block
+// copies of the same element stores each copy; the wire carries the
+// value once). Cost: t_start + (words + pipeline fill)·t_comm.
+func (m *Machine) MulticastInstall(nodes []int, words int, install map[int][]Datum) {
+	for _, id := range nodes {
+		for _, d := range install[id] {
+			m.nodes[id].Preload(d.Key, d.Value)
+		}
+	}
+	fill := 0
+	if len(nodes) > 1 {
+		fill = len(nodes) - 1
+	}
+	installed := 0
+	for _, ds := range install {
+		installed += len(ds)
+	}
+	m.charge(m.Cost.TStart+float64(words+fill)*m.Cost.TComm, 1, installed)
+}
+
+// BroadcastInstall is MulticastInstall across the whole mesh at broadcast
+// cost (t_start + diameter·words·t_comm).
+func (m *Machine) BroadcastInstall(words int, install map[int][]Datum) {
+	for id, ds := range install {
+		for _, d := range ds {
+			m.nodes[id].Preload(d.Key, d.Value)
+		}
+	}
+	dia := m.Topology.Diameter()
+	if dia < 1 {
+		dia = 1
+	}
+	installed := 0
+	for _, ds := range install {
+		installed += len(ds)
+	}
+	m.charge(m.Cost.TStart+float64(dia)*float64(words)*m.Cost.TComm, 1, installed)
+}
+
+// Broadcast sends the same data to every node; the stream crosses the
+// mesh diameter, giving t_start + diameter·n·t_comm (the paper's
+// 2√p·M²·t_comm term for broadcasting array B in L5′).
+func (m *Machine) Broadcast(data []Datum) {
+	for _, nd := range m.nodes {
+		for _, d := range data {
+			nd.Preload(d.Key, d.Value)
+		}
+	}
+	dia := m.Topology.Diameter()
+	if dia < 1 {
+		dia = 1
+	}
+	m.charge(m.Cost.TStart+float64(dia)*float64(len(data))*m.Cost.TComm, 1, len(data)*len(m.nodes))
+}
+
+func (m *Machine) charge(t float64, msgs, words int) {
+	m.mu.Lock()
+	start := m.distTime
+	m.distTime += t
+	end := m.distTime
+	m.messages += int64(msgs)
+	m.dataMoved += int64(words)
+	m.mu.Unlock()
+	m.record("host", fmt.Sprintf("dist %d words", words), start, end)
+}
+
+// Run executes fn concurrently on every node (one goroutine each) and
+// charges the compute phase as max over nodes of iterations·t_comp —
+// nodes run in parallel, so the slowest one determines the wall clock.
+// The first node error aborts the report.
+func (m *Machine) Run(fn func(n *Node) error) error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(m.nodes))
+	for i, nd := range m.nodes {
+		wg.Add(1)
+		go func(i int, nd *Node) {
+			defer wg.Done()
+			errs[i] = fn(nd)
+		}(i, nd)
+	}
+	wg.Wait()
+	var maxIter int64
+	for _, nd := range m.nodes {
+		if s := nd.Stats(); s.Iterations > maxIter {
+			maxIter = s.Iterations
+		}
+	}
+	m.mu.Lock()
+	computeStart := m.distTime + m.computeTime
+	m.computeTime += float64(maxIter) * m.Cost.TComp
+	m.mu.Unlock()
+	for _, nd := range m.nodes {
+		iters := nd.Stats().Iterations
+		if iters == 0 {
+			continue
+		}
+		m.record(fmt.Sprintf("PE%d", nd.ID), fmt.Sprintf("compute %d iters", iters),
+			computeStart, computeStart+float64(iters)*m.Cost.TComp)
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ChargeComputeIterations adds an analytic compute phase of the given
+// per-node iteration counts (used by the large-M table harness, where
+// executing 256³ iterations datum-by-datum is pointless — the count is
+// exact either way).
+func (m *Machine) ChargeComputeIterations(perNode []int64) {
+	var max int64
+	for _, c := range perNode {
+		if c > max {
+			max = c
+		}
+	}
+	m.mu.Lock()
+	m.computeTime += float64(max) * m.Cost.TComp
+	m.mu.Unlock()
+}
+
+// DistributionTime returns the accumulated host-distribution time.
+func (m *Machine) DistributionTime() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.distTime
+}
+
+// ComputeTime returns the accumulated parallel compute time.
+func (m *Machine) ComputeTime() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.computeTime
+}
+
+// Elapsed returns total simulated time (distribution + compute).
+func (m *Machine) Elapsed() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.distTime + m.computeTime
+}
+
+// Messages returns the number of host messages sent.
+func (m *Machine) Messages() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.messages
+}
+
+// DataMoved returns the total words delivered to node memories.
+func (m *Machine) DataMoved() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.dataMoved
+}
+
+// InterNodeMessages returns the number of node-to-node messages during
+// execution — always zero under a communication-free partition; a read
+// miss is what such a message would have been.
+func (m *Machine) InterNodeMessages() int64 {
+	var total int64
+	for _, nd := range m.nodes {
+		total += int64(nd.Stats().Misses)
+	}
+	return total
+}
+
+// GatherOwned collects each key from the single node the caller declares
+// authoritative (owner map key → node id).
+func (m *Machine) GatherOwned(owner map[string]int) map[string]float64 {
+	out := map[string]float64{}
+	keys := make([]string, 0, len(owner))
+	for k := range owner {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if v, ok := m.nodes[owner[k]].Value(k); ok {
+			out[k] = v
+		}
+	}
+	return out
+}

@@ -1,0 +1,282 @@
+package machine
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestMeshBasics(t *testing.T) {
+	m := Mesh{P1: 4, P2: 4}
+	if m.Size() != 16 || m.Diameter() != 6 {
+		t.Errorf("size=%d diameter=%d", m.Size(), m.Diameter())
+	}
+	sq, err := SquareMesh(16)
+	if err != nil || sq.P1 != 4 || sq.P2 != 4 {
+		t.Errorf("SquareMesh(16) = %v, %v", sq, err)
+	}
+	if _, err := SquareMesh(5); err == nil {
+		t.Error("SquareMesh(5) should fail")
+	}
+}
+
+func TestNodeLocalMemory(t *testing.T) {
+	m := New(Mesh{P1: 1, P2: 2}, Transputer())
+	n := m.Node(0)
+	n.Write("x", 42)
+	v, err := n.Read("x")
+	if err != nil || v != 42 {
+		t.Errorf("Read = %v, %v", v, err)
+	}
+	// A read miss is an error and counts as an attempted inter-node
+	// message.
+	if _, err := n.Read("y"); err == nil {
+		t.Error("missing datum read succeeded")
+	}
+	if m.InterNodeMessages() != 1 {
+		t.Errorf("inter-node messages = %d, want 1", m.InterNodeMessages())
+	}
+	s := n.Stats()
+	if s.Reads != 2 || s.Writes != 1 || s.Misses != 1 || s.ResidentData != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestDistributionCosts(t *testing.T) {
+	c := CostModel{TComp: 1, TStart: 10, TComm: 1}
+	m := New(Mesh{P1: 2, P2: 2}, c)
+	// Unicast of 5 data: 10 + 5.
+	m.SendTo(0, []Datum{{"a", 1}, {"b", 2}, {"c", 3}, {"d", 4}, {"e", 5}})
+	if got := m.DistributionTime(); got != 15 {
+		t.Errorf("unicast time = %v, want 15", got)
+	}
+	if !m.Node(0).Has("a") || m.Node(1).Has("a") {
+		t.Error("unicast delivered to wrong nodes")
+	}
+	// Multicast of 3 data to 2 nodes: 10 + (3 + 1).
+	m2 := New(Mesh{P1: 2, P2: 2}, c)
+	m2.Multicast([]int{1, 2}, []Datum{{"x", 1}, {"y", 2}, {"z", 3}})
+	if got := m2.DistributionTime(); got != 14 {
+		t.Errorf("multicast time = %v, want 14", got)
+	}
+	if !m2.Node(1).Has("x") || !m2.Node(2).Has("x") || m2.Node(0).Has("x") {
+		t.Error("multicast delivery wrong")
+	}
+	// Broadcast of 2 data on diameter-2 mesh: 10 + 2·2.
+	m3 := New(Mesh{P1: 2, P2: 2}, c)
+	m3.Broadcast([]Datum{{"q", 1}, {"r", 2}})
+	if got := m3.DistributionTime(); got != 14 {
+		t.Errorf("broadcast time = %v, want 14", got)
+	}
+	for i := 0; i < 4; i++ {
+		if !m3.Node(i).Has("q") {
+			t.Errorf("node %d missing broadcast datum", i)
+		}
+	}
+	if m3.DataMoved() != 8 {
+		t.Errorf("data moved = %d, want 8", m3.DataMoved())
+	}
+}
+
+func TestRunChargesMaxIterations(t *testing.T) {
+	c := CostModel{TComp: 2, TStart: 0, TComm: 0}
+	m := New(Mesh{P1: 1, P2: 2}, c)
+	err := m.Run(func(n *Node) error {
+		// Node 0 does 3 iterations, node 1 does 7.
+		count := 3
+		if n.ID == 1 {
+			count = 7
+		}
+		for i := 0; i < count; i++ {
+			n.CountIteration()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.ComputeTime(); got != 14 {
+		t.Errorf("compute time = %v, want max(3,7)*2 = 14", got)
+	}
+}
+
+func TestSequentialMatMulKnown(t *testing.T) {
+	// 2×2 check by hand.
+	got := SequentialMatMul(2)
+	for i := int64(1); i <= 2; i++ {
+		for j := int64(1); j <= 2; j++ {
+			want := InitC(i, j)
+			for k := int64(1); k <= 2; k++ {
+				want += InitA(i, k) * InitB(k, j)
+			}
+			if got[ckey(i, j)] != want {
+				t.Errorf("C[%d,%d] = %v, want %v", i, j, got[ckey(i, j)], want)
+			}
+		}
+	}
+}
+
+func TestRunL5PrimeMatchesSequential(t *testing.T) {
+	for _, m := range []int64{4, 8, 16} {
+		mach, got, err := RunL5Prime(m, 4, Transputer())
+		if err != nil {
+			t.Fatalf("M=%d: %v", m, err)
+		}
+		if mach.InterNodeMessages() != 0 {
+			t.Errorf("M=%d: inter-node messages = %d (communication-free violated)", m, mach.InterNodeMessages())
+		}
+		want := SequentialMatMul(m)
+		if len(got) != len(want) {
+			t.Fatalf("M=%d: result size %d, want %d", m, len(got), len(want))
+		}
+		for k, v := range want {
+			if got[k] != v {
+				t.Errorf("M=%d: %s = %v, want %v", m, k, got[k], v)
+			}
+		}
+	}
+}
+
+func TestRunL5DoublePrimeMatchesSequential(t *testing.T) {
+	for _, cfg := range []struct {
+		m int64
+		p int
+	}{{4, 4}, {8, 4}, {8, 16}, {16, 16}} {
+		mach, got, err := RunL5DoublePrime(cfg.m, cfg.p, Transputer())
+		if err != nil {
+			t.Fatalf("M=%d p=%d: %v", cfg.m, cfg.p, err)
+		}
+		if mach.InterNodeMessages() != 0 {
+			t.Errorf("M=%d p=%d: inter-node messages = %d", cfg.m, cfg.p, mach.InterNodeMessages())
+		}
+		want := SequentialMatMul(cfg.m)
+		for k, v := range want {
+			if got[k] != v {
+				t.Errorf("M=%d p=%d: %s = %v, want %v", cfg.m, cfg.p, k, got[k], v)
+			}
+		}
+	}
+}
+
+func TestL5DoublePrimeUsesLessDistributionThanPrime(t *testing.T) {
+	// The paper's key observation: replicating only the needed parts of A
+	// and B (L5″) moves less data than broadcasting the whole of B (L5′).
+	c := Transputer()
+	for _, m := range []int64{64, 128, 256} {
+		prime, err := L5PrimeMachine(m, 16, c, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		double, err := L5DoublePrimeMachine(m, 16, c, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if double.DistributionTime() >= prime.DistributionTime() {
+			t.Errorf("M=%d: L5″ distribution %v ≥ L5′ %v", m,
+				double.DistributionTime(), prime.DistributionTime())
+		}
+	}
+}
+
+func TestTableIShape(t *testing.T) {
+	c := Transputer()
+	rows, err := TableI([]int64{16, 32, 64, 128, 256}, []int{4, 16}, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		// Parallel beats sequential for every configuration (Table I).
+		if r.Prime >= r.Sequential && r.M >= 32 {
+			t.Errorf("M=%d p=%d: L5′ %v ≥ sequential %v", r.M, r.P, r.Prime, r.Sequential)
+		}
+		// L5″ is at least as fast as L5′ everywhere (Table II: its speedup
+		// is uniformly higher).
+		if r.DoublePrime > r.Prime {
+			t.Errorf("M=%d p=%d: L5″ %v slower than L5′ %v", r.M, r.P, r.DoublePrime, r.Prime)
+		}
+		// Speedup below the trivial bound.
+		if s := r.SpeedupDoublePrime(); s > float64(r.P)+1e-9 {
+			t.Errorf("M=%d p=%d: superlinear speedup %v", r.M, r.P, s)
+		}
+	}
+	// Speedup grows with M for fixed p (the paper's locality observation
+	// aside — in our model distribution amortizes with M³/M² growth).
+	for _, p := range []int{4, 16} {
+		var last float64
+		for _, r := range rows {
+			if r.P != p {
+				continue
+			}
+			s := r.SpeedupDoublePrime()
+			if s < last {
+				t.Errorf("p=%d: speedup not monotone at M=%d (%v after %v)", p, r.M, s, last)
+			}
+			last = s
+		}
+	}
+	// Large-M speedups approach p: at M=256, p=16 the paper reports 15.14
+	// for L5″; require ≥ 14 in our model.
+	for _, r := range rows {
+		if r.M == 256 && r.P == 16 {
+			if s := r.SpeedupDoublePrime(); s < 14 || s > 16 {
+				t.Errorf("M=256 p=16 L5″ speedup = %v, want ≈15", s)
+			}
+		}
+	}
+}
+
+func TestTableIRejectsBadShapes(t *testing.T) {
+	c := Transputer()
+	if _, err := L5PrimeTime(10, 4, c); err == nil {
+		t.Error("M not multiple of p accepted")
+	}
+	if _, err := L5DoublePrimeTime(9, 4, c); err == nil {
+		t.Error("M not multiple of √p accepted")
+	}
+	if _, err := L5PrimeTime(16, 5, c); err == nil {
+		t.Error("non-square p accepted")
+	}
+}
+
+func TestSequentialTimeScale(t *testing.T) {
+	c := Transputer()
+	got := SequentialTime(256, c)
+	// The paper measures 161.25 s for M=256; the calibrated constant puts
+	// the model within 1%.
+	if math.Abs(got-161.25)/161.25 > 0.01 {
+		t.Errorf("sequential M=256 = %v s, want ≈161.25", got)
+	}
+}
+
+func TestGatherOwned(t *testing.T) {
+	m := New(Mesh{P1: 1, P2: 2}, Transputer())
+	m.Node(0).Write("a", 1)
+	m.Node(1).Write("b", 2)
+	got := m.GatherOwned(map[string]int{"a": 0, "b": 1, "missing": 0})
+	if len(got) != 2 || got["a"] != 1 || got["b"] != 2 {
+		t.Errorf("gather = %v", got)
+	}
+}
+
+func TestStatsAndCounters(t *testing.T) {
+	m := New(Mesh{P1: 2, P2: 2}, Transputer())
+	m.SendTo(0, []Datum{{"k", 1}})
+	if m.Messages() != 1 || m.DataMoved() != 1 {
+		t.Errorf("messages=%d moved=%d", m.Messages(), m.DataMoved())
+	}
+	if m.NumNodes() != 4 {
+		t.Errorf("nodes = %d", m.NumNodes())
+	}
+	if m.Elapsed() != m.DistributionTime()+m.ComputeTime() {
+		t.Error("elapsed mismatch")
+	}
+}
+
+func TestKeyFormats(t *testing.T) {
+	if !strings.HasPrefix(ckey(1, 2), "C[") || !strings.HasPrefix(akey(1, 2), "A[") || !strings.HasPrefix(bkey(1, 2), "B[") {
+		t.Error("key formats wrong")
+	}
+}

@@ -1,0 +1,332 @@
+package machine
+
+// This file reproduces the paper's evaluation (Section IV, Tables I and
+// II): matrix multiplication L5 executed sequentially, as L5′ (array B
+// broadcast to every processor, A distributed by rows), and as L5″ (both
+// A and B partially replicated by row/column multicast on a √p×√p mesh).
+//
+// Two forms are provided for each scenario: a *timed* form that charges
+// the paper's distribution pattern and the exact per-node iteration
+// counts (usable up to M = 256 and beyond, since no data values move),
+// and an *executed* form that really distributes values and runs the
+// per-node loops against strictly local memories, verifying zero
+// inter-node communication and bit-identical results at small M.
+
+import (
+	"fmt"
+)
+
+// InitA, InitB, InitC give deterministic initial element values so the
+// sequential and parallel executions can be compared exactly.
+func InitA(i, k int64) float64 { return float64((i*31+k*17)%97) + 1 }
+
+// InitB is the initial value of B[k,j].
+func InitB(k, j int64) float64 { return float64((k*13+j*29)%89) + 1 }
+
+// InitC is the initial value of C[i,j] (the paper's loop accumulates into
+// C, so its initial contents matter).
+func InitC(i, j int64) float64 { return 0 }
+
+// ckey names C[i,j] in node memory.
+func ckey(i, j int64) string { return fmt.Sprintf("C[%d,%d]", i, j) }
+func akey(i, k int64) string { return fmt.Sprintf("A[%d,%d]", i, k) }
+func bkey(k, j int64) string { return fmt.Sprintf("B[%d,%d]", k, j) }
+
+// SequentialTime returns the paper's T₁ compute-only sequential time
+// (Table I counts no allocation time for p = 1).
+func SequentialTime(m int64, c CostModel) float64 {
+	return float64(m) * float64(m) * float64(m) * c.TComp
+}
+
+// SequentialMatMul executes L5 on one node and returns the C state.
+func SequentialMatMul(m int64) map[string]float64 {
+	out := map[string]float64{}
+	for i := int64(1); i <= m; i++ {
+		for j := int64(1); j <= m; j++ {
+			acc := InitC(i, j)
+			for k := int64(1); k <= m; k++ {
+				acc += InitA(i, k) * InitB(k, j)
+			}
+			out[ckey(i, j)] = acc
+		}
+	}
+	return out
+}
+
+// L5PrimeMachine distributes data for L5′ on p processors: row slices of
+// A (and the matching C rows) by pipelined unicast, the whole of B by
+// broadcast. When withValues is true real element values are loaded;
+// otherwise only the costs are charged (large-M table mode uses counts).
+func L5PrimeMachine(m int64, p int, c CostModel, withValues bool) (*Machine, error) {
+	topo, err := SquareMesh(p)
+	if err != nil {
+		return nil, err
+	}
+	mach := New(topo, c)
+	if m%int64(p) != 0 {
+		return nil, fmt.Errorf("machine: M=%d not a multiple of p=%d", m, p)
+	}
+	// A rows α ≡ a+1 (mod p) to PE_a, pipelined unicast (p messages).
+	for a := 0; a < p; a++ {
+		var data []Datum
+		for alpha := int64(a + 1); alpha <= m; alpha += int64(p) {
+			for k := int64(1); k <= m; k++ {
+				if withValues {
+					data = append(data, Datum{Key: akey(alpha, k), Value: InitA(alpha, k)})
+				}
+			}
+			// C rows ride along uncharged (the paper's T₂ counts only A
+			// and B); preload directly.
+			for j := int64(1); j <= m; j++ {
+				if withValues {
+					mach.Node(a).Preload(ckey(alpha, j), InitC(alpha, j))
+				}
+			}
+		}
+		if withValues {
+			mach.SendTo(a, data)
+		} else {
+			mach.charge(c.TStart+float64((m/int64(p))*m)*c.TComm, 1, int((m/int64(p))*m))
+		}
+	}
+	// Whole B broadcast.
+	if withValues {
+		var data []Datum
+		for k := int64(1); k <= m; k++ {
+			for j := int64(1); j <= m; j++ {
+				data = append(data, Datum{Key: bkey(k, j), Value: InitB(k, j)})
+			}
+		}
+		mach.Broadcast(data)
+	} else {
+		dia := float64(topo.Diameter())
+		mach.charge(c.TStart+dia*float64(m*m)*c.TComm, 1, int(m*m)*p)
+	}
+	return mach, nil
+}
+
+// L5PrimeTime returns the simulated total time of L5′ (distribution plus
+// the exact compute phase M³/p·t_comp), without moving data values.
+func L5PrimeTime(m int64, p int, c CostModel) (float64, error) {
+	mach, err := L5PrimeMachine(m, p, c, false)
+	if err != nil {
+		return 0, err
+	}
+	per := make([]int64, p)
+	for a := range per {
+		per[a] = (m / int64(p)) * m * m
+	}
+	mach.ChargeComputeIterations(per)
+	return mach.Elapsed(), nil
+}
+
+// RunL5Prime executes L5′ with real data and returns the machine and the
+// gathered C (each row owned by its processor).
+func RunL5Prime(m int64, p int, c CostModel) (*Machine, map[string]float64, error) {
+	mach, err := L5PrimeMachine(m, p, c, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	err = mach.Run(func(n *Node) error {
+		for i := int64(n.ID + 1); i <= m; i += int64(p) {
+			for j := int64(1); j <= m; j++ {
+				for k := int64(1); k <= m; k++ {
+					cv, err := n.Read(ckey(i, j))
+					if err != nil {
+						return err
+					}
+					av, err := n.Read(akey(i, k))
+					if err != nil {
+						return err
+					}
+					bv, err := n.Read(bkey(k, j))
+					if err != nil {
+						return err
+					}
+					n.Write(ckey(i, j), cv+av*bv)
+					n.CountIteration()
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return mach, nil, err
+	}
+	owner := map[string]int{}
+	for a := 0; a < p; a++ {
+		for i := int64(a + 1); i <= m; i += int64(p) {
+			for j := int64(1); j <= m; j++ {
+				owner[ckey(i, j)] = a
+			}
+		}
+	}
+	return mach, mach.GatherOwned(owner), nil
+}
+
+// L5DoublePrimeMachine distributes data for L5″ on a √p×√p mesh: A row
+// groups multicast along mesh rows, B column groups along mesh columns,
+// C tiles preloaded with their owners.
+func L5DoublePrimeMachine(m int64, p int, c CostModel, withValues bool) (*Machine, error) {
+	topo, err := SquareMesh(p)
+	if err != nil {
+		return nil, err
+	}
+	sq := int64(topo.P1)
+	if m%sq != 0 {
+		return nil, fmt.Errorf("machine: M=%d not a multiple of √p=%d", m, sq)
+	}
+	mach := New(topo, c)
+	nodeID := func(a1, a2 int64) int { return int(a1)*topo.P2 + int(a2) }
+	// A rows i ≡ a1+1 (mod √p) go to every processor in mesh row a1.
+	for a1 := int64(0); a1 < sq; a1++ {
+		group := make([]int, 0, sq)
+		for a2 := int64(0); a2 < sq; a2++ {
+			group = append(group, nodeID(a1, a2))
+		}
+		if withValues {
+			var data []Datum
+			for i := a1 + 1; i <= m; i += sq {
+				for k := int64(1); k <= m; k++ {
+					data = append(data, Datum{Key: akey(i, k), Value: InitA(i, k)})
+				}
+			}
+			mach.Multicast(group, data)
+		} else {
+			n := int((m / sq) * m)
+			mach.charge(c.TStart+float64(n+len(group)-1)*c.TComm, 1, n*len(group))
+		}
+	}
+	// B columns j ≡ a2+1 (mod √p) go to every processor in mesh column a2.
+	for a2 := int64(0); a2 < sq; a2++ {
+		group := make([]int, 0, sq)
+		for a1 := int64(0); a1 < sq; a1++ {
+			group = append(group, nodeID(a1, a2))
+		}
+		if withValues {
+			var data []Datum
+			for j := a2 + 1; j <= m; j += sq {
+				for k := int64(1); k <= m; k++ {
+					data = append(data, Datum{Key: bkey(k, j), Value: InitB(k, j)})
+				}
+			}
+			mach.Multicast(group, data)
+		} else {
+			n := int((m / sq) * m)
+			mach.charge(c.TStart+float64(n+len(group)-1)*c.TComm, 1, n*len(group))
+		}
+	}
+	// C tiles (uncharged, as in the paper's T₃ accounting).
+	if withValues {
+		for a1 := int64(0); a1 < sq; a1++ {
+			for a2 := int64(0); a2 < sq; a2++ {
+				nd := mach.Node(nodeID(a1, a2))
+				for i := a1 + 1; i <= m; i += sq {
+					for j := a2 + 1; j <= m; j += sq {
+						nd.Preload(ckey(i, j), InitC(i, j))
+					}
+				}
+			}
+		}
+	}
+	return mach, nil
+}
+
+// L5DoublePrimeTime returns the simulated total time of L5″.
+func L5DoublePrimeTime(m int64, p int, c CostModel) (float64, error) {
+	mach, err := L5DoublePrimeMachine(m, p, c, false)
+	if err != nil {
+		return 0, err
+	}
+	per := make([]int64, p)
+	for a := range per {
+		per[a] = (m * m * m) / int64(p)
+	}
+	mach.ChargeComputeIterations(per)
+	return mach.Elapsed(), nil
+}
+
+// RunL5DoublePrime executes L5″ with real data.
+func RunL5DoublePrime(m int64, p int, c CostModel) (*Machine, map[string]float64, error) {
+	mach, err := L5DoublePrimeMachine(m, p, c, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	sq := int64(mach.Topology.P1)
+	err = mach.Run(func(n *Node) error {
+		a1 := int64(n.ID) / sq
+		a2 := int64(n.ID) % sq
+		for i := a1 + 1; i <= m; i += sq {
+			for j := a2 + 1; j <= m; j += sq {
+				for k := int64(1); k <= m; k++ {
+					cv, err := n.Read(ckey(i, j))
+					if err != nil {
+						return err
+					}
+					av, err := n.Read(akey(i, k))
+					if err != nil {
+						return err
+					}
+					bv, err := n.Read(bkey(k, j))
+					if err != nil {
+						return err
+					}
+					n.Write(ckey(i, j), cv+av*bv)
+					n.CountIteration()
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return mach, nil, err
+	}
+	owner := map[string]int{}
+	for a1 := int64(0); a1 < sq; a1++ {
+		for a2 := int64(0); a2 < sq; a2++ {
+			id := int(a1*sq + a2)
+			for i := a1 + 1; i <= m; i += sq {
+				for j := a2 + 1; j <= m; j += sq {
+					owner[ckey(i, j)] = id
+				}
+			}
+		}
+	}
+	return mach, mach.GatherOwned(owner), nil
+}
+
+// TableRow is one (M, p) measurement for Tables I and II.
+type TableRow struct {
+	M           int64
+	P           int
+	Sequential  float64 // p = 1 reference
+	Prime       float64 // L5′ total time
+	DoublePrime float64 // L5″ total time
+}
+
+// SpeedupPrime returns Sequential / Prime.
+func (r TableRow) SpeedupPrime() float64 { return r.Sequential / r.Prime }
+
+// SpeedupDoublePrime returns Sequential / DoublePrime.
+func (r TableRow) SpeedupDoublePrime() float64 { return r.Sequential / r.DoublePrime }
+
+// TableI simulates the full Table I grid: sizes Ms on processor counts Ps.
+func TableI(ms []int64, ps []int, c CostModel) ([]TableRow, error) {
+	var rows []TableRow
+	for _, p := range ps {
+		for _, m := range ms {
+			row := TableRow{M: m, P: p, Sequential: SequentialTime(m, c)}
+			var err error
+			row.Prime, err = L5PrimeTime(m, p, c)
+			if err != nil {
+				return nil, err
+			}
+			row.DoublePrime, err = L5DoublePrimeTime(m, p, c)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}

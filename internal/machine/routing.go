@@ -1,0 +1,302 @@
+package machine
+
+// Link-level mesh simulation. The analytic distribution primitives in
+// machine.go charge the paper's closed-form costs; this file provides the
+// corresponding store-and-forward model at individual-link granularity:
+// messages follow XY routes, every directed link carries one message at a
+// time, and contention serializes. The Transputer generation of
+// multicomputers was store-and-forward, so a message of w words pays
+// t_start once plus w·t_comm per hop, and overlapping transfers queue on
+// shared links.
+//
+// The link simulator lets the Table I/II harness be cross-checked against
+// a mechanism-level model rather than the formulas alone (see
+// TestLinkLevelTableShape).
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeCoord is a (row, col) mesh position.
+type NodeCoord struct{ Row, Col int }
+
+// link is one directed channel between neighboring nodes.
+type link struct {
+	from, to NodeCoord
+}
+
+// Routing selects the switching discipline of the link simulator.
+type Routing int
+
+const (
+	// StoreAndForward forwards a message only after a hop has fully
+	// received it — the Transputer-era discipline the paper's constants
+	// reflect.
+	StoreAndForward Routing = iota
+	// Wormhole pipelines flits across the path: latency is one header
+	// hop per link plus a single message-transmission time, but the
+	// whole path is held for the message's duration.
+	Wormhole
+)
+
+// String names the routing discipline.
+func (r Routing) String() string {
+	if r == Wormhole {
+		return "wormhole"
+	}
+	return "store-and-forward"
+}
+
+// LinkSim simulates XY mesh routing with link contention under either
+// switching discipline.
+type LinkSim struct {
+	Topo    Mesh
+	Cost    CostModel
+	Routing Routing
+	// freeAt is the earliest time each directed link is available.
+	freeAt map[link]float64
+	// clock is the global completion time of all traffic so far.
+	clock float64
+	// hostInjectFree is when the host can inject its next message (the
+	// host serializes its sends, as in the paper's pipelined fashion).
+	hostInjectFree float64
+	messages       int64
+	words          int64
+}
+
+// NewLinkSim builds a store-and-forward link simulator over the mesh.
+func NewLinkSim(topo Mesh, cost CostModel) *LinkSim {
+	return &LinkSim{Topo: topo, Cost: cost, freeAt: map[link]float64{}}
+}
+
+// NewLinkSimRouting builds a link simulator with an explicit discipline.
+func NewLinkSimRouting(topo Mesh, cost CostModel, r Routing) *LinkSim {
+	s := NewLinkSim(topo, cost)
+	s.Routing = r
+	return s
+}
+
+// Coord converts a linear node ID (row-major) to mesh coordinates.
+func (s *LinkSim) Coord(id int) NodeCoord {
+	return NodeCoord{Row: id / s.Topo.P2, Col: id % s.Topo.P2}
+}
+
+// ID converts mesh coordinates to the linear node ID.
+func (s *LinkSim) ID(c NodeCoord) int { return c.Row*s.Topo.P2 + c.Col }
+
+// xyPath returns the XY route (column first, then row) between nodes.
+func (s *LinkSim) xyPath(from, to NodeCoord) []link {
+	var path []link
+	cur := from
+	for cur.Col != to.Col {
+		next := cur
+		if to.Col > cur.Col {
+			next.Col++
+		} else {
+			next.Col--
+		}
+		path = append(path, link{from: cur, to: next})
+		cur = next
+	}
+	for cur.Row != to.Row {
+		next := cur
+		if to.Row > cur.Row {
+			next.Row++
+		} else {
+			next.Row--
+		}
+		path = append(path, link{from: cur, to: next})
+		cur = next
+	}
+	return path
+}
+
+// Send routes one message of `words` data words from src to dst (linear
+// IDs), injecting no earlier than `ready`, and returns its arrival time.
+//
+// Store-and-forward: each hop must fully receive before forwarding; each
+// directed link is exclusive for the hop's duration. Wormhole: the head
+// flit reserves the path (one t_comm per hop), the body streams once, and
+// every path link is held until the tail passes.
+func (s *LinkSim) Send(src, dst int, words int, ready float64) float64 {
+	if src == dst {
+		return ready
+	}
+	if words < 1 {
+		words = 1
+	}
+	path := s.xyPath(s.Coord(src), s.Coord(dst))
+	var t float64
+	switch s.Routing {
+	case Wormhole:
+		start := ready + s.Cost.TStart
+		for _, l := range path {
+			if s.freeAt[l] > start {
+				start = s.freeAt[l]
+			}
+		}
+		t = start + float64(len(path))*s.Cost.TComm + float64(words)*s.Cost.TComm
+		for _, l := range path {
+			s.freeAt[l] = t
+		}
+	default: // StoreAndForward
+		t = ready + s.Cost.TStart
+		hop := float64(words) * s.Cost.TComm
+		for _, l := range path {
+			start := t
+			if s.freeAt[l] > start {
+				start = s.freeAt[l]
+			}
+			t = start + hop
+			s.freeAt[l] = t
+		}
+	}
+	s.messages++
+	s.words += int64(words)
+	if t > s.clock {
+		s.clock = t
+	}
+	return t
+}
+
+// HostSend serializes a message injection from the host (node 0): the
+// host's outgoing pipeline is busy until the first hop completes.
+func (s *LinkSim) HostSend(dst int, words int) float64 {
+	arrive := s.Send(0, dst, words, s.hostInjectFree)
+	// The host can start preparing the next message after the startup and
+	// first-hop transmission of this one (pipelined fashion).
+	s.hostInjectFree += s.Cost.TStart + float64(words)*s.Cost.TComm
+	return arrive
+}
+
+// HostMulticastRow sends the same message from the host to every node of
+// a mesh row via a chain: host → first node of the row, then forwarded
+// node-to-node (pipelined multicast).
+func (s *LinkSim) HostMulticastRow(row int, words int) float64 {
+	last := 0.0
+	prev := 0
+	for col := 0; col < s.Topo.P2; col++ {
+		dst := s.ID(NodeCoord{Row: row, Col: col})
+		var t float64
+		if col == 0 {
+			t = s.HostSend(dst, words)
+		} else {
+			t = s.Send(prev, dst, words, last)
+		}
+		last = t
+		prev = dst
+	}
+	return last
+}
+
+// HostMulticastCol is HostMulticastRow along a mesh column.
+func (s *LinkSim) HostMulticastCol(col int, words int) float64 {
+	last := 0.0
+	prev := 0
+	for row := 0; row < s.Topo.P1; row++ {
+		dst := s.ID(NodeCoord{Row: row, Col: col})
+		var t float64
+		if row == 0 {
+			t = s.HostSend(dst, words)
+		} else {
+			t = s.Send(prev, dst, words, last)
+		}
+		last = t
+		prev = dst
+	}
+	return last
+}
+
+// HostBroadcast floods the mesh along a row-then-column spanning tree.
+func (s *LinkSim) HostBroadcast(words int) float64 {
+	// First fill row 0, then each column forwards downward.
+	rowDone := s.HostMulticastRow(0, words)
+	finish := rowDone
+	for col := 0; col < s.Topo.P2; col++ {
+		last := rowDone
+		prev := s.ID(NodeCoord{Row: 0, Col: col})
+		for row := 1; row < s.Topo.P1; row++ {
+			dst := s.ID(NodeCoord{Row: row, Col: col})
+			last = s.Send(prev, dst, words, last)
+			prev = dst
+		}
+		if last > finish {
+			finish = last
+		}
+	}
+	return finish
+}
+
+// Elapsed returns the completion time of all traffic.
+func (s *LinkSim) Elapsed() float64 { return s.clock }
+
+// Messages returns the number of point-to-point messages routed.
+func (s *LinkSim) Messages() int64 { return s.messages }
+
+// BusiestLinks returns the n most heavily used links for diagnostics.
+func (s *LinkSim) BusiestLinks(n int) []string {
+	type lt struct {
+		l link
+		t float64
+	}
+	var all []lt
+	for l, t := range s.freeAt {
+		all = append(all, lt{l, t})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].t > all[j].t })
+	if n > len(all) {
+		n = len(all)
+	}
+	out := make([]string, 0, n)
+	for _, e := range all[:n] {
+		out = append(out, fmt.Sprintf("(%d,%d)→(%d,%d) busy until %.6f",
+			e.l.from.Row, e.l.from.Col, e.l.to.Row, e.l.to.Col, e.t))
+	}
+	return out
+}
+
+// L5PrimeLinkTime computes the L5′ total time with link-level
+// distribution: A row slices host-unicast to each node, B broadcast over
+// the spanning tree, then the M³/p compute phase.
+func L5PrimeLinkTime(m int64, p int, c CostModel) (float64, error) {
+	topo, err := SquareMesh(p)
+	if err != nil {
+		return 0, err
+	}
+	if m%int64(p) != 0 {
+		return 0, fmt.Errorf("machine: M=%d not a multiple of p=%d", m, p)
+	}
+	sim := NewLinkSim(topo, c)
+	rowWords := int((m / int64(p)) * m)
+	for a := 0; a < p; a++ {
+		sim.HostSend(a, rowWords)
+	}
+	sim.HostBroadcast(int(m * m))
+	compute := float64((m*m*m)/int64(p)) * c.TComp
+	return sim.Elapsed() + compute, nil
+}
+
+// L5DoublePrimeLinkTime computes the L5″ total time with link-level
+// distribution: A row groups multicast along mesh rows, B column groups
+// along mesh columns.
+func L5DoublePrimeLinkTime(m int64, p int, c CostModel) (float64, error) {
+	topo, err := SquareMesh(p)
+	if err != nil {
+		return 0, err
+	}
+	sq := int64(topo.P1)
+	if m%sq != 0 {
+		return 0, fmt.Errorf("machine: M=%d not a multiple of √p=%d", m, sq)
+	}
+	sim := NewLinkSim(topo, c)
+	groupWords := int((m / sq) * m)
+	for row := 0; row < topo.P1; row++ {
+		sim.HostMulticastRow(row, groupWords)
+	}
+	for col := 0; col < topo.P2; col++ {
+		sim.HostMulticastCol(col, groupWords)
+	}
+	compute := float64((m*m*m)/int64(p)) * c.TComp
+	return sim.Elapsed() + compute, nil
+}

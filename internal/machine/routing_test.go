@@ -1,0 +1,209 @@
+package machine
+
+import (
+	"math"
+	"testing"
+)
+
+func TestXYPathLengths(t *testing.T) {
+	s := NewLinkSim(Mesh{P1: 4, P2: 4}, Transputer())
+	cases := []struct {
+		src, dst int
+		hops     int
+	}{
+		{0, 0, 0},
+		{0, 1, 1},
+		{0, 4, 1},  // one row down
+		{0, 5, 2},  // diagonal neighbor
+		{0, 15, 6}, // opposite corner = diameter
+		{5, 10, 2},
+	}
+	for _, c := range cases {
+		path := s.xyPath(s.Coord(c.src), s.Coord(c.dst))
+		if len(path) != c.hops {
+			t.Errorf("path %d→%d = %d hops, want %d", c.src, c.dst, len(path), c.hops)
+		}
+	}
+}
+
+func TestSendSingleHopCost(t *testing.T) {
+	c := CostModel{TComp: 0, TStart: 10, TComm: 1}
+	s := NewLinkSim(Mesh{P1: 2, P2: 2}, c)
+	// 5 words, 1 hop: 10 + 5.
+	if got := s.Send(0, 1, 5, 0); got != 15 {
+		t.Errorf("single hop = %v, want 15", got)
+	}
+	// Store-and-forward over 2 hops: 10 + 5 + 5.
+	s2 := NewLinkSim(Mesh{P1: 2, P2: 2}, c)
+	if got := s2.Send(0, 3, 5, 0); got != 20 {
+		t.Errorf("two hops = %v, want 20", got)
+	}
+}
+
+func TestLinkContentionSerializes(t *testing.T) {
+	c := CostModel{TStart: 0, TComm: 1}
+	s := NewLinkSim(Mesh{P1: 1, P2: 3}, c)
+	// Two messages crossing link 0→1 at once: the second waits.
+	t1 := s.Send(0, 1, 10, 0)
+	t2 := s.Send(0, 2, 10, 0)
+	if t1 != 10 {
+		t.Errorf("first = %v", t1)
+	}
+	// Second: waits for link 0→1 until t=10, then 10 words on 0→1
+	// (t=20), then 10 words on 1→2 (t=30).
+	if t2 != 30 {
+		t.Errorf("second = %v, want 30 (contention + store-and-forward)", t2)
+	}
+	if s.Messages() != 2 {
+		t.Errorf("messages = %d", s.Messages())
+	}
+}
+
+func TestHostSendPipelining(t *testing.T) {
+	c := CostModel{TStart: 2, TComm: 1}
+	s := NewLinkSim(Mesh{P1: 1, P2: 4}, c)
+	// The host serializes injections: each occupies it for 2 + words.
+	a1 := s.HostSend(1, 3) // inject at 0, arrives 0+2+3 = 5
+	a2 := s.HostSend(1, 3) // inject at 5, arrives 5+2+3 = 10
+	if a1 != 5 || a2 != 10 {
+		t.Errorf("arrivals = %v, %v; want 5, 10", a1, a2)
+	}
+}
+
+func TestBroadcastReachesAll(t *testing.T) {
+	c := Transputer()
+	s := NewLinkSim(Mesh{P1: 4, P2: 4}, c)
+	finish := s.HostBroadcast(100)
+	if finish <= 0 {
+		t.Fatal("broadcast finished at 0")
+	}
+	// 3 row hops + 3 column hops minimum = diameter·words·t_comm plus
+	// startup; the spanning-tree finish must be at least that.
+	minTime := c.TStart + 6*100*c.TComm
+	if finish < minTime {
+		t.Errorf("broadcast %v faster than store-and-forward lower bound %v", finish, minTime)
+	}
+	if len(s.BusiestLinks(3)) != 3 {
+		t.Error("busiest links missing")
+	}
+}
+
+func TestLinkLevelAgreesWithAnalyticOrder(t *testing.T) {
+	// The link-level distribution times must preserve the analytic
+	// model's key ordering: L5″ distributes faster than L5′ (multicast of
+	// slices beats whole-B broadcast) at every size.
+	c := Transputer()
+	for _, m := range []int64{32, 64, 128, 256} {
+		prime, err := L5PrimeLinkTime(m, 16, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		double, err := L5DoublePrimeLinkTime(m, 16, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if double >= prime {
+			t.Errorf("M=%d: link-level L5″ %v ≥ L5′ %v", m, double, prime)
+		}
+		// Cross-check against the analytic model: same order of
+		// magnitude (within 3×) for the totals.
+		aPrime, err := L5PrimeTime(m, 16, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ratio := prime / aPrime; ratio > 3 || ratio < 1.0/3 {
+			t.Errorf("M=%d: link-level L5′ %v vs analytic %v (ratio %.2f)", m, prime, aPrime, ratio)
+		}
+		aDouble, err := L5DoublePrimeTime(m, 16, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ratio := double / aDouble; ratio > 3 || ratio < 1.0/3 {
+			t.Errorf("M=%d: link-level L5″ %v vs analytic %v (ratio %.2f)", m, double, aDouble, ratio)
+		}
+	}
+}
+
+func TestLinkLevelSpeedupShape(t *testing.T) {
+	c := Transputer()
+	var lastPrime, lastDouble float64
+	for _, m := range []int64{32, 64, 128, 256} {
+		seq := SequentialTime(m, c)
+		prime, _ := L5PrimeLinkTime(m, 16, c)
+		double, _ := L5DoublePrimeLinkTime(m, 16, c)
+		sp, sd := seq/prime, seq/double
+		if sd < sp {
+			t.Errorf("M=%d: L5″ speedup %v below L5′ %v", m, sd, sp)
+		}
+		if sp < lastPrime || sd < lastDouble {
+			t.Errorf("M=%d: speedups not monotone", m)
+		}
+		lastPrime, lastDouble = sp, sd
+		if m == 256 && (sd < 13 || sd > 16) {
+			t.Errorf("M=256 link-level L5″ speedup = %v, want ≈15", sd)
+		}
+	}
+}
+
+func TestWormholeFasterOnLongPaths(t *testing.T) {
+	c := CostModel{TStart: 0, TComm: 1}
+	// 1×8 mesh, 7 hops, 100 words.
+	sf := NewLinkSimRouting(Mesh{P1: 1, P2: 8}, c, StoreAndForward)
+	wh := NewLinkSimRouting(Mesh{P1: 1, P2: 8}, c, Wormhole)
+	tSF := sf.Send(0, 7, 100, 0)
+	tWH := wh.Send(0, 7, 100, 0)
+	// Store-and-forward: 7·100 = 700. Wormhole: 7 + 100 = 107.
+	if tSF != 700 {
+		t.Errorf("store-and-forward = %v, want 700", tSF)
+	}
+	if tWH != 107 {
+		t.Errorf("wormhole = %v, want 107", tWH)
+	}
+	if tWH >= tSF {
+		t.Error("wormhole should beat store-and-forward on long paths")
+	}
+}
+
+func TestWormholeHoldsWholePath(t *testing.T) {
+	c := CostModel{TStart: 0, TComm: 1}
+	s := NewLinkSimRouting(Mesh{P1: 1, P2: 4}, c, Wormhole)
+	// Message 0→3 holds links (0,1),(1,2),(2,3) until t = 3 + 10 = 13.
+	t1 := s.Send(0, 3, 10, 0)
+	if t1 != 13 {
+		t.Fatalf("first = %v", t1)
+	}
+	// A second message crossing (1,2) must wait for the path to free.
+	t2 := s.Send(1, 2, 10, 0)
+	// start = max(ready, freeAt) = 13; + 1 hop + 10 words = 24.
+	if t2 != 24 {
+		t.Errorf("second = %v, want 24", t2)
+	}
+	if StoreAndForward.String() == Wormhole.String() {
+		t.Error("routing names collide")
+	}
+}
+
+func TestCoordRoundTrip(t *testing.T) {
+	s := NewLinkSim(Mesh{P1: 3, P2: 5}, Transputer())
+	for id := 0; id < 15; id++ {
+		if got := s.ID(s.Coord(id)); got != id {
+			t.Errorf("round trip %d → %d", id, got)
+		}
+	}
+}
+
+func TestLinkShapesRejected(t *testing.T) {
+	c := Transputer()
+	if _, err := L5PrimeLinkTime(10, 4, c); err == nil {
+		t.Error("M not multiple of p accepted")
+	}
+	if _, err := L5DoublePrimeLinkTime(9, 4, c); err == nil {
+		t.Error("M not multiple of √p accepted")
+	}
+	if _, err := L5PrimeLinkTime(16, 3, c); err == nil {
+		t.Error("non-square p accepted")
+	}
+	if got, _ := L5PrimeLinkTime(16, 16, c); math.IsNaN(got) {
+		t.Error("NaN time")
+	}
+}

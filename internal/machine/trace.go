@@ -1,0 +1,122 @@
+package machine
+
+// Execution tracing: an optional event log of the distribution and
+// compute phases, rendered as an ASCII Gantt chart. The host serializes
+// its distribution steps (the paper's pipelined fashion), so each step
+// occupies [prev, prev+cost] on the host lane; the compute phase then
+// runs concurrently on every node.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// TraceEvent is one phase on one lane of the timeline.
+type TraceEvent struct {
+	Lane       string // "host" or "PE<n>"
+	Label      string
+	Start, End float64
+}
+
+// Trace collects events; attach with Machine.EnableTrace.
+type Trace struct {
+	mu     sync.Mutex
+	events []TraceEvent
+}
+
+// EnableTrace starts recording distribution and compute events.
+func (m *Machine) EnableTrace() *Trace {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.trace = &Trace{}
+	return m.trace
+}
+
+// CurrentTrace returns the attached trace (nil if tracing is disabled).
+func (m *Machine) CurrentTrace() *Trace {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.trace
+}
+
+// record appends an event (no-op without EnableTrace).
+func (m *Machine) record(lane, label string, start, end float64) {
+	if m.trace == nil {
+		return
+	}
+	m.trace.mu.Lock()
+	m.trace.events = append(m.trace.events, TraceEvent{Lane: lane, Label: label, Start: start, End: end})
+	m.trace.mu.Unlock()
+}
+
+// Events returns a copy of the recorded events, sorted by start time.
+func (t *Trace) Events() []TraceEvent {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]TraceEvent, len(t.events))
+	copy(out, t.events)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// Gantt renders the timeline as an ASCII chart of the given width.
+func (t *Trace) Gantt(width int) string {
+	events := t.Events()
+	if len(events) == 0 {
+		return "(no events)\n"
+	}
+	if width < 20 {
+		width = 20
+	}
+	var end float64
+	lanes := map[string][]TraceEvent{}
+	var laneOrder []string
+	for _, e := range events {
+		if e.End > end {
+			end = e.End
+		}
+		if _, ok := lanes[e.Lane]; !ok {
+			laneOrder = append(laneOrder, e.Lane)
+		}
+		lanes[e.Lane] = append(lanes[e.Lane], e)
+	}
+	if end == 0 {
+		end = 1
+	}
+	scale := func(x float64) int {
+		c := int(x / end * float64(width))
+		if c > width {
+			c = width
+		}
+		return c
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "timeline 0 .. %.6fs (each column ≈ %.6fs)\n", end, end/float64(width))
+	for _, lane := range laneOrder {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, e := range lanes[lane] {
+			lo, hi := scale(e.Start), scale(e.End)
+			if hi <= lo {
+				hi = lo + 1
+				if hi > width {
+					lo, hi = width-1, width
+				}
+			}
+			mark := byte('#')
+			if strings.HasPrefix(e.Label, "dist") {
+				mark = '='
+			}
+			for i := lo; i < hi; i++ {
+				row[i] = mark
+			}
+		}
+		fmt.Fprintf(&b, "%-6s |%s|\n", lane, row)
+	}
+	b.WriteString("('=' distribution, '#' compute)\n")
+	return b.String()
+}

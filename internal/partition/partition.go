@@ -1,0 +1,501 @@
+// Package partition implements the paper's core contribution: the four
+// communication-free array-partitioning strategies.
+//
+//   - Theorem 1 (NonDuplicate): Ψ = span(∪ Ψ_A) over the reference spaces
+//     of Definition 4.
+//   - Theorem 2 (Duplicate): Ψʳ = span(∪ Ψ_Aʳ) over reduced reference
+//     spaces — only flow dependences constrain the partition; fully
+//     duplicable arrays (no flow dependence, Definition 5) contribute
+//     nothing.
+//   - Theorems 3 and 4 (Minimal variants): the same constructions after
+//     redundant-computation elimination, using only useful dependences.
+//
+// Partitioning the iteration space by a space Ψ (Definition 2) groups
+// iterations whose difference lies in Ψ; the block key is the projection
+// onto an integer basis of the orthogonal complement. Data partitions
+// (Definition 3) collect every element referenced by a block's iterations.
+package partition
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"commfree/internal/deps"
+	"commfree/internal/linalg"
+	"commfree/internal/loop"
+	"commfree/internal/rational"
+	"commfree/internal/redundant"
+	"commfree/internal/space"
+)
+
+// Strategy selects one of the paper's four partitioning schemes.
+type Strategy int
+
+const (
+	// NonDuplicate is Theorem 1: one copy of every array element.
+	NonDuplicate Strategy = iota
+	// Duplicate is Theorem 2: elements may be replicated across blocks.
+	Duplicate
+	// MinimalNonDuplicate is Theorem 3: non-duplicate after eliminating
+	// redundant computations (minimal partitioning space).
+	MinimalNonDuplicate
+	// MinimalDuplicate is Theorem 4: duplicate-data after eliminating
+	// redundant computations.
+	MinimalDuplicate
+	// Selective duplicates only a chosen subset of the arrays (Section
+	// IV's L5′ duplicates array B but not A). Use ComputeSelective.
+	Selective
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case NonDuplicate:
+		return "non-duplicate"
+	case Duplicate:
+		return "duplicate"
+	case MinimalNonDuplicate:
+		return "minimal non-duplicate"
+	case MinimalDuplicate:
+		return "minimal duplicate"
+	case Selective:
+		return "selective duplicate"
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// Minimal reports whether the strategy requires redundant-computation
+// elimination first.
+func (s Strategy) Minimal() bool {
+	return s == MinimalNonDuplicate || s == MinimalDuplicate
+}
+
+// kernelSpace returns Ker(H_A) over Q.
+func kernelSpace(nest *loop.Nest, array string) *space.Space {
+	h := nest.ReferenceMatrix(array)
+	n := nest.Depth()
+	if h == nil {
+		return space.Zero(n)
+	}
+	ns := linalg.FromInts(h).NullSpace()
+	return space.Span(n, ns...)
+}
+
+// ReferenceSpace computes Ψ_A of Definition 4: the span of Ker(H_A)
+// together with one particular solution of H_A·t̄ = r̄ for every
+// data-referenced vector r̄ that admits an integer iteration-difference
+// solution (conditions (1) and (2)).
+func ReferenceSpace(a *deps.Analysis, array string) *space.Space {
+	n := a.Nest.Depth()
+	sp := kernelSpace(a.Nest, array)
+	for _, rel := range a.PairRelations(array) {
+		if rel.RationalSolvable && rel.IntegerRealizable {
+			sp = sp.Union(space.Span(n, rel.Particular))
+		}
+	}
+	return sp
+}
+
+// ReducedReferenceSpace computes Ψ_Aʳ of Section III.B: span(∅) for fully
+// duplicable arrays; Ker(H_A) plus the particular solutions of the flow
+// dependences for partially duplicable arrays.
+func ReducedReferenceSpace(a *deps.Analysis, array string) *space.Space {
+	n := a.Nest.Depth()
+	if a.FullyDuplicable(array) {
+		return space.Zero(n)
+	}
+	sp := kernelSpace(a.Nest, array)
+	for _, d := range a.Dependences(array) {
+		if d.Kind != deps.Flow {
+			continue
+		}
+		sp = sp.Union(depSolutionSpace(n, d))
+	}
+	return sp
+}
+
+// depSolutionSpace spans every dependence-distance direction of d: the
+// particular solution plus the solution kernel (trivial when H is
+// nonsingular, the paper's Section III.C assumption).
+func depSolutionSpace(n int, d *deps.Dependence) *space.Space {
+	vecs := [][]rational.Rat{space.RatVec(d.Solution.Particular)}
+	for _, k := range d.Solution.KernelBasis {
+		vecs = append(vecs, space.RatVec(k))
+	}
+	return space.Span(n, vecs...)
+}
+
+// MinimalReferenceSpace computes Ψ_A^min of Section III.C: the span of the
+// distance directions of the *useful* data dependences of the array.
+//
+// Section III.C assumes every H_A is nonsingular, under which the kernel
+// is trivial. This implementation handles singular H_A too, and then
+// Ker(H_A) must be included: two iterations can touch the same element
+// through one reference (kernel reuse) without any recorded dependence —
+// e.g. a read-only array — yet the single-copy requirement of the
+// non-duplicate strategy still forces them into one block.
+func MinimalReferenceSpace(r *redundant.Result, array string) *space.Space {
+	sp := kernelSpace(r.Nest, array)
+	n := r.Nest.Depth()
+	for _, d := range r.UsefulDepsOf(array) {
+		sp = sp.Union(depSolutionSpace(n, d))
+	}
+	return sp
+}
+
+// MinimalReducedReferenceSpace computes Ψ_A^minʳ of Section III.C: the
+// span of the distance directions of the useful *flow* dependences only.
+func MinimalReducedReferenceSpace(r *redundant.Result, array string) *space.Space {
+	n := r.Nest.Depth()
+	sp := space.Zero(n)
+	for _, d := range r.UsefulDepsOf(array) {
+		if d.Kind != deps.Flow {
+			continue
+		}
+		sp = sp.Union(depSolutionSpace(n, d))
+	}
+	return sp
+}
+
+// Block is one iteration block B_j of the iteration partition
+// (Definition 2).
+type Block struct {
+	ID         int       // 1-based, in lexicographic key order
+	Key        []int64   // Q·ī, constant across the block's iterations
+	Iterations [][]int64 // lexicographic order
+	Base       []int64   // base point b̄_j: the block's lexicographic minimum
+}
+
+// Size returns the number of iterations in the block.
+func (b *Block) Size() int { return len(b.Iterations) }
+
+// IterationPartition is P_Ψ(Iⁿ): the iteration space split into blocks.
+type IterationPartition struct {
+	Nest   *loop.Nest
+	Psi    *space.Space
+	Q      [][]int64 // primitive integer basis of the orthogonal complement
+	Blocks []*Block
+	index  map[string]*Block
+}
+
+// PartitionIterations applies P_Ψ(Iⁿ) to the nest's iteration space.
+func PartitionIterations(nest *loop.Nest, psi *space.Space) *IterationPartition {
+	q := psi.OrthogonalComplementIntegerBasis()
+	p := &IterationPartition{Nest: nest, Psi: psi, Q: q, index: map[string]*Block{}}
+	for _, it := range nest.Iterations() {
+		key := projectKey(q, it)
+		ks := fmt.Sprint(key)
+		b, ok := p.index[ks]
+		if !ok {
+			b = &Block{Key: key}
+			p.index[ks] = b
+			p.Blocks = append(p.Blocks, b)
+		}
+		b.Iterations = append(b.Iterations, it)
+	}
+	// Deterministic block order: lexicographic by key.
+	sort.Slice(p.Blocks, func(i, j int) bool {
+		return loop.LexLess(p.Blocks[i].Key, p.Blocks[j].Key)
+	})
+	for i, b := range p.Blocks {
+		b.ID = i + 1
+		b.Base = b.Iterations[0] // iterations were appended in lex order
+	}
+	return p
+}
+
+// projectKey computes Q·ī.
+func projectKey(q [][]int64, it []int64) []int64 {
+	key := make([]int64, len(q))
+	for r, row := range q {
+		var s int64
+		for c, v := range row {
+			s += v * it[c]
+		}
+		key[r] = s
+	}
+	return key
+}
+
+// BlockOf returns the block containing the iteration (nil if the
+// iteration is outside the iteration space).
+func (p *IterationPartition) BlockOf(it []int64) *Block {
+	for k, lv := range p.Nest.Levels {
+		if it[k] < lv.Lower.Eval(it) || it[k] > lv.Upper.Eval(it) {
+			return nil
+		}
+	}
+	return p.index[fmt.Sprint(projectKey(p.Q, it))]
+}
+
+// NumBlocks returns the number of iteration blocks q.
+func (p *IterationPartition) NumBlocks() int { return len(p.Blocks) }
+
+// MaxBlockSize returns the largest block cardinality (the parallel
+// execution time in iterations when blocks map 1:1 to processors).
+func (p *IterationPartition) MaxBlockSize() int {
+	max := 0
+	for _, b := range p.Blocks {
+		if b.Size() > max {
+			max = b.Size()
+		}
+	}
+	return max
+}
+
+// DataBlock is B_j^A: the elements of one array referenced by block j.
+type DataBlock struct {
+	BlockID  int
+	Elements [][]int64 // sorted lexicographically, unique
+}
+
+// DataPartition is P_Ψ(A) (Definition 3).
+type DataPartition struct {
+	Array  string
+	Blocks []*DataBlock
+	// Duplicated reports whether some element appears in more than one
+	// block (possible only under the duplicate-data strategies).
+	Duplicated bool
+	// CopyFactor is (Σ block sizes) / (unique elements); 1.0 means no
+	// duplication.
+	CopyFactor float64
+}
+
+// PartitionData applies P_Ψ(A) for one array, optionally restricted to
+// non-redundant computations (minimal strategies).
+func PartitionData(p *IterationPartition, array string, red *redundant.Result) *DataPartition {
+	dp := &DataPartition{Array: array}
+	total := 0
+	uniq := map[string]bool{}
+	for _, b := range p.Blocks {
+		elems := map[string][]int64{}
+		for _, it := range b.Iterations {
+			for si, st := range p.Nest.Body {
+				if red != nil && red.IsRedundant(si, it) {
+					continue
+				}
+				for _, r := range st.Reads {
+					if r.Array == array {
+						e := r.Index(it)
+						elems[fmt.Sprint(e)] = e
+					}
+				}
+				if st.Write.Array == array {
+					e := st.Write.Index(it)
+					elems[fmt.Sprint(e)] = e
+				}
+			}
+		}
+		db := &DataBlock{BlockID: b.ID}
+		for _, e := range elems {
+			db.Elements = append(db.Elements, e)
+		}
+		sort.Slice(db.Elements, func(i, j int) bool {
+			return loop.LexLess(db.Elements[i], db.Elements[j])
+		})
+		dp.Blocks = append(dp.Blocks, db)
+		total += len(db.Elements)
+		for k := range elems {
+			uniq[k] = true
+		}
+	}
+	if len(uniq) > 0 {
+		dp.CopyFactor = float64(total) / float64(len(uniq))
+	}
+	dp.Duplicated = total > len(uniq)
+	return dp
+}
+
+// Result is the complete partitioning of one nest under one strategy.
+type Result struct {
+	Strategy  Strategy
+	Analysis  *deps.Analysis
+	Redundant *redundant.Result // non-nil for minimal strategies
+	PerArray  map[string]*space.Space
+	Psi       *space.Space
+	Iter      *IterationPartition
+	Data      map[string]*DataPartition
+}
+
+// Compute runs the full partitioning pipeline on a validated nest.
+func Compute(nest *loop.Nest, strat Strategy) (*Result, error) {
+	a, err := deps.Analyze(nest)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Strategy: strat,
+		Analysis: a,
+		PerArray: map[string]*space.Space{},
+		Data:     map[string]*DataPartition{},
+	}
+	if strat.Minimal() {
+		res.Redundant, err = redundant.Eliminate(a)
+		if err != nil {
+			return nil, err
+		}
+	}
+	n := nest.Depth()
+	psi := space.Zero(n)
+	for _, array := range nest.Arrays() {
+		var sp *space.Space
+		switch strat {
+		case NonDuplicate:
+			sp = ReferenceSpace(a, array)
+		case Duplicate:
+			sp = ReducedReferenceSpace(a, array)
+		case MinimalNonDuplicate:
+			sp = MinimalReferenceSpace(res.Redundant, array)
+		case MinimalDuplicate:
+			sp = MinimalReducedReferenceSpace(res.Redundant, array)
+		default:
+			return nil, fmt.Errorf("partition: unknown strategy %d", int(strat))
+		}
+		res.PerArray[array] = sp
+		psi = psi.Union(sp)
+	}
+	res.Psi = psi
+	res.Iter = PartitionIterations(nest, psi)
+	for _, array := range nest.Arrays() {
+		res.Data[array] = PartitionData(res.Iter, array, res.Redundant)
+	}
+	return res, nil
+}
+
+// ParallelismDim returns n − dim(Ψ): the dimensionality of the forall
+// space (0 means sequential execution).
+func (r *Result) ParallelismDim() int {
+	return r.Analysis.Nest.Depth() - r.Psi.Dim()
+}
+
+// ComputeSelective partitions with per-array duplication choices: arrays
+// in duplicated use the reduced reference space, the rest the full
+// reference space. Section IV's L5′ (duplicate only B) is the motivating
+// case: Ψ′ = span({(0,1,0)} ∪ {(0,0,1)}) keeps array A distributed by
+// rows while B is replicated everywhere.
+func ComputeSelective(nest *loop.Nest, duplicated map[string]bool) (*Result, error) {
+	a, err := deps.Analyze(nest)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Strategy: Selective,
+		Analysis: a,
+		PerArray: map[string]*space.Space{},
+		Data:     map[string]*DataPartition{},
+	}
+	n := nest.Depth()
+	psi := space.Zero(n)
+	for _, array := range nest.Arrays() {
+		var sp *space.Space
+		if duplicated[array] {
+			sp = ReducedReferenceSpace(a, array)
+		} else {
+			sp = ReferenceSpace(a, array)
+		}
+		res.PerArray[array] = sp
+		psi = psi.Union(sp)
+	}
+	res.Psi = psi
+	res.Iter = PartitionIterations(nest, psi)
+	for _, array := range nest.Arrays() {
+		res.Data[array] = PartitionData(res.Iter, array, nil)
+	}
+	return res, nil
+}
+
+// AllowsDuplication reports whether the strategy may replicate data.
+func (r *Result) AllowsDuplication() bool {
+	return r.Strategy == Duplicate || r.Strategy == MinimalDuplicate || r.Strategy == Selective
+}
+
+// Verify exhaustively checks communication-freeness of the result on the
+// finite iteration space and returns a descriptive error on violation.
+func (r *Result) Verify() error {
+	return VerifyCommunicationFree(r.Iter, r.AllowsDuplication(), r.Redundant)
+}
+
+// accessEvent is one array access in global sequential order.
+type accessEvent struct {
+	order   int
+	isWrite bool
+	block   int
+	stmt    int
+	iter    []int64
+}
+
+// VerifyCommunicationFree checks the partition against the nest's exact
+// execution trace.
+//
+// Under the non-duplicate strategies (dupOK = false), every element must
+// be touched by exactly one block. Under the duplicate strategies
+// (dupOK = true), every read must see its most recent writer (if any) in
+// its own block — the flow-dependence condition of Theorem 2. When red is
+// non-nil, redundant computations are excluded from the trace (Theorems 3
+// and 4 guarantee communication-freeness only for the pruned program).
+func VerifyCommunicationFree(p *IterationPartition, dupOK bool, red *redundant.Result) error {
+	events := map[string][]accessEvent{} // array|elem → ordered accesses
+	order := 0
+	for _, it := range p.Nest.Iterations() {
+		b := p.BlockOf(it)
+		if b == nil {
+			return fmt.Errorf("partition: iteration %v not covered by any block", it)
+		}
+		for si, st := range p.Nest.Body {
+			if red != nil && red.IsRedundant(si, it) {
+				continue
+			}
+			for _, rd := range st.Reads {
+				k := rd.Array + "|" + fmt.Sprint(rd.Index(it))
+				events[k] = append(events[k], accessEvent{order: order, block: b.ID, stmt: si, iter: it})
+				order++
+			}
+			k := st.Write.Array + "|" + fmt.Sprint(st.Write.Index(it))
+			events[k] = append(events[k], accessEvent{order: order, isWrite: true, block: b.ID, stmt: si, iter: it})
+			order++
+		}
+	}
+	for key, evs := range events {
+		if !dupOK {
+			for _, e := range evs[1:] {
+				if e.block != evs[0].block {
+					return fmt.Errorf("partition: element %s accessed by blocks %d and %d (non-duplicate strategy)",
+						key, evs[0].block, e.block)
+				}
+			}
+			continue
+		}
+		lastWrite := -1
+		for i, e := range evs {
+			if e.isWrite {
+				lastWrite = i
+				continue
+			}
+			if lastWrite >= 0 && evs[lastWrite].block != e.block {
+				return fmt.Errorf("partition: flow dependence on %s crosses blocks %d → %d (write S%d%v, read S%d%v)",
+					key, evs[lastWrite].block, e.block,
+					evs[lastWrite].stmt+1, evs[lastWrite].iter, e.stmt+1, e.iter)
+			}
+		}
+	}
+	return nil
+}
+
+// Summary renders a report of the partitioning result.
+func (r *Result) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "strategy: %s\n", r.Strategy)
+	arrays := r.Analysis.Nest.Arrays()
+	for _, a := range arrays {
+		fmt.Fprintf(&b, "  Ψ_%s = %s\n", a, r.PerArray[a])
+	}
+	fmt.Fprintf(&b, "partitioning space Ψ = %s (dim %d)\n", r.Psi, r.Psi.Dim())
+	fmt.Fprintf(&b, "parallelism: %d-dimensional forall space, %d blocks (max block %d iterations)\n",
+		r.ParallelismDim(), r.Iter.NumBlocks(), r.Iter.MaxBlockSize())
+	for _, a := range arrays {
+		dp := r.Data[a]
+		fmt.Fprintf(&b, "  array %s: duplicated=%v copy-factor=%.2f\n", a, dp.Duplicated, dp.CopyFactor)
+	}
+	return b.String()
+}

@@ -1,0 +1,107 @@
+package polyhedron
+
+import (
+	"strings"
+	"testing"
+
+	"commfree/internal/rational"
+)
+
+func TestCloneIndependence(t *testing.T) {
+	s := NewSystem(2)
+	s.AddLEInts([]int64{1, 0}, 5)
+	c := s.Clone()
+	c.AddLEInts([]int64{0, 1}, 3)
+	if len(s.Ineqs) != 1 || len(c.Ineqs) != 2 {
+		t.Errorf("clone not independent: %d vs %d", len(s.Ineqs), len(c.Ineqs))
+	}
+	// Mutating a clone's coefficients must not touch the original.
+	c.Ineqs[0].Coeffs[0] = rational.FromInt(99)
+	if s.Ineqs[0].Coeffs[0].Equal(rational.FromInt(99)) {
+		t.Error("clone shares coefficient storage")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	s := NewSystem(2)
+	s.AddLEInts([]int64{2, -1}, 7)
+	s.AddGEInts([]int64{0, 1}, 1)
+	out := s.String()
+	if !strings.Contains(out, "≤") {
+		t.Errorf("rendering = %q", out)
+	}
+	var q Ineq
+	q.Coeffs = []rational.Rat{rational.Zero, rational.Zero}
+	q.Bound = rational.FromInt(3)
+	if got := q.String(); !strings.Contains(got, "0 ≤ 3") {
+		t.Errorf("zero-row rendering = %q", got)
+	}
+}
+
+func TestContradictionSurvivesDedup(t *testing.T) {
+	// 0 ≤ -1 (after substitution) must be kept so emptiness is visible.
+	s := NewSystem(1)
+	s.AddLEInts([]int64{1}, 2)
+	s.AddGEInts([]int64{1}, 5)
+	e := s.Eliminate(0)
+	lo, hi, _, _, empty := e.BoundsOn(0)
+	_ = lo
+	_ = hi
+	if !empty {
+		// Eliminate produced 0 ≤ -3; BoundsOn must flag it.
+		t.Error("contradiction lost during elimination")
+	}
+}
+
+func TestNegativeSystemSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewSystem(-1) did not panic")
+		}
+	}()
+	NewSystem(-1)
+}
+
+func TestSatisfiesLengthPanics(t *testing.T) {
+	s := NewSystem(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong point length did not panic")
+		}
+	}()
+	s.Satisfies([]int64{1})
+}
+
+func TestEliminateOutOfRangePanics(t *testing.T) {
+	s := NewSystem(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range eliminate did not panic")
+		}
+	}()
+	s.Eliminate(5)
+}
+
+func TestBoundsOnMixedConstraintsIgnored(t *testing.T) {
+	// BoundsOn only reads single-variable rows; a mixed row is skipped.
+	s := NewSystem(2)
+	s.AddLEInts([]int64{1, 1}, 4) // mixed: ignored by BoundsOn
+	s.AddLEInts([]int64{1, 0}, 9)
+	_, hi, _, hasHi, _ := s.BoundsOn(0)
+	if !hasHi || hi.Floor() != 9 {
+		t.Errorf("hi = %v (hasHi=%v), want 9 from the pure row", hi, hasHi)
+	}
+}
+
+func TestEnumerationSingleVariable(t *testing.T) {
+	s := NewSystem(1)
+	s.AddGEInts([]int64{2}, 3) // 2x ≥ 3 → x ≥ 2 over the integers
+	s.AddLEInts([]int64{1}, 4)
+	pts, err := s.EnumerateIntegerPoints()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 || pts[0][0] != 2 || pts[2][0] != 4 {
+		t.Errorf("points = %v, want [2],[3],[4]", pts)
+	}
+}

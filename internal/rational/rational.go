@@ -1,0 +1,271 @@
+// Package rational implements exact rational arithmetic on
+// overflow-checked int64 numerators and denominators.
+//
+// All of the linear algebra in this module (reference-function solving,
+// null spaces, Fourier–Motzkin bounds) operates over Q. The magnitudes
+// involved are tiny — loop bounds and reference-matrix entries — so a
+// machine-word representation is both exact and fast. Every arithmetic
+// operation checks for int64 overflow and panics with ErrOverflow if the
+// result cannot be represented; the panic is converted to an error at the
+// package boundaries that accept untrusted input.
+package rational
+
+import (
+	"fmt"
+	"math"
+)
+
+// ErrOverflow is the panic value raised when an operation overflows int64.
+// Callers that process untrusted input should recover it via Guard.
+var ErrOverflow = fmt.Errorf("rational: int64 overflow")
+
+// Rat is an exact rational number. The zero value is 0.
+//
+// Invariant: den > 0 and gcd(|num|, den) == 1, except that the zero value
+// (num == 0, den == 0) is also accepted and treated as 0 everywhere.
+type Rat struct {
+	num, den int64
+}
+
+// Zero and One are the additive and multiplicative identities.
+var (
+	Zero = Rat{0, 1}
+	One  = Rat{1, 1}
+)
+
+// New returns the rational num/den in lowest terms. It panics with
+// ErrOverflow when den == 0 or when normalization overflows.
+func New(num, den int64) Rat {
+	if den == 0 {
+		panic(fmt.Errorf("rational: zero denominator in %d/%d", num, den))
+	}
+	return normalize(num, den)
+}
+
+// FromInt returns the rational n/1.
+func FromInt(n int64) Rat { return Rat{n, 1} }
+
+// normalize reduces num/den to lowest terms with a positive denominator.
+func normalize(num, den int64) Rat {
+	if num == 0 {
+		return Rat{0, 1}
+	}
+	if den < 0 {
+		num, den = negChecked(num), negChecked(den)
+	}
+	g := GCD(abs64(num), den)
+	return Rat{num / g, den / g}
+}
+
+// canon returns r with the zero-value form mapped to 0/1 so that all
+// internal arithmetic can assume den >= 1.
+func (r Rat) canon() Rat {
+	if r.den == 0 {
+		return Rat{0, 1}
+	}
+	return r
+}
+
+// Num returns the numerator of r in lowest terms.
+func (r Rat) Num() int64 { return r.canon().num }
+
+// Den returns the (positive) denominator of r in lowest terms.
+func (r Rat) Den() int64 { return r.canon().den }
+
+// IsZero reports whether r == 0.
+func (r Rat) IsZero() bool { return r.canon().num == 0 }
+
+// IsInt reports whether r is an integer.
+func (r Rat) IsInt() bool { return r.canon().den == 1 }
+
+// Int returns the integer value of r. It panics if r is not an integer.
+func (r Rat) Int() int64 {
+	c := r.canon()
+	if c.den != 1 {
+		panic(fmt.Errorf("rational: %s is not an integer", c))
+	}
+	return c.num
+}
+
+// Sign returns -1, 0, or +1 according to the sign of r.
+func (r Rat) Sign() int {
+	switch c := r.canon(); {
+	case c.num > 0:
+		return 1
+	case c.num < 0:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// Neg returns -r.
+func (r Rat) Neg() Rat {
+	c := r.canon()
+	return Rat{negChecked(c.num), c.den}
+}
+
+// Abs returns |r|.
+func (r Rat) Abs() Rat {
+	if r.Sign() < 0 {
+		return r.Neg()
+	}
+	return r.canon()
+}
+
+// Inv returns 1/r. It panics if r == 0.
+func (r Rat) Inv() Rat {
+	c := r.canon()
+	if c.num == 0 {
+		panic(fmt.Errorf("rational: division by zero"))
+	}
+	return normalize(c.den, c.num)
+}
+
+// Add returns r + s.
+func (r Rat) Add(s Rat) Rat {
+	a, b := r.canon(), s.canon()
+	// a.num/a.den + b.num/b.den with a shared-gcd denominator to delay
+	// overflow as long as possible.
+	g := GCD(a.den, b.den)
+	da, db := a.den/g, b.den/g
+	num := addChecked(mulChecked(a.num, db), mulChecked(b.num, da))
+	den := mulChecked(mulChecked(da, g), db)
+	return normalize(num, den)
+}
+
+// Sub returns r - s.
+func (r Rat) Sub(s Rat) Rat { return r.Add(s.Neg()) }
+
+// Mul returns r * s.
+func (r Rat) Mul(s Rat) Rat {
+	a, b := r.canon(), s.canon()
+	// Cross-reduce first to keep intermediates small.
+	g1 := GCD(abs64(a.num), b.den)
+	g2 := GCD(abs64(b.num), a.den)
+	num := mulChecked(a.num/g1, b.num/g2)
+	den := mulChecked(a.den/g2, b.den/g1)
+	return normalize(num, den)
+}
+
+// Div returns r / s. It panics if s == 0.
+func (r Rat) Div(s Rat) Rat { return r.Mul(s.Inv()) }
+
+// Cmp compares r and s, returning -1, 0, or +1.
+func (r Rat) Cmp(s Rat) int { return r.Sub(s).Sign() }
+
+// Equal reports whether r == s.
+func (r Rat) Equal(s Rat) bool {
+	a, b := r.canon(), s.canon()
+	return a.num == b.num && a.den == b.den
+}
+
+// Less reports whether r < s.
+func (r Rat) Less(s Rat) bool { return r.Cmp(s) < 0 }
+
+// Float returns the nearest float64 to r (for reporting only).
+func (r Rat) Float() float64 {
+	c := r.canon()
+	return float64(c.num) / float64(c.den)
+}
+
+// Floor returns the largest integer <= r.
+func (r Rat) Floor() int64 {
+	c := r.canon()
+	q := c.num / c.den
+	if c.num%c.den != 0 && c.num < 0 {
+		q--
+	}
+	return q
+}
+
+// Ceil returns the smallest integer >= r.
+func (r Rat) Ceil() int64 {
+	c := r.canon()
+	q := c.num / c.den
+	if c.num%c.den != 0 && c.num > 0 {
+		q++
+	}
+	return q
+}
+
+// String renders r as "n" or "n/d".
+func (r Rat) String() string {
+	c := r.canon()
+	if c.den == 1 {
+		return fmt.Sprintf("%d", c.num)
+	}
+	return fmt.Sprintf("%d/%d", c.num, c.den)
+}
+
+// GCD returns the greatest common divisor of a and b using |a|, |b|;
+// GCD(0, 0) == 1 by convention so it is always a safe divisor.
+func GCD(a, b int64) int64 {
+	a, b = abs64(a), abs64(b)
+	for b != 0 {
+		a, b = b, a%b
+	}
+	if a == 0 {
+		return 1
+	}
+	return a
+}
+
+// LCM returns the least common multiple of a and b (panics on overflow).
+func LCM(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	g := GCD(a, b)
+	return abs64(mulChecked(a/g, b))
+}
+
+// Guard runs f, converting an ErrOverflow (or other rational panic carrying
+// an error) into a returned error. Non-error panics are re-raised.
+func Guard(f func()) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			if e, ok := p.(error); ok {
+				err = e
+				return
+			}
+			panic(p)
+		}
+	}()
+	f()
+	return nil
+}
+
+func abs64(x int64) int64 {
+	if x < 0 {
+		return negChecked(x)
+	}
+	return x
+}
+
+func negChecked(x int64) int64 {
+	if x == math.MinInt64 {
+		panic(ErrOverflow)
+	}
+	return -x
+}
+
+func addChecked(a, b int64) int64 {
+	s := a + b
+	// Overflow iff operands share a sign that the sum does not.
+	if (a > 0 && b > 0 && s <= 0) || (a < 0 && b < 0 && s >= 0) {
+		panic(ErrOverflow)
+	}
+	return s
+}
+
+func mulChecked(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	p := a * b
+	if p/b != a || (a == math.MinInt64 && b == -1) || (b == math.MinInt64 && a == -1) {
+		panic(ErrOverflow)
+	}
+	return p
+}

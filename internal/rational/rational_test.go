@@ -1,0 +1,319 @@
+package rational
+
+import (
+	"math"
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewNormalizes(t *testing.T) {
+	cases := []struct {
+		num, den     int64
+		wantN, wantD int64
+	}{
+		{1, 2, 1, 2},
+		{2, 4, 1, 2},
+		{-2, 4, -1, 2},
+		{2, -4, -1, 2},
+		{-2, -4, 1, 2},
+		{0, 5, 0, 1},
+		{0, -5, 0, 1},
+		{6, 3, 2, 1},
+		{7, 1, 7, 1},
+		{-9, 3, -3, 1},
+	}
+	for _, c := range cases {
+		r := New(c.num, c.den)
+		if r.Num() != c.wantN || r.Den() != c.wantD {
+			t.Errorf("New(%d,%d) = %s, want %d/%d", c.num, c.den, r, c.wantN, c.wantD)
+		}
+	}
+}
+
+func TestNewZeroDenominatorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(1, 0) did not panic")
+		}
+	}()
+	New(1, 0)
+}
+
+func TestZeroValueBehavesAsZero(t *testing.T) {
+	var z Rat
+	if !z.IsZero() {
+		t.Error("zero value not IsZero")
+	}
+	if got := z.Add(One); !got.Equal(One) {
+		t.Errorf("0+1 = %s", got)
+	}
+	if got := One.Mul(z); !got.IsZero() {
+		t.Errorf("1*0 = %s", got)
+	}
+	if z.Sign() != 0 {
+		t.Errorf("Sign(0) = %d", z.Sign())
+	}
+	if z.String() != "0" {
+		t.Errorf("String(0) = %q", z.String())
+	}
+	if !z.Equal(Zero) {
+		t.Error("zero value != Zero")
+	}
+}
+
+func TestArithmeticTable(t *testing.T) {
+	half := New(1, 2)
+	third := New(1, 3)
+	cases := []struct {
+		name string
+		got  Rat
+		want Rat
+	}{
+		{"1/2+1/3", half.Add(third), New(5, 6)},
+		{"1/2-1/3", half.Sub(third), New(1, 6)},
+		{"1/2*1/3", half.Mul(third), New(1, 6)},
+		{"1/2div1/3", half.Div(third), New(3, 2)},
+		{"neg", half.Neg(), New(-1, 2)},
+		{"inv", third.Inv(), New(3, 1)},
+		{"abs", New(-7, 3).Abs(), New(7, 3)},
+		{"add to int", New(1, 2).Add(New(3, 2)), FromInt(2)},
+	}
+	for _, c := range cases {
+		if !c.got.Equal(c.want) {
+			t.Errorf("%s = %s, want %s", c.name, c.got, c.want)
+		}
+	}
+}
+
+func TestDivByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Div by zero did not panic")
+		}
+	}()
+	One.Div(Zero)
+}
+
+func TestFloorCeil(t *testing.T) {
+	cases := []struct {
+		r           Rat
+		floor, ceil int64
+	}{
+		{New(7, 2), 3, 4},
+		{New(-7, 2), -4, -3},
+		{New(6, 2), 3, 3},
+		{New(-6, 2), -3, -3},
+		{Zero, 0, 0},
+		{New(1, 3), 0, 1},
+		{New(-1, 3), -1, 0},
+	}
+	for _, c := range cases {
+		if got := c.r.Floor(); got != c.floor {
+			t.Errorf("Floor(%s) = %d, want %d", c.r, got, c.floor)
+		}
+		if got := c.r.Ceil(); got != c.ceil {
+			t.Errorf("Ceil(%s) = %d, want %d", c.r, got, c.ceil)
+		}
+	}
+}
+
+func TestIntAccessors(t *testing.T) {
+	if !FromInt(5).IsInt() {
+		t.Error("FromInt(5) not IsInt")
+	}
+	if New(1, 2).IsInt() {
+		t.Error("1/2 IsInt")
+	}
+	if got := FromInt(-4).Int(); got != -4 {
+		t.Errorf("Int() = %d", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Int() on 1/2 did not panic")
+		}
+	}()
+	New(1, 2).Int()
+}
+
+func TestCmpOrdering(t *testing.T) {
+	vals := []Rat{New(-3, 1), New(-1, 2), Zero, New(1, 3), New(1, 2), New(2, 1)}
+	for i := range vals {
+		for j := range vals {
+			want := 0
+			if i < j {
+				want = -1
+			} else if i > j {
+				want = 1
+			}
+			if got := vals[i].Cmp(vals[j]); got != want {
+				t.Errorf("Cmp(%s,%s) = %d, want %d", vals[i], vals[j], got, want)
+			}
+			if got := vals[i].Less(vals[j]); got != (want < 0) {
+				t.Errorf("Less(%s,%s) = %v", vals[i], vals[j], got)
+			}
+		}
+	}
+}
+
+func TestGCDLCM(t *testing.T) {
+	cases := []struct{ a, b, gcd, lcm int64 }{
+		{12, 18, 6, 36},
+		{-12, 18, 6, 36},
+		{12, -18, 6, 36},
+		{0, 5, 5, 0},
+		{5, 0, 5, 0},
+		{0, 0, 1, 0},
+		{7, 13, 1, 91},
+		{1, 1, 1, 1},
+	}
+	for _, c := range cases {
+		if got := GCD(c.a, c.b); got != c.gcd {
+			t.Errorf("GCD(%d,%d) = %d, want %d", c.a, c.b, got, c.gcd)
+		}
+		if got := LCM(c.a, c.b); got != c.lcm {
+			t.Errorf("LCM(%d,%d) = %d, want %d", c.a, c.b, got, c.lcm)
+		}
+	}
+}
+
+func TestOverflowDetectedAndGuarded(t *testing.T) {
+	big1 := FromInt(math.MaxInt64)
+	err := Guard(func() { big1.Add(One) })
+	if err == nil {
+		t.Fatal("expected overflow error from MaxInt64 + 1")
+	}
+	err = Guard(func() { big1.Mul(FromInt(2)) })
+	if err == nil {
+		t.Fatal("expected overflow error from MaxInt64 * 2")
+	}
+	err = Guard(func() { FromInt(math.MinInt64).Neg() })
+	if err == nil {
+		t.Fatal("expected overflow error from -MinInt64")
+	}
+	if err := Guard(func() { One.Add(One) }); err != nil {
+		t.Fatalf("Guard on safe op: %v", err)
+	}
+}
+
+func TestGuardRepanicsNonError(t *testing.T) {
+	defer func() {
+		if p := recover(); p != "boom" {
+			t.Fatalf("recover = %v, want boom", p)
+		}
+	}()
+	_ = Guard(func() { panic("boom") })
+}
+
+func TestString(t *testing.T) {
+	cases := []struct {
+		r    Rat
+		want string
+	}{
+		{New(1, 2), "1/2"},
+		{New(-3, 4), "-3/4"},
+		{FromInt(7), "7"},
+		{Zero, "0"},
+	}
+	for _, c := range cases {
+		if got := c.r.String(); got != c.want {
+			t.Errorf("String(%v) = %q, want %q", c.r, got, c.want)
+		}
+	}
+}
+
+// smallRat maps arbitrary int64 pairs into a small, well-formed rational so
+// property tests stay far from overflow territory.
+func smallRat(a, b int64) Rat {
+	num := a%50 - 25
+	den := b%50 + 51 // in [1, 100] for b >= 0; shift negatives
+	if den <= 0 {
+		den += 100
+	}
+	return New(num, den)
+}
+
+func TestPropFieldAxioms(t *testing.T) {
+	add := func(a1, a2, b1, b2, c1, c2 int64) bool {
+		x, y, z := smallRat(a1, a2), smallRat(b1, b2), smallRat(c1, c2)
+		// commutativity, associativity, distributivity
+		if !x.Add(y).Equal(y.Add(x)) {
+			return false
+		}
+		if !x.Add(y.Add(z)).Equal(x.Add(y).Add(z)) {
+			return false
+		}
+		if !x.Mul(y).Equal(y.Mul(x)) {
+			return false
+		}
+		if !x.Mul(y.Mul(z)).Equal(x.Mul(y).Mul(z)) {
+			return false
+		}
+		return x.Mul(y.Add(z)).Equal(x.Mul(y).Add(x.Mul(z)))
+	}
+	if err := quick.Check(add, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropInverses(t *testing.T) {
+	f := func(a1, a2 int64) bool {
+		x := smallRat(a1, a2)
+		if !x.Add(x.Neg()).IsZero() {
+			return false
+		}
+		if x.IsZero() {
+			return true
+		}
+		return x.Mul(x.Inv()).Equal(One)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropMatchesBigRat(t *testing.T) {
+	f := func(a1, a2, b1, b2 int64) bool {
+		x, y := smallRat(a1, a2), smallRat(b1, b2)
+		bx := big.NewRat(x.Num(), x.Den())
+		by := big.NewRat(y.Num(), y.Den())
+		sum := x.Add(y)
+		bsum := new(big.Rat).Add(bx, by)
+		if sum.Num() != bsum.Num().Int64() || sum.Den() != bsum.Denom().Int64() {
+			return false
+		}
+		prod := x.Mul(y)
+		bprod := new(big.Rat).Mul(bx, by)
+		return prod.Num() == bprod.Num().Int64() && prod.Den() == bprod.Denom().Int64()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropFloorCeilBracket(t *testing.T) {
+	f := func(a1, a2 int64) bool {
+		x := smallRat(a1, a2)
+		fl, ce := x.Floor(), x.Ceil()
+		if FromInt(fl).Cmp(x) > 0 || FromInt(ce).Cmp(x) < 0 {
+			return false
+		}
+		if x.IsInt() {
+			return fl == ce && fl == x.Int()
+		}
+		return ce == fl+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropNormalizedInvariant(t *testing.T) {
+	f := func(a1, a2, b1, b2 int64) bool {
+		x := smallRat(a1, a2).Mul(smallRat(b1, b2))
+		return x.Den() > 0 && GCD(x.Num(), x.Den()) == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,221 @@
+// Package redundant implements Section III.C of the paper: detecting and
+// eliminating redundant computations, and reclassifying data dependences
+// as useful or false afterwards.
+//
+// A computation S_k(ī) is redundant when the value it writes is
+// overwritten by the next write to the same element without having been
+// read (Case 1), or having been read only by computations that are
+// themselves redundant (Case 2). The paper describes a recursive
+// examination; on the finite iteration spaces of the loop model this is a
+// monotone fixpoint over the exact event timeline, which this package
+// computes directly. Removing the redundant computations can only mark
+// more dependences false, never fewer, so the fixpoint is the least one.
+package redundant
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"commfree/internal/deps"
+	"commfree/internal/loop"
+)
+
+// event is one access in the execution timeline of a single array element.
+type event struct {
+	seq     int // global execution order
+	stmt    int // statement index
+	iter    []int64
+	isWrite bool
+}
+
+// compKey identifies a computation S_stmt(ī).
+type compKey struct {
+	stmt int
+	iter string
+}
+
+func keyOf(stmt int, iter []int64) compKey {
+	return compKey{stmt: stmt, iter: fmt.Sprint(iter)}
+}
+
+// Result holds the outcome of redundant-computation elimination.
+type Result struct {
+	Nest     *loop.Nest
+	Analysis *deps.Analysis
+
+	redundant map[compKey]bool
+	iters     [][]int64
+
+	// UsefulDeps are the dependences that survive (Val sets intersect).
+	UsefulDeps []*deps.Dependence
+	// FalseDeps are dependences invalidated by redundant-computation
+	// removal (Val(a,S) ∩ Val(b,S') = ∅).
+	FalseDeps []*deps.Dependence
+}
+
+// Eliminate runs the fixpoint on the analysis' nest.
+func Eliminate(a *deps.Analysis) (*Result, error) {
+	nest := a.Nest
+	res := &Result{
+		Nest:      nest,
+		Analysis:  a,
+		redundant: map[compKey]bool{},
+		iters:     nest.Iterations(),
+	}
+
+	// Build per-element event timelines. Execution order: iterations in
+	// lexicographic order; within an iteration, statements in body order;
+	// within a statement, reads then the write.
+	timeline := map[string][]event{} // "array|elem" -> events
+	elemKey := func(array string, elem []int64) string {
+		return array + "|" + fmt.Sprint(elem)
+	}
+	seq := 0
+	for _, it := range res.iters {
+		for si, st := range nest.Body {
+			for _, r := range st.Reads {
+				k := elemKey(r.Array, r.Index(it))
+				timeline[k] = append(timeline[k], event{seq: seq, stmt: si, iter: it, isWrite: false})
+				seq++
+			}
+			k := elemKey(st.Write.Array, st.Write.Index(it))
+			timeline[k] = append(timeline[k], event{seq: seq, stmt: si, iter: it, isWrite: true})
+			seq++
+		}
+	}
+
+	// Monotone fixpoint: mark a computation redundant when its write is
+	// followed (on the same element) by another write with no intervening
+	// non-redundant reads.
+	for changed := true; changed; {
+		changed = false
+		for _, events := range timeline {
+			for i, ev := range events {
+				if !ev.isWrite {
+					continue
+				}
+				ck := keyOf(ev.stmt, ev.iter)
+				if res.redundant[ck] {
+					continue
+				}
+				// Find the next write; collect reads in between.
+				next := -1
+				allReadsRedundant := true
+				for j := i + 1; j < len(events); j++ {
+					if events[j].isWrite {
+						next = j
+						break
+					}
+					if !res.redundant[keyOf(events[j].stmt, events[j].iter)] {
+						allReadsRedundant = false
+					}
+				}
+				if next < 0 {
+					continue // final write: value reaches the output state
+				}
+				if allReadsRedundant {
+					res.redundant[ck] = true
+					changed = true
+				}
+			}
+		}
+	}
+
+	res.classifyDeps()
+	return res, nil
+}
+
+// IsRedundant reports whether computation S_stmt(ī) is redundant.
+func (r *Result) IsRedundant(stmt int, iter []int64) bool {
+	return r.redundant[keyOf(stmt, iter)]
+}
+
+// NonRedundant returns N(S_stmt): the iterations at which the statement is
+// not redundant, in lexicographic order.
+func (r *Result) NonRedundant(stmt int) [][]int64 {
+	var out [][]int64
+	for _, it := range r.iters {
+		if !r.IsRedundant(stmt, it) {
+			out = append(out, it)
+		}
+	}
+	return out
+}
+
+// NumRedundant counts redundant computations across all statements.
+func (r *Result) NumRedundant() int { return len(r.redundant) }
+
+// Val returns the element set Val(ref, S): the data-space points the
+// access touches over the non-redundant iterations of its statement.
+func (r *Result) Val(acc deps.Access) map[string]bool {
+	out := map[string]bool{}
+	for _, it := range r.iters {
+		if r.IsRedundant(acc.Stmt, it) {
+			continue
+		}
+		out[fmt.Sprint(acc.Ref.Index(it))] = true
+	}
+	return out
+}
+
+// classifyDeps splits the analysis' dependences into useful and false by
+// the Val-intersection criterion.
+func (r *Result) classifyDeps() {
+	for _, d := range r.Analysis.AllDependences() {
+		va := r.Val(d.Src)
+		vb := r.Val(d.Dst)
+		useful := false
+		for k := range va {
+			if vb[k] {
+				useful = true
+				break
+			}
+		}
+		if useful {
+			r.UsefulDeps = append(r.UsefulDeps, d)
+		} else {
+			r.FalseDeps = append(r.FalseDeps, d)
+		}
+	}
+}
+
+// UsefulDepsOf returns the useful dependences of one array.
+func (r *Result) UsefulDepsOf(array string) []*deps.Dependence {
+	var out []*deps.Dependence
+	for _, d := range r.UsefulDeps {
+		if d.Array == array {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Summary renders a human-readable elimination report.
+func (r *Result) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "redundant computations: %d of %d\n",
+		r.NumRedundant(), len(r.iters)*len(r.Nest.Body))
+	for si := range r.Nest.Body {
+		n := r.NonRedundant(si)
+		fmt.Fprintf(&b, "  N(S%d): %d iterations\n", si+1, len(n))
+	}
+	var useful, false_ []string
+	for _, d := range r.UsefulDeps {
+		useful = append(useful, d.String())
+	}
+	for _, d := range r.FalseDeps {
+		false_ = append(false_, d.String())
+	}
+	sort.Strings(useful)
+	sort.Strings(false_)
+	fmt.Fprintf(&b, "useful dependences (%d):\n", len(useful))
+	for _, s := range useful {
+		fmt.Fprintf(&b, "  %s\n", s)
+	}
+	fmt.Fprintf(&b, "false dependences (%d):\n", len(false_))
+	for _, s := range false_ {
+		fmt.Fprintf(&b, "  %s\n", s)
+	}
+	return b.String()
+}

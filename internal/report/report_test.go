@@ -1,0 +1,63 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGenerateFullReport(t *testing.T) {
+	s, err := Generate(AllSections())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# commfree — live reproduction report",
+		"## Table I",
+		"## Table II",
+		"Shape check (L5″ ≤ L5′ at every point): **true**",
+		"## Figures",
+		"Fig. 10 — processor assignment",
+		"## Kernel gallery",
+		"| matmul | 1 | 16 | 1 | 16 |",
+		"| gauss-seidel | 1 | 1 | 1 | 1 |",
+		"## Strategy selection",
+		"strategy ranking",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	if strings.Contains(s, "⚠") {
+		t.Error("report flags an unverified partition")
+	}
+}
+
+func TestGenerateSectionsIndependently(t *testing.T) {
+	s, err := Generate(Options{Tables: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s, "## Table I") || strings.Contains(s, "## Kernel gallery") {
+		t.Error("section selection broken")
+	}
+	s, err = Generate(Options{Gallery: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(s, "## Table I") || !strings.Contains(s, "## Kernel gallery") {
+		t.Error("section selection broken")
+	}
+}
+
+func TestPaperReferenceValuesPresent(t *testing.T) {
+	s, err := Generate(Options{Tables: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's M=256, p=16 speedups appear as references.
+	for _, want := range []string{"13.05", "15.14"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("paper reference %s missing", want)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+// Package selector chooses a data-allocation strategy by simulated cost.
+// The paper closes its evaluation with: "determining which kind of
+// duplication of array is suitable for replicating their referenced data
+// can be appropriately estimated such that parallelized programs can gain
+// better performance during parallel execution." This package performs
+// that estimation: it enumerates the candidate strategies — non-duplicate
+// (Theorem 1), full duplicate (Theorem 2), the minimal variants after
+// redundant-computation elimination (Theorems 3–4), and every selective
+// subset of duplicable arrays (the L5′-style middle grounds) — prices
+// each one as distribution time (from the derived plan) plus the
+// parallel compute phase, and returns the cheapest.
+package selector
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"commfree/internal/assign"
+	"commfree/internal/distplan"
+	"commfree/internal/loop"
+	"commfree/internal/machine"
+	"commfree/internal/partition"
+	"commfree/internal/transform"
+)
+
+// Candidate is one evaluated allocation.
+type Candidate struct {
+	// Label describes the candidate ("duplicate", "selective{B}", …).
+	Label string
+	// Strategy is the partitioning strategy used.
+	Strategy partition.Strategy
+	// Duplicated lists the arrays allowed to replicate under Selective.
+	Duplicated []string
+	// Blocks is the communication-free parallelism.
+	Blocks int
+	// DistributionTime, ComputeTime, and Total are the simulated costs.
+	DistributionTime float64
+	ComputeTime      float64
+	Total            float64
+}
+
+// String renders the candidate.
+func (c Candidate) String() string {
+	return fmt.Sprintf("%-22s %4d blocks  dist %.6fs + comp %.6fs = %.6fs",
+		c.Label, c.Blocks, c.DistributionTime, c.ComputeTime, c.Total)
+}
+
+// Best evaluates all candidates for the nest on p processors and returns
+// the cheapest plus the full ranking (ascending total time).
+func Best(nest *loop.Nest, p int, cost machine.CostModel) (Candidate, []Candidate, error) {
+	var all []Candidate
+
+	add := func(label string, res *partition.Result, duplicated []string) error {
+		c, err := estimate(label, res, p, cost)
+		if err != nil {
+			return err
+		}
+		c.Duplicated = duplicated
+		all = append(all, c)
+		return nil
+	}
+
+	for _, s := range []partition.Strategy{
+		partition.NonDuplicate, partition.Duplicate,
+		partition.MinimalNonDuplicate, partition.MinimalDuplicate,
+	} {
+		res, err := partition.Compute(nest, s)
+		if err != nil {
+			return Candidate{}, nil, err
+		}
+		if err := add(s.String(), res, nil); err != nil {
+			return Candidate{}, nil, err
+		}
+	}
+
+	// Selective subsets over the arrays that can profit from duplication.
+	arrays := nest.Arrays()
+	if len(arrays) <= 4 {
+		for mask := 1; mask < (1<<len(arrays))-1; mask++ {
+			dup := map[string]bool{}
+			var names []string
+			for i, a := range arrays {
+				if mask&(1<<i) != 0 {
+					dup[a] = true
+					names = append(names, a)
+				}
+			}
+			res, err := partition.ComputeSelective(nest, dup)
+			if err != nil {
+				return Candidate{}, nil, err
+			}
+			label := "selective{" + strings.Join(names, ",") + "}"
+			if err := add(label, res, names); err != nil {
+				return Candidate{}, nil, err
+			}
+		}
+	}
+
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Total < all[j].Total })
+	return all[0], all, nil
+}
+
+// estimate prices one partitioning: the distribution plan's simulated
+// time plus max-workload·t_comp for the compute phase.
+func estimate(label string, res *partition.Result, p int, cost machine.CostModel) (Candidate, error) {
+	plan, tr, asg, err := distplan.Build(res, p)
+	if err != nil {
+		return Candidate{}, err
+	}
+	used := asg.NumProcessors()
+	topo := machine.Mesh{P1: 1, P2: used}
+	if sq, err := machine.SquareMesh(used); err == nil {
+		topo = sq
+	}
+	mach := machine.New(topo, cost)
+	plan.Execute(mach)
+	loads := workloads(tr, asg)
+	var max int64
+	for _, l := range loads {
+		if l > max {
+			max = l
+		}
+	}
+	dist := mach.DistributionTime()
+	comp := float64(max) * cost.TComp
+	return Candidate{
+		Label:            label,
+		Strategy:         res.Strategy,
+		Blocks:           res.Iter.NumBlocks(),
+		DistributionTime: dist,
+		ComputeTime:      comp,
+		Total:            dist + comp,
+	}, nil
+}
+
+func workloads(tr *transform.Transformed, asg *assign.Assignment) []int64 {
+	loads := make([]int64, asg.NumProcessors())
+	tr.Visit(nil, func(forall, _ []int64) {
+		loads[asg.OwnerID(forall)]++
+	})
+	return loads
+}
+
+// Report renders the full ranking.
+func Report(all []Candidate) string {
+	var b strings.Builder
+	b.WriteString("strategy ranking (cheapest first):\n")
+	for i, c := range all {
+		fmt.Fprintf(&b, "%2d. %s\n", i+1, c)
+	}
+	return b.String()
+}

@@ -1,0 +1,127 @@
+package selector
+
+import (
+	"strings"
+	"testing"
+
+	"commfree/internal/lang"
+	"commfree/internal/loop"
+	"commfree/internal/machine"
+	"commfree/internal/partition"
+)
+
+func TestL5PrefersDuplication(t *testing.T) {
+	// Matrix multiplication is sequential without duplication; any
+	// duplicate-bearing candidate must rank above non-duplicate.
+	best, all, err := Best(loop.L5(8), 4, machine.Transputer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Strategy == partition.NonDuplicate || best.Strategy == partition.MinimalNonDuplicate {
+		t.Errorf("best = %s (sequential strategies should lose)", best)
+	}
+	if best.Blocks <= 1 {
+		t.Errorf("best has no parallelism: %s", best)
+	}
+	// The ranking covers the four theorems plus selective subsets of the
+	// three arrays: 4 + (2³−2) = 10 candidates.
+	if len(all) != 10 {
+		t.Errorf("candidates = %d, want 10", len(all))
+	}
+	// Ranking is sorted ascending.
+	for i := 1; i < len(all); i++ {
+		if all[i].Total < all[i-1].Total {
+			t.Errorf("ranking unsorted at %d", i)
+		}
+	}
+	// Non-duplicate total must equal its compute time dominated by the
+	// whole space on one node.
+	for _, c := range all {
+		if c.Strategy == partition.NonDuplicate && c.Blocks != 1 {
+			t.Errorf("non-duplicate blocks = %d", c.Blocks)
+		}
+	}
+}
+
+func TestL1IndifferentToDuplication(t *testing.T) {
+	// L1 gains nothing from duplication (the paper: duplicate strategy
+	// obtains the same result); the best candidate's block count must
+	// match the plain non-duplicate parallelism.
+	best, all, err := Best(loop.L1(), 4, machine.Transputer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Blocks != 7 {
+		t.Errorf("best blocks = %d, want 7: %s", best.Blocks, best)
+	}
+	// All full-strategy candidates expose the same 7 blocks.
+	for _, c := range all {
+		if c.Strategy == partition.Duplicate && c.Blocks != 7 {
+			t.Errorf("duplicate blocks = %d", c.Blocks)
+		}
+	}
+}
+
+func TestL3SelectorIsCostAware(t *testing.T) {
+	// At L3's toy size (16 iterations) the Transputer startup cost
+	// dominates: staying sequential IS the right call, and the selector
+	// must make it.
+	best, _, err := Best(loop.L3(), 4, machine.Transputer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Blocks != 1 {
+		t.Errorf("with startup-dominated costs best = %s, want sequential", best)
+	}
+	// With compute-heavy work per iteration, only Theorem 4 parallelizes
+	// L3 (4 column blocks) and must win.
+	heavy := machine.CostModel{TComp: 1e-2, TStart: 5e-4, TComm: 2.3e-6}
+	best, _, err = Best(loop.L3(), 4, heavy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Strategy != partition.MinimalDuplicate {
+		t.Errorf("best = %s, want minimal duplicate", best)
+	}
+	if best.Blocks != 4 {
+		t.Errorf("blocks = %d", best.Blocks)
+	}
+}
+
+func TestSelectiveCandidateCanWin(t *testing.T) {
+	// A kernel where duplicating only the small read-only array is
+	// cheaper than duplicating everything: conv1d with a large input. The
+	// selector must at least rank some selective candidate at or above
+	// the full duplicate one in distribution cost terms.
+	nest := lang.MustParse(`
+for i = 1 to 12
+  for k = 1 to 4
+    Y[i] = Y[i] + X[i+k-1] * W[k]
+  end
+end
+`)
+	_, all, err := Best(nest, 4, machine.Transputer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var foundSelective bool
+	for _, c := range all {
+		if strings.HasPrefix(c.Label, "selective{") {
+			foundSelective = true
+		}
+	}
+	if !foundSelective {
+		t.Error("no selective candidates evaluated")
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	_, all, err := Best(loop.L1(), 2, machine.Transputer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Report(all)
+	if !strings.Contains(r, "strategy ranking") || !strings.Contains(r, "1. ") {
+		t.Errorf("report = %q", r)
+	}
+}

@@ -1,0 +1,569 @@
+// Package transform implements Section IV's program transformation: given
+// a nest and its partitioning space Ψ, it rewrites the loop into
+//
+//	forall I′_{y₁} … forall I′_{y_k}      (k = n − dim Ψ parallel levels)
+//	  for I_{z₁} … for I_{z_g}            (g = dim Ψ sequential levels)
+//	    extended statements + original body
+//
+// The forall indices are I′ = ā·ī for the gcd-normalized integer basis
+// {ā₁,…,ā_k} of the orthogonal complement of Ψ (the paper's Ker(Ψ));
+// each forall point is one iteration block. Loop bounds for the new
+// variables come from exact Fourier–Motzkin elimination, reproducing the
+// max(...)/min(...) bounds of the paper's worked example L4′.
+package transform
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"commfree/internal/linalg"
+	"commfree/internal/loop"
+	"commfree/internal/polyhedron"
+	"commfree/internal/rational"
+	"commfree/internal/space"
+)
+
+// BoundTerm is one affine candidate bound c + Σ Coeffs[j]·v_j over the new
+// loop variables that precede the bounded one.
+type BoundTerm struct {
+	Coeffs []rational.Rat // length = index of the bounded variable
+	Const  rational.Rat
+}
+
+// Eval evaluates the term at the given outer-variable values.
+func (b BoundTerm) Eval(outer []int64) rational.Rat {
+	v := b.Const
+	for j, c := range b.Coeffs {
+		if c.IsZero() {
+			continue
+		}
+		v = v.Add(c.Mul(rational.FromInt(outer[j])))
+	}
+	return v
+}
+
+// render prints the term using the given variable names.
+func (b BoundTerm) render(names []string) string {
+	var parts []string
+	for j, c := range b.Coeffs {
+		if c.IsZero() {
+			continue
+		}
+		switch {
+		case c.Equal(rational.One):
+			parts = append(parts, names[j])
+		case c.Equal(rational.FromInt(-1)):
+			parts = append(parts, "-"+names[j])
+		default:
+			parts = append(parts, c.String()+"*"+names[j])
+		}
+	}
+	if !b.Const.IsZero() || len(parts) == 0 {
+		parts = append(parts, b.Const.String())
+	}
+	out := parts[0]
+	for _, p := range parts[1:] {
+		if strings.HasPrefix(p, "-") {
+			out += " - " + p[1:]
+		} else {
+			out += " + " + p
+		}
+	}
+	return out
+}
+
+// VarBounds gives the lower (max of terms) and upper (min of terms)
+// bounds of one new loop variable.
+type VarBounds struct {
+	Lower []BoundTerm
+	Upper []BoundTerm
+}
+
+// Eval returns the integer range [lo, hi] at the given outer values
+// (empty when hi < lo).
+func (v VarBounds) Eval(outer []int64) (lo, hi int64) {
+	first := true
+	for _, t := range v.Lower {
+		c := t.Eval(outer).Ceil()
+		if first || c > lo {
+			lo = c
+		}
+		first = false
+	}
+	first = true
+	for _, t := range v.Upper {
+		c := t.Eval(outer).Floor()
+		if first || c < hi {
+			hi = c
+		}
+		first = false
+	}
+	return lo, hi
+}
+
+// ExtendedStatement recovers one original index inside the loop body:
+// Index = Const + Σ Coeffs[j]·J_j over all n new variables.
+type ExtendedStatement struct {
+	OrigLevel int // which original index this computes
+	Coeffs    []rational.Rat
+}
+
+// Transformed is the parallel execution form of a partitioned nest.
+type Transformed struct {
+	Nest *loop.Nest
+	Psi  *space.Space
+	// Q is the integer basis of the orthogonal complement, one row per
+	// forall level, in pivot order.
+	Q [][]int64
+	// K is the number of forall levels; G the number of sequential ones.
+	K, G int
+	// PivotCols are the y_j: the original index position each forall
+	// variable is named after (0-based).
+	PivotCols []int
+	// InnerLevels are the z_i: original index levels iterated sequentially
+	// inside a block (0-based, increasing).
+	InnerLevels []int
+	// T maps original to new indices (J = T·I); TInv recovers I = TInv·J.
+	T, TInv *linalg.Matrix
+	// Bounds[m] bounds new variable m in terms of variables 0..m-1.
+	Bounds []VarBounds
+	// Extended lists the extended statements (one per original index that
+	// is neither a forall pivot nor an inner index... i.e. all non-inner
+	// indices, including pivots, since the body needs every original
+	// index value).
+	Extended []ExtendedStatement
+	// Names of the new variables in loop order.
+	Names []string
+}
+
+// Transform rewrites the nest for partitioning space psi, deriving the
+// complement basis automatically.
+func Transform(nest *loop.Nest, psi *space.Space) (*Transformed, error) {
+	return TransformWithBasis(nest, psi, psi.OrthogonalComplementIntegerBasis())
+}
+
+// TransformWithBasis is Transform with a caller-chosen integer basis Q of
+// the orthogonal complement (the paper picks {(1,1,0),(-1,0,1)} for L4;
+// the canonical RREF basis may differ by sign). Each row must be
+// orthogonal to Ψ and the rows must be linearly independent.
+func TransformWithBasis(nest *loop.Nest, psi *space.Space, q [][]int64) (*Transformed, error) {
+	if err := nest.Validate(); err != nil {
+		return nil, err
+	}
+	n := nest.Depth()
+	if psi.Ambient() != n {
+		return nil, fmt.Errorf("transform: Ψ ambient %d != depth %d", psi.Ambient(), n)
+	}
+	k := n - psi.Dim()
+	if len(q) != k {
+		return nil, fmt.Errorf("transform: basis has %d rows, complement dimension is %d", len(q), k)
+	}
+	comp := psi.OrthogonalComplement()
+	for _, row := range q {
+		if len(row) != n {
+			return nil, fmt.Errorf("transform: basis row %v has length %d, want %d", row, len(row), n)
+		}
+		if !comp.ContainsInts(row) {
+			return nil, fmt.Errorf("transform: basis row %v not orthogonal to Ψ = %s", row, psi)
+		}
+	}
+	if space.SpanInts(n, q...).Dim() != k {
+		return nil, fmt.Errorf("transform: basis rows not linearly independent")
+	}
+
+	tr := &Transformed{Nest: nest, Psi: psi, K: k, G: n - k}
+
+	// Row-echelon pass over Q to fix pivot columns and the permutation σ:
+	// each echelon row is derived from one original row; equation (1)
+	// defines I′_{y_j} with the ORIGINAL row assigned to pivot j.
+	type rowState struct {
+		vals []rational.Rat
+		orig int
+	}
+	work := make([]rowState, k)
+	for i, row := range q {
+		work[i] = rowState{vals: space.RatVec(row), orig: i}
+	}
+	var pivotCols []int
+	var rowOrder []int // original row index per pivot, in pivot order
+	rrow := 0
+	for col := 0; col < n && rrow < k; col++ {
+		sel := -1
+		for i := rrow; i < k; i++ {
+			if !work[i].vals[col].IsZero() {
+				sel = i
+				break
+			}
+		}
+		if sel < 0 {
+			continue
+		}
+		work[rrow], work[sel] = work[sel], work[rrow]
+		for i := rrow + 1; i < k; i++ {
+			if work[i].vals[col].IsZero() {
+				continue
+			}
+			f := work[i].vals[col].Div(work[rrow].vals[col])
+			for c := col; c < n; c++ {
+				work[i].vals[c] = work[i].vals[c].Sub(f.Mul(work[rrow].vals[c]))
+			}
+		}
+		pivotCols = append(pivotCols, col)
+		rowOrder = append(rowOrder, work[rrow].orig)
+		rrow++
+	}
+	tr.PivotCols = pivotCols
+	tr.Q = make([][]int64, k)
+	for j, orig := range rowOrder {
+		tr.Q[j] = q[orig]
+	}
+
+	// Inner (sequential) indices z₁ < … < z_g: greedily take the original
+	// index whose unit vector is NOT in the span of Q ∪ {e_z chosen so
+	// far}. This makes T invertible and preserves lexicographic execution
+	// order inside each block.
+	spanRows := make([][]rational.Rat, 0, n)
+	for _, row := range tr.Q {
+		spanRows = append(spanRows, space.RatVec(row))
+	}
+	cur := space.Span(n, spanRows...)
+	for z := 0; z < n && len(tr.InnerLevels) < tr.G; z++ {
+		unit := make([]int64, n)
+		unit[z] = 1
+		if cur.ContainsInts(unit) {
+			continue
+		}
+		tr.InnerLevels = append(tr.InnerLevels, z)
+		spanRows = append(spanRows, space.RatVec(unit))
+		cur = space.Span(n, spanRows...)
+	}
+	if len(tr.InnerLevels) != tr.G {
+		return nil, fmt.Errorf("transform: could not select %d inner indices", tr.G)
+	}
+
+	// T: rows = Q rows then unit rows of the inner indices.
+	t := linalg.NewMatrix(n, n)
+	for j, row := range tr.Q {
+		for c, v := range row {
+			t.Set(j, c, rational.FromInt(v))
+		}
+	}
+	for i, z := range tr.InnerLevels {
+		t.Set(k+i, z, rational.One)
+	}
+	tinv := t.Inverse()
+	if tinv == nil {
+		return nil, fmt.Errorf("transform: transformation matrix singular")
+	}
+	tr.T, tr.TInv = t, tinv
+
+	// Names: forall vars take the pivot index's name + "'", inner vars
+	// keep their original names.
+	for _, y := range tr.PivotCols {
+		tr.Names = append(tr.Names, nest.Levels[y].Name+"'")
+	}
+	for _, z := range tr.InnerLevels {
+		tr.Names = append(tr.Names, nest.Levels[z].Name)
+	}
+
+	// Constraint system over J: original bounds with ī = T⁻¹·J.
+	sys := polyhedron.NewSystem(n)
+	for lvl, lv := range nest.Levels {
+		// i_lvl − lower(ī) ≥ 0 and i_lvl − upper(ī) ≤ 0, as rows over ī,
+		// then transformed to rows over J by right-multiplying with TInv.
+		addRow := func(coeffs []int64, konst int64, upper bool) {
+			jrow := make([]rational.Rat, n)
+			for jj := 0; jj < n; jj++ {
+				sum := rational.Zero
+				for ii := 0; ii < n; ii++ {
+					if coeffs[ii] == 0 {
+						continue
+					}
+					sum = sum.Add(rational.FromInt(coeffs[ii]).Mul(tinv.At(ii, jj)))
+				}
+				jrow[jj] = sum
+			}
+			if upper {
+				sys.AddLE(jrow, rational.FromInt(konst))
+			} else {
+				sys.AddGE(jrow, rational.FromInt(konst))
+			}
+		}
+		lo := make([]int64, n)
+		copy(lo, lv.Lower.Coeffs)
+		for j := range lo {
+			lo[j] = -lo[j]
+		}
+		lo[lvl]++
+		addRow(lo, lv.Lower.Const, false)
+		hi := make([]int64, n)
+		copy(hi, lv.Upper.Coeffs)
+		for j := range hi {
+			hi[j] = -hi[j]
+		}
+		hi[lvl]++
+		addRow(hi, lv.Upper.Const, true)
+	}
+
+	// Fourier–Motzkin tower: tower[m] constrains J_0..J_{m-1} only.
+	tower := make([]*polyhedron.System, n+1)
+	tower[n] = sys
+	for m := n; m > 0; m-- {
+		tower[m-1] = tower[m].Eliminate(m - 1)
+	}
+	tr.Bounds = make([]VarBounds, n)
+	for m := 0; m < n; m++ {
+		vb := &tr.Bounds[m]
+		for _, q := range tower[m+1].Ineqs {
+			c := q.Coeffs[m]
+			if c.IsZero() {
+				continue
+			}
+			// Σ_{j<m} a_j J_j + c·J_m ≤ b  ⇒  J_m ≤ (b − Σ a_j J_j)/c.
+			term := BoundTerm{Coeffs: make([]rational.Rat, m)}
+			term.Const = q.Bound.Div(c)
+			for j := 0; j < m; j++ {
+				term.Coeffs[j] = q.Coeffs[j].Div(c).Neg()
+			}
+			if c.Sign() > 0 {
+				vb.Upper = append(vb.Upper, term)
+			} else {
+				vb.Lower = append(vb.Lower, term)
+			}
+		}
+		dedupTerms(&vb.Lower, true)
+		dedupTerms(&vb.Upper, false)
+	}
+
+	// Extended statements: every original index that is not an inner loop
+	// variable is recovered from J via T⁻¹.
+	inner := map[int]bool{}
+	for _, z := range tr.InnerLevels {
+		inner[z] = true
+	}
+	for lvl := 0; lvl < n; lvl++ {
+		if inner[lvl] {
+			continue
+		}
+		es := ExtendedStatement{OrigLevel: lvl, Coeffs: make([]rational.Rat, n)}
+		for j := 0; j < n; j++ {
+			es.Coeffs[j] = tinv.At(lvl, j)
+		}
+		tr.Extended = append(tr.Extended, es)
+	}
+	return tr, nil
+}
+
+// dedupTerms drops duplicate terms and, among the purely constant terms,
+// keeps only the binding one (largest for lower bounds, smallest for
+// upper) — Fourier–Motzkin produces weaker shadows like 2 ≤ x alongside
+// −1 ≤ x.
+func dedupTerms(terms *[]BoundTerm, lower bool) {
+	seen := map[string]bool{}
+	var out []BoundTerm
+	bestConst := -1 // index into out of the binding constant term
+	for _, t := range *terms {
+		key := fmt.Sprint(t.Const, t.Coeffs)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		isConst := true
+		for _, c := range t.Coeffs {
+			if !c.IsZero() {
+				isConst = false
+				break
+			}
+		}
+		if !isConst {
+			out = append(out, t)
+			continue
+		}
+		if bestConst < 0 {
+			out = append(out, t)
+			bestConst = len(out) - 1
+			continue
+		}
+		cur := out[bestConst].Const
+		if (lower && cur.Less(t.Const)) || (!lower && t.Const.Less(cur)) {
+			out[bestConst] = t
+		}
+	}
+	*terms = out
+}
+
+// Original recovers the original iteration from a full new-variable point,
+// reporting ok=false when T⁻¹·J is not integral (possible only when T is
+// not unimodular).
+func (t *Transformed) Original(j []int64) ([]int64, bool) {
+	n := t.Nest.Depth()
+	out := make([]int64, n)
+	for i := 0; i < n; i++ {
+		v := rational.Zero
+		for c := 0; c < n; c++ {
+			v = v.Add(t.TInv.At(i, c).Mul(rational.FromInt(j[c])))
+		}
+		if !v.IsInt() {
+			return nil, false
+		}
+		out[i] = v.Int()
+	}
+	return out, true
+}
+
+// NewPoint maps an original iteration to new coordinates J = T·ī.
+func (t *Transformed) NewPoint(orig []int64) []int64 {
+	n := t.Nest.Depth()
+	out := make([]int64, n)
+	for i := 0; i < n; i++ {
+		v := rational.Zero
+		for c := 0; c < n; c++ {
+			v = v.Add(t.T.At(i, c).Mul(rational.FromInt(orig[c])))
+		}
+		out[i] = v.Int() // T is integral
+	}
+	return out
+}
+
+// Visit enumerates the transformed loop: for each forall point (block) it
+// calls block once, then body for every iteration of the block in
+// lexicographic original order.
+func (t *Transformed) Visit(block func(forall []int64), body func(forall, orig []int64)) {
+	n := t.Nest.Depth()
+	point := make([]int64, n)
+	var rec func(m int)
+	rec = func(m int) {
+		if m == n {
+			orig, ok := t.Original(point)
+			if !ok {
+				return
+			}
+			// Guard: non-unimodular T can admit J points whose preimage is
+			// integral yet outside the iteration space only if FM bounds
+			// are loose; re-check.
+			for lvl, lv := range t.Nest.Levels {
+				if orig[lvl] < lv.Lower.Eval(orig) || orig[lvl] > lv.Upper.Eval(orig) {
+					return
+				}
+			}
+			if body != nil {
+				body(point[:t.K], orig)
+			}
+			return
+		}
+		lo, hi := t.Bounds[m].Eval(point[:m])
+		for v := lo; v <= hi; v++ {
+			point[m] = v
+			if m == t.K-1 && block != nil {
+				// A forall point may still turn out empty; emit block
+				// lazily on first body call instead when strictness
+				// matters. Here we emit optimistically after checking the
+				// block is nonempty.
+				if t.blockNonEmpty(point[:t.K]) {
+					block(point[:t.K])
+				}
+			}
+			rec(m + 1)
+		}
+	}
+	if n == 0 {
+		return
+	}
+	if t.K == 0 && block != nil && t.blockNonEmpty(nil) {
+		// Fully sequential form: the single block is the whole space.
+		block(nil)
+	}
+	rec(0)
+}
+
+// blockNonEmpty reports whether the forall point has at least one
+// iteration.
+func (t *Transformed) blockNonEmpty(forall []int64) bool {
+	n := t.Nest.Depth()
+	point := make([]int64, n)
+	copy(point, forall)
+	var rec func(m int) bool
+	rec = func(m int) bool {
+		if m == n {
+			orig, ok := t.Original(point)
+			if !ok {
+				return false
+			}
+			for lvl, lv := range t.Nest.Levels {
+				if orig[lvl] < lv.Lower.Eval(orig) || orig[lvl] > lv.Upper.Eval(orig) {
+					return false
+				}
+			}
+			return true
+		}
+		lo, hi := t.Bounds[m].Eval(point[:m])
+		for v := lo; v <= hi; v++ {
+			point[m] = v
+			if rec(m + 1) {
+				return true
+			}
+		}
+		return false
+	}
+	return rec(t.K)
+}
+
+// ForallPoints returns the nonempty forall points in lexicographic order.
+func (t *Transformed) ForallPoints() [][]int64 {
+	var out [][]int64
+	t.Visit(func(f []int64) {
+		cp := make([]int64, len(f))
+		copy(cp, f)
+		out = append(out, cp)
+	}, nil)
+	sort.Slice(out, func(i, j int) bool { return loop.LexLess(out[i], out[j]) })
+	return out
+}
+
+// String pretty-prints the transformed loop in the paper's style.
+func (t *Transformed) String() string {
+	var b strings.Builder
+	indent := ""
+	for m := 0; m < t.Nest.Depth(); m++ {
+		kw := "for"
+		if m < t.K {
+			kw = "forall"
+		}
+		lo := renderBoundList(t.Bounds[m].Lower, t.Names[:m], "max")
+		hi := renderBoundList(t.Bounds[m].Upper, t.Names[:m], "min")
+		fmt.Fprintf(&b, "%s%s %s = %s to %s\n", indent, kw, t.Names[m], lo, hi)
+		indent += "  "
+	}
+	for e, es := range t.Extended {
+		var term BoundTerm
+		term.Coeffs = es.Coeffs
+		term.Const = rational.Zero
+		fmt.Fprintf(&b, "%sE%d: %s := %s\n", indent, e+1, t.Nest.Levels[es.OrigLevel].Name, term.render(t.Names))
+	}
+	fmt.Fprintf(&b, "%s[loop body]\n", indent)
+	for m := t.Nest.Depth() - 1; m >= 0; m-- {
+		indent = strings.Repeat("  ", m)
+		kw := "end"
+		if m < t.K {
+			kw = "end-forall"
+		}
+		fmt.Fprintf(&b, "%s%s\n", indent, kw)
+	}
+	return b.String()
+}
+
+func renderBoundList(terms []BoundTerm, names []string, fn string) string {
+	if len(terms) == 1 {
+		return roundRender(terms[0], names)
+	}
+	var parts []string
+	for _, t := range terms {
+		parts = append(parts, roundRender(t, names))
+	}
+	return fn + "(" + strings.Join(parts, ", ") + ")"
+}
+
+func roundRender(t BoundTerm, names []string) string {
+	return t.render(names)
+}

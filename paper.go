@@ -1,0 +1,49 @@
+package commfree
+
+import (
+	"commfree/internal/loop"
+	"commfree/internal/machine"
+)
+
+// The paper's worked examples, exposed for experiments and benchmarks.
+
+// LoopL1 returns Example 1 (three arrays, flow dependence along (1,1)).
+func LoopL1() *Nest { return loop.L1() }
+
+// LoopL2 returns Example 2 (fully duplicable arrays; duplicate strategy
+// unlocks all 16 iterations).
+func LoopL2() *Nest { return loop.L2() }
+
+// LoopL3 returns Example 3 (redundant computations; Theorems 3–4).
+func LoopL3() *Nest { return loop.L3() }
+
+// LoopL4 returns Example 4 (the Section IV transformation example).
+func LoopL4() *Nest { return loop.L4() }
+
+// LoopL5 returns the matrix-multiplication loop with problem size M.
+func LoopL5(m int64) *Nest { return loop.L5(m) }
+
+// TableRow is one (M, p) measurement of the Table I/II reproduction.
+type TableRow = machine.TableRow
+
+// TableI simulates Table I: execution times of L5 (sequential), L5′, and
+// L5″ for the given problem sizes and processor counts.
+func TableI(ms []int64, ps []int, cost CostModel) ([]TableRow, error) {
+	return machine.TableI(ms, ps, cost)
+}
+
+// RunL5Prime executes L5′ with real data on the simulated machine (small
+// M) and returns the gathered C state for validation.
+func RunL5Prime(m int64, p int, cost CostModel) (map[string]float64, error) {
+	_, c, err := machine.RunL5Prime(m, p, cost)
+	return c, err
+}
+
+// RunL5DoublePrime executes L5″ with real data.
+func RunL5DoublePrime(m int64, p int, cost CostModel) (map[string]float64, error) {
+	_, c, err := machine.RunL5DoublePrime(m, p, cost)
+	return c, err
+}
+
+// SequentialMatMul is the sequential L5 reference result.
+func SequentialMatMul(m int64) map[string]float64 { return machine.SequentialMatMul(m) }

@@ -1,0 +1,92 @@
+package commfree
+
+// File-driven tests: every DSL source under testdata/ must compile under
+// every strategy, verify communication-free, and execute identically to
+// sequential on the simulated machine.
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func loadTestdata(t *testing.T) map[string]string {
+	t.Helper()
+	entries, err := os.ReadDir("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]string{}
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".cf") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join("testdata", e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[e.Name()] = string(data)
+	}
+	if len(out) < 4 {
+		t.Fatalf("testdata files = %d", len(out))
+	}
+	return out
+}
+
+func TestTestdataFilesCompileAndRun(t *testing.T) {
+	for name, src := range loadTestdata(t) {
+		t.Run(name, func(t *testing.T) {
+			nests, err := ParseProgram(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, nest := range nests {
+				for _, strat := range []Strategy{NonDuplicate, Duplicate, MinimalNonDuplicate, MinimalDuplicate} {
+					comp, err := CompileNest(nest, strat, 4)
+					if err != nil {
+						t.Fatalf("%s: %v", strat, err)
+					}
+					if err := comp.Verify(); err != nil {
+						t.Fatalf("%s: %v", strat, err)
+					}
+				}
+				comp, err := CompileNest(nest, Duplicate, 4)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rep, err := comp.Execute(TransputerCost())
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := SequentialReference(nest)
+				for k, v := range want {
+					if rep.Final[k] != v {
+						t.Fatalf("element %s differs", k)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestTestdataRoundTripFormat(t *testing.T) {
+	for name, src := range loadTestdata(t) {
+		t.Run(name, func(t *testing.T) {
+			nests, err := ParseProgram(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, nest := range nests {
+				formatted := FormatLoop(nest)
+				back, err := Parse(formatted)
+				if err != nil {
+					t.Fatalf("reparse: %v\n%s", err, formatted)
+				}
+				if back.Depth() != nest.Depth() || len(back.Body) != len(nest.Body) {
+					t.Error("round trip changed shape")
+				}
+			}
+		})
+	}
+}
