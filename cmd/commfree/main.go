@@ -36,7 +36,7 @@ func main() {
 		execute  = flag.Bool("exec", false, "execute on the simulated multicomputer and validate against sequential execution")
 		compare  = flag.Bool("compare-baseline", false, "also run the Ramanujam–Sadayappan hyperplane baseline")
 		emit     = flag.String("emit", "", "write a standalone Go SPMD program implementing the compiled loop to this path ('-' for stdout)")
-		auto     = flag.Bool("auto", false, "rank all allocation strategies by simulated cost before compiling")
+		auto     = flag.Bool("auto", false, "rank all allocation strategies by simulated cost and compile the best one (overrides -strategy)")
 	)
 	flag.Parse()
 
@@ -63,7 +63,10 @@ func main() {
 		fatal(fmt.Errorf("unknown strategy %q", *strategy))
 	}
 
+	var comp *commfree.Compilation
 	if *auto {
+		// -auto ranks every allocation strategy by simulated cost and
+		// compiles the winner (overriding -strategy).
 		nest, err := commfree.Parse(src)
 		if err != nil {
 			fatal(err)
@@ -74,11 +77,16 @@ func main() {
 		}
 		fmt.Print(commfree.StrategyRanking(all))
 		fmt.Printf("\nselected: %s\n\n", best.Label)
-	}
-
-	comp, err := commfree.Compile(src, strat, *procs)
-	if err != nil {
-		fatal(err)
+		comp, err = commfree.CompileCandidate(nest, best, *procs)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		var err error
+		comp, err = commfree.Compile(src, strat, *procs)
+		if err != nil {
+			fatal(err)
+		}
 	}
 	fmt.Print(comp.Report())
 

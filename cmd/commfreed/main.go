@@ -1,0 +1,94 @@
+// Command commfreed serves the commfree compiler as a long-running
+// HTTP service ("compilation as a service"): clients POST loop nests to
+// /v1/compile and receive a priced, communication-free allocation plan;
+// /v1/execute additionally runs the plan on the simulated multicomputer
+// and validates it against sequential execution. /v1/metrics exports
+// per-stage latency histograms, cache hit rate, and queue gauges;
+// /healthz answers liveness probes.
+//
+// Usage:
+//
+//	commfreed [-addr :8377] [-workers 8] [-queue 128] [-cache 256]
+//	          [-timeout 30s] [-max-iterations 4194304]
+//
+// SIGINT/SIGTERM drain gracefully: the listener stops accepting, every
+// in-flight and queued request completes and receives its response,
+// then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"commfree/internal/service"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "commfreed:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr     = flag.String("addr", ":8377", "listen address")
+		workers  = flag.Int("workers", 8, "worker pool size")
+		queue    = flag.Int("queue", 128, "request queue depth")
+		cacheN   = flag.Int("cache", 256, "plan cache entries")
+		timeout  = flag.Duration("timeout", 30*time.Second, "per-request timeout")
+		maxIter  = flag.Int64("max-iterations", 1<<22, "per-request simulated-iteration budget (negative = unlimited)")
+		drainFor = flag.Duration("drain", 60*time.Second, "graceful-shutdown drain limit")
+	)
+	flag.Parse()
+
+	svc := service.New(service.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheEntries:   *cacheN,
+		RequestTimeout: *timeout,
+		MaxIterations:  *maxIter,
+	})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("commfreed: listening on %s (%d workers, queue %d, cache %d entries)",
+			*addr, *workers, *queue, *cacheN)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err // listener failed to start or died
+	case <-ctx.Done():
+	}
+
+	log.Printf("commfreed: signal received, draining (limit %s)", *drainFor)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainFor)
+	defer cancel()
+	// Stop accepting connections and wait for active handlers; then
+	// drain the worker pool so queued work finishes too.
+	err := srv.Shutdown(shutdownCtx)
+	svc.Close()
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	log.Printf("commfreed: drained, bye")
+	return nil
+}

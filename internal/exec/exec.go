@@ -92,6 +92,14 @@ func BlockKey(blockID int, elemKey string) string {
 // all nodes concurrently, and gathers the final state from the block
 // holding each element's globally last write.
 func Parallel(res *partition.Result, p int, cost machine.CostModel) (*Report, error) {
+	return ParallelBudget(res, p, cost, nil)
+}
+
+// ParallelBudget is Parallel under an execution budget: every simulated
+// iteration spends one unit, and the run aborts with the budget's error
+// (machine.ErrBudgetExhausted or the context's error) once it is
+// exceeded. A nil budget is unlimited.
+func ParallelBudget(res *partition.Result, p int, cost machine.CostModel, budget *machine.Budget) (*Report, error) {
 	nest := res.Analysis.Nest
 	tr, err := transform.Transform(nest, res.Psi)
 	if err != nil {
@@ -147,6 +155,9 @@ func Parallel(res *partition.Result, p int, cost machine.CostModel) (*Report, er
 	// Parallel execution against private block copies.
 	err = mach.Run(func(n *machine.Node) error {
 		for _, bi := range perNode[n.ID] {
+			if err := budget.Spend(1); err != nil {
+				return err
+			}
 			for si, st := range nest.Body {
 				if red != nil && red.IsRedundant(si, bi.iter) {
 					continue

@@ -1,0 +1,127 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+
+	"commfree/internal/loop"
+)
+
+// TestCanonicalAlphaEquivalence: renamed indices, re-spaced subscripts,
+// comments, and multiplication spelling variants must all canonicalize
+// to the same bytes.
+func TestCanonicalAlphaEquivalence(t *testing.T) {
+	variants := []string{
+		"for i = 1 to 4\n  for j = 1 to 4\n    S1: A[2i, j] = C[i, j] * 7\n  end\nend",
+		"for x = 1 to 4\n  for y = 1 to 4\n    S1: A[2x,y] = C[x,y] * 7\n  end\nend",
+		"# comment\nfor p = 1 to 4\n for q = 1 to 4\n  S1: A[ 2*p , q ] = C[p, q] * 7 // tail\n end\nend",
+	}
+	var want string
+	for i, src := range variants {
+		got, err := CanonicalSource(src)
+		if err != nil {
+			t.Fatalf("variant %d: %v", i, err)
+		}
+		if i == 0 {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Errorf("variant %d canonicalizes differently:\n%s\nvs\n%s", i, got, want)
+		}
+	}
+	if !strings.Contains(want, "i1") || !strings.Contains(want, "i2") {
+		t.Errorf("canonical form does not use i1/i2 names:\n%s", want)
+	}
+}
+
+// TestCanonicalDistinguishesPrograms: semantically different programs
+// must not collide.
+func TestCanonicalDistinguishesPrograms(t *testing.T) {
+	a, err := CanonicalSource("for i = 1 to 4\n A[i] = A[i-1] + 1\nend")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CanonicalSource("for i = 1 to 4\n A[i] = A[i-1] + 2\nend")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Error("different RHS constants produced the same canonical form")
+	}
+	c, err := CanonicalSource("for i = 1 to 5\n A[i] = A[i-1] + 1\nend")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Error("different bounds produced the same canonical form")
+	}
+}
+
+// TestCanonicalIsFixpoint: canonicalizing canonical source is the
+// identity, and the canonical source re-parses with equal semantics.
+func TestCanonicalIsFixpoint(t *testing.T) {
+	for name, src := range map[string]string{
+		"L1":      srcL1,
+		"strided": "for i = 0 to 12 step 3\n for j = 1 to 4\n  B[i,j] = B[i-3,j] + j\n end\nend",
+	} {
+		canon, err := CanonicalSource(src)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		again, err := CanonicalSource(canon)
+		if err != nil {
+			t.Fatalf("%s: canonical source does not re-parse: %v", name, err)
+		}
+		if again != canon {
+			t.Errorf("%s: canonicalization is not a fixpoint:\n%s\nvs\n%s", name, canon, again)
+		}
+		n1, _ := Parse(src)
+		n2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		sameSemantics(t, name, n1, n2)
+	}
+}
+
+// TestCanonicalNameCollision: when the program already uses an array or
+// label named i1/i2, the canonical index names shift to ci1/ci2.
+func TestCanonicalNameCollision(t *testing.T) {
+	src := "for a = 1 to 4\n for b = 1 to 4\n  i1[a,b] = i1[a-1,b] + 1\n end\nend"
+	canon, err := CanonicalSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(canon, "for ci1 = ") || !strings.Contains(canon, "for ci2 = ") {
+		t.Errorf("collision with array i1 not avoided:\n%s", canon)
+	}
+	if _, err := CanonicalSource(canon); err != nil {
+		t.Errorf("collision-avoiding canonical form does not re-parse: %v", err)
+	}
+	// Swapped pre-canonical names must still converge with fresh names.
+	swapped := "for b = 1 to 4\n for a = 1 to 4\n  i1[b,a] = i1[b-1,a] + 1\n end\nend"
+	canon2, err := CanonicalSource(swapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canon2 != canon {
+		t.Errorf("α-equivalent collision sources differ:\n%s\nvs\n%s", canon2, canon)
+	}
+}
+
+// TestCanonicalHandBuiltNest: the paper's hand-built loops (Render but
+// no SourceRHS) canonicalize to parseable source with i1..in names.
+func TestCanonicalHandBuiltNest(t *testing.T) {
+	canon := Canonical(loop.L1())
+	nest, err := Parse(canon)
+	if err != nil {
+		t.Fatalf("canonical L1 does not parse: %v\n%s", err, canon)
+	}
+	if nest.Depth() != 2 || len(nest.Body) != 2 {
+		t.Errorf("canonical L1 changed shape:\n%s", canon)
+	}
+	if Canonical(nest) != canon {
+		t.Errorf("hand-built canonicalization not a fixpoint")
+	}
+}

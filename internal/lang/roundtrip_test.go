@@ -1,0 +1,179 @@
+package lang
+
+// Round-trip property test: for every DSL source in testdata/ (and every
+// accepted fuzz seed), Parse(Format(Parse(src))) yields the same nest —
+// identical levels and reference structure, identical verbatim RHS text
+// for unit-stride sources, and pointwise-identical RHS semantics.
+//
+// Strided sources are the one deliberate exception to byte-level AST
+// identity: the parser normalizes steps away and drops SourceRHS (the
+// verbatim text is written in the pre-normalization index variables), so
+// the first Format renders the RHS from the expression AST instead. From
+// that point on the representation is a fixpoint, which the test also
+// asserts: Format(Parse(Format(n))) == Format(n).
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"commfree/internal/loop"
+)
+
+// flatStatement is a Statement with the closure fields (Expr, Render)
+// dropped so reflect.DeepEqual applies; closures are compared
+// semantically by evalEverywhere instead.
+type flatStatement struct {
+	Label     string
+	Write     loop.Ref
+	Reads     []loop.Ref
+	SourceRHS string
+}
+
+func flatten(n *loop.Nest) []flatStatement {
+	out := make([]flatStatement, len(n.Body))
+	for i, st := range n.Body {
+		out[i] = flatStatement{Label: st.Label, Write: st.Write, Reads: st.Reads, SourceRHS: st.SourceRHS}
+	}
+	return out
+}
+
+// forEachIteration walks the whole (affine-bounded) iteration space.
+func forEachIteration(n *loop.Nest, visit func(iter []int64)) {
+	iter := make([]int64, n.Depth())
+	var walk func(k int)
+	walk = func(k int) {
+		if k == n.Depth() {
+			visit(iter)
+			return
+		}
+		lo, hi := n.Levels[k].Lower.Eval(iter), n.Levels[k].Upper.Eval(iter)
+		for v := lo; v <= hi; v++ {
+			iter[k] = v
+			walk(k + 1)
+		}
+	}
+	walk(0)
+}
+
+// sameSemantics checks that the two nests' statements compute identical
+// RHS values at every iteration point, feeding both the same synthetic
+// read values.
+func sameSemantics(t *testing.T, name string, a, b *loop.Nest) {
+	t.Helper()
+	forEachIteration(a, func(iter []int64) {
+		for s, sa := range a.Body {
+			sb := b.Body[s]
+			reads := make([]float64, len(sa.Reads))
+			for r := range reads {
+				reads[r] = float64(r)*1.5 + float64(iter[0]) + 0.25
+			}
+			va, vb := sa.EvalExpr(iter, reads), sb.EvalExpr(iter, reads)
+			if va != vb && !(va != va && vb != vb) { // NaN == NaN for this purpose
+				t.Errorf("%s: statement %d differs at %v: %v vs %v", name, s, iter, va, vb)
+			}
+		}
+	})
+}
+
+func roundTripNest(t *testing.T, name string, n1 *loop.Nest, strided bool) {
+	t.Helper()
+	f1 := Format(n1)
+	n2, err := Parse(f1)
+	if err != nil {
+		t.Fatalf("%s: formatted source does not re-parse: %v\n%s", name, err, f1)
+	}
+	if !reflect.DeepEqual(n1.Levels, n2.Levels) {
+		t.Errorf("%s: levels changed across round trip\n%v\nvs\n%v", name, n1.Levels, n2.Levels)
+	}
+	s1, s2 := flatten(n1), flatten(n2)
+	if !strided {
+		// Unit-stride sources round-trip to the identical AST, verbatim
+		// RHS text included.
+		if !reflect.DeepEqual(s1, s2) {
+			t.Errorf("%s: statements changed across round trip\n%#v\nvs\n%#v", name, s1, s2)
+		}
+	} else {
+		// Strided: SourceRHS is legitimately rewritten once; everything
+		// structural must still match.
+		for i := range s1 {
+			s1[i].SourceRHS, s2[i].SourceRHS = "", ""
+		}
+		if !reflect.DeepEqual(s1, s2) {
+			t.Errorf("%s: reference structure changed across round trip\n%#v\nvs\n%#v", name, s1, s2)
+		}
+	}
+	sameSemantics(t, name, n1, n2)
+
+	// One Format reaches the fixpoint for every source, strided or not.
+	f2 := Format(n2)
+	n3, err := Parse(f2)
+	if err != nil {
+		t.Fatalf("%s: second format does not re-parse: %v\n%s", name, err, f2)
+	}
+	if f3 := Format(n3); f3 != f2 {
+		t.Errorf("%s: Format is not a fixpoint\nfirst:\n%s\nsecond:\n%s", name, f2, f3)
+	}
+	if !reflect.DeepEqual(flatten(n2), flatten(n3)) || !reflect.DeepEqual(n2.Levels, n3.Levels) {
+		t.Errorf("%s: fixpoint parse differs structurally", name)
+	}
+}
+
+// TestRoundTripTestdata runs the property over every .cf file in the
+// repository's testdata directory (program.cf contributes one subtest
+// per nest).
+func TestRoundTripTestdata(t *testing.T) {
+	dir := filepath.Join("..", "..", "testdata")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := 0
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".cf") {
+			continue
+		}
+		files++
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := string(data)
+		strided := strings.Contains(src, "step")
+		t.Run(e.Name(), func(t *testing.T) {
+			nests, err := ParseProgram(src)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			for _, n := range nests {
+				roundTripNest(t, e.Name(), n, strided)
+			}
+		})
+	}
+	if files < 5 {
+		t.Errorf("expected at least 5 testdata sources, found %d", files)
+	}
+}
+
+// TestRoundTripFuzzSeeds replays the accepted fuzz-corpus seeds through
+// the same property, so the corpus and the property test cannot drift
+// apart.
+func TestRoundTripFuzzSeeds(t *testing.T) {
+	accepted := 0
+	for i, src := range fuzzSeeds {
+		n, err := Parse(src)
+		if err != nil {
+			continue // rejection seeds are FuzzParse's concern
+		}
+		accepted++
+		strided := strings.Contains(src, "step")
+		t.Run(strings.Fields(src)[0]+string(rune('A'+i)), func(t *testing.T) {
+			roundTripNest(t, "seed", n, strided)
+		})
+	}
+	if accepted < 5 {
+		t.Errorf("only %d fuzz seeds parse; corpus too thin for the property", accepted)
+	}
+}

@@ -1,0 +1,62 @@
+package selector
+
+// The compilation service calls Best from a pool of workers, sometimes
+// against the same *loop.Nest (cached compilations share the parsed
+// nest). This test documents — and, under -race, proves — that the
+// whole analysis layer underneath Best (dependence analysis, partition
+// derivation, transformation, assignment, cost simulation) treats its
+// input nest as read-only: 16 goroutines race Best over shared nests
+// and must agree on the result.
+
+import (
+	"sync"
+	"testing"
+
+	"commfree/internal/loop"
+	"commfree/internal/machine"
+)
+
+func TestBestConcurrentOnSharedNest(t *testing.T) {
+	nests := map[string]*loop.Nest{
+		"L1": loop.L1(),
+		"L2": loop.L2(),
+		"L3": loop.L3(),
+		"L4": loop.L4(),
+		"L5": loop.L5(4),
+	}
+	cost := machine.Transputer()
+	for name, nest := range nests {
+		nest := nest
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			const goroutines = 16
+			labels := make([]string, goroutines)
+			totals := make([]float64, goroutines)
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					best, all, err := Best(nest, 4, cost)
+					if err != nil {
+						t.Errorf("goroutine %d: %v", g, err)
+						return
+					}
+					if len(all) == 0 {
+						t.Errorf("goroutine %d: empty ranking", g)
+						return
+					}
+					labels[g] = best.Label
+					totals[g] = best.Total
+				}(g)
+			}
+			wg.Wait()
+			for g := 1; g < goroutines; g++ {
+				if labels[g] != labels[0] || totals[g] != totals[0] {
+					t.Errorf("goroutine %d picked %q (%.9fs), goroutine 0 picked %q (%.9fs)",
+						g, labels[g], totals[g], labels[0], totals[0])
+				}
+			}
+		})
+	}
+}

@@ -24,20 +24,22 @@ import (
 	"commfree/internal/transform"
 )
 
-// Candidate is one evaluated allocation.
+// Candidate is one evaluated allocation. The struct is JSON-stable:
+// compilation services serve it verbatim as the predicted-cost part of
+// a plan (times are simulated seconds on the configured cost model).
 type Candidate struct {
 	// Label describes the candidate ("duplicate", "selective{B}", …).
-	Label string
+	Label string `json:"label"`
 	// Strategy is the partitioning strategy used.
-	Strategy partition.Strategy
+	Strategy partition.Strategy `json:"strategy"`
 	// Duplicated lists the arrays allowed to replicate under Selective.
-	Duplicated []string
+	Duplicated []string `json:"duplicated,omitempty"`
 	// Blocks is the communication-free parallelism.
-	Blocks int
+	Blocks int `json:"blocks"`
 	// DistributionTime, ComputeTime, and Total are the simulated costs.
-	DistributionTime float64
-	ComputeTime      float64
-	Total            float64
+	DistributionTime float64 `json:"distribution_time_s"`
+	ComputeTime      float64 `json:"compute_time_s"`
+	Total            float64 `json:"total_s"`
 }
 
 // String renders the candidate.

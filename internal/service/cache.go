@@ -1,0 +1,133 @@
+package service
+
+// Canonicalizing plan cache. Keys are built from the *canonical*
+// rendering of the submitted nest (internal/lang.Canonical) plus the
+// strategy and processor count, so α-equivalent programs — renamed
+// indices, re-spaced or re-spelled source — hit the same entry.
+// Eviction is LRU, bounded both by entry count and by the approximate
+// byte footprint of the cached plans.
+
+import (
+	"container/list"
+	"sync"
+)
+
+// cacheEntry is one cached compilation: the wire-form plan plus the
+// live pipeline artifacts /v1/execute needs (all read-only after
+// construction; see TestChooseConcurrentReadOnly for the proof that
+// the analysis layer tolerates shared use).
+type cacheEntry struct {
+	key   string
+	plan  *Plan
+	comp  *compiled
+	bytes int64
+}
+
+// planCache is a mutex-guarded LRU with entry-count and byte bounds.
+type planCache struct {
+	mu         sync.Mutex
+	maxEntries int
+	maxBytes   int64
+	ll         *list.List // front = most recently used
+	items      map[string]*list.Element
+	bytes      int64
+	hits       int64
+	misses     int64
+	evictions  int64
+}
+
+func newPlanCache(maxEntries int, maxBytes int64) *planCache {
+	if maxEntries <= 0 {
+		maxEntries = 256
+	}
+	if maxBytes <= 0 {
+		maxBytes = 64 << 20
+	}
+	return &planCache{
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		ll:         list.New(),
+		items:      map[string]*list.Element{},
+	}
+}
+
+// get looks the key up, promoting and counting a hit when present.
+func (c *planCache) get(key string) (*cacheEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry), true
+}
+
+// peek is get without touching the hit/miss counters (used by the
+// single-flight leader's double-check so stats count each request
+// once).
+func (c *planCache) peek(key string) (*cacheEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry), true
+}
+
+// add inserts (or refreshes) an entry and evicts from the LRU tail
+// until both bounds hold again.
+func (c *planCache) add(e *cacheEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[e.key]; ok {
+		old := el.Value.(*cacheEntry)
+		c.bytes += e.bytes - old.bytes
+		el.Value = e
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[e.key] = c.ll.PushFront(e)
+		c.bytes += e.bytes
+	}
+	for c.ll.Len() > c.maxEntries || (c.bytes > c.maxBytes && c.ll.Len() > 1) {
+		tail := c.ll.Back()
+		if tail == nil {
+			break
+		}
+		old := tail.Value.(*cacheEntry)
+		c.ll.Remove(tail)
+		delete(c.items, old.key)
+		c.bytes -= old.bytes
+		c.evictions++
+	}
+}
+
+// CacheStats is the cache section of the metrics document.
+type CacheStats struct {
+	Hits       int64   `json:"hits"`
+	Misses     int64   `json:"misses"`
+	Evictions  int64   `json:"evictions"`
+	Entries    int     `json:"entries"`
+	Bytes      int64   `json:"bytes"`
+	MaxEntries int     `json:"max_entries"`
+	MaxBytes   int64   `json:"max_bytes"`
+	HitRate    float64 `json:"hit_rate"`
+}
+
+func (c *planCache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := CacheStats{
+		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
+		Entries: c.ll.Len(), Bytes: c.bytes,
+		MaxEntries: c.maxEntries, MaxBytes: c.maxBytes,
+	}
+	if total := c.hits + c.misses; total > 0 {
+		s.HitRate = float64(c.hits) / float64(total)
+	}
+	return s
+}

@@ -1,0 +1,78 @@
+package service
+
+import (
+	"fmt"
+	"testing"
+)
+
+func entry(key string, bytes int64) *cacheEntry {
+	return &cacheEntry{key: key, plan: &Plan{CanonicalSource: key}, bytes: bytes}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newPlanCache(2, 1<<20)
+	c.add(entry("a", 10))
+	c.add(entry("b", 10))
+	if _, ok := c.get("a"); !ok { // promotes a over b
+		t.Fatal("a missing")
+	}
+	c.add(entry("c", 10)) // evicts b (LRU), not a
+	if _, ok := c.get("b"); ok {
+		t.Error("b survived eviction")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Error("a was evicted despite promotion")
+	}
+	st := c.stats()
+	if st.Evictions != 1 || st.Entries != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestCacheByteBound(t *testing.T) {
+	c := newPlanCache(100, 100)
+	c.add(entry("a", 60))
+	c.add(entry("b", 60)) // 120 bytes > 100: evicts a
+	if _, ok := c.get("a"); ok {
+		t.Error("byte bound not enforced")
+	}
+	if _, ok := c.get("b"); !ok {
+		t.Error("most recent entry evicted")
+	}
+	if st := c.stats(); st.Bytes != 60 {
+		t.Errorf("bytes = %d", st.Bytes)
+	}
+	// A single over-budget entry is still cached (bound evicts down to
+	// one entry, never to zero).
+	c.add(entry("huge", 500))
+	if _, ok := c.get("huge"); !ok {
+		t.Error("oversized entry not retained")
+	}
+}
+
+func TestCacheRefreshSameKey(t *testing.T) {
+	c := newPlanCache(4, 1<<20)
+	c.add(entry("k", 10))
+	c.add(entry("k", 30))
+	st := c.stats()
+	if st.Entries != 1 || st.Bytes != 30 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestCacheStatsCounters(t *testing.T) {
+	c := newPlanCache(8, 1<<20)
+	for i := 0; i < 4; i++ {
+		c.add(entry(fmt.Sprint(i), 1))
+	}
+	c.get("0")
+	c.get("0")
+	c.get("nope")
+	st := c.stats()
+	if st.Hits != 2 || st.Misses != 1 {
+		t.Errorf("hits/misses = %d/%d", st.Hits, st.Misses)
+	}
+	if st.HitRate < 0.66 || st.HitRate > 0.67 {
+		t.Errorf("hit rate = %f", st.HitRate)
+	}
+}

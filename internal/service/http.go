@@ -1,0 +1,109 @@
+package service
+
+// HTTP front end: JSON in, JSON out.
+//
+//	POST /v1/compile  {source, strategy?, processors?} → CompileResponse
+//	POST /v1/execute  {source, strategy?, processors?} → ExecuteResponse
+//	GET  /v1/metrics  → metrics document (stages, counters, gauges, cache)
+//	GET  /healthz     → {"status":"ok"}
+//
+// Error responses are {"error": "..."} with 400 for malformed input,
+// 503 while draining, 504 on per-request timeout, and 500 otherwise.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"commfree/internal/machine"
+)
+
+// Handler returns the service's HTTP handler.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/compile", func(w http.ResponseWriter, r *http.Request) {
+		s.handleJSON(w, r, func(ctx context.Context, req CompileRequest) (any, error) {
+			return s.Compile(ctx, req)
+		})
+	})
+	mux.HandleFunc("/v1/execute", func(w http.ResponseWriter, r *http.Request) {
+		s.handleJSON(w, r, func(ctx context.Context, req ExecuteRequest) (any, error) {
+			return s.Execute(ctx, req)
+		})
+	})
+	mux.HandleFunc("/v1/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+			return
+		}
+		writeJSON(w, http.StatusOK, s.MetricsDocument())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+// MetricsDocument is the full /v1/metrics payload: the generic registry
+// snapshot plus the cache section.
+type MetricsDocument struct {
+	Snapshot
+	Cache CacheStats `json:"cache"`
+}
+
+// MetricsDocument assembles the /v1/metrics payload.
+func (s *Service) MetricsDocument() MetricsDocument {
+	return MetricsDocument{Snapshot: s.metrics.Snapshot(), Cache: s.cache.stats()}
+}
+
+func (s *Service) handleJSON(w http.ResponseWriter, r *http.Request, serve func(context.Context, CompileRequest) (any, error)) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return
+	}
+	var req CompileRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, int64(s.cfg.MaxSourceBytes)+4096))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp, err := serve(r.Context(), req)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// statusFor maps service errors to HTTP statuses.
+func statusFor(err error) int {
+	var bad *BadRequestError
+	switch {
+	case errors.As(err, &bad):
+		return http.StatusBadRequest
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, ErrQueueFull):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return 499 // client closed request (nginx convention)
+	case errors.Is(err, machine.ErrBudgetExhausted):
+		return http.StatusUnprocessableEntity
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,78 @@
+package service
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	h.Observe(30 * time.Microsecond)  // → 50µs bucket
+	h.Observe(30 * time.Microsecond)  // → 50µs bucket
+	h.Observe(700 * time.Millisecond) // → 1s bucket
+	h.Observe(10 * time.Second)       // → +Inf bucket
+	s := h.Snapshot()
+	if s.Count != 4 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.MinS > 31e-6 || s.MaxS < 10 {
+		t.Errorf("min/max = %v/%v", s.MinS, s.MaxS)
+	}
+	found := map[float64]int64{}
+	inf := int64(0)
+	for _, b := range s.Buckets {
+		if b.Inf {
+			inf = b.Count
+		} else {
+			found[b.LE] = b.Count
+		}
+	}
+	if found[50e-6] != 2 || found[1] != 1 || inf != 1 {
+		t.Errorf("buckets = %+v", s.Buckets)
+	}
+}
+
+func TestMetricsSnapshotJSONShape(t *testing.T) {
+	m := NewMetrics()
+	m.Observe("parse", time.Millisecond)
+	m.Inc("compile_requests", 3)
+	m.Gauge("queue_depth", func() int64 { return 7 })
+	data, err := json.Marshal(m.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back map[string]any
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"uptime_s", "counters", "gauges", "stages"} {
+		if _, ok := back[key]; !ok {
+			t.Errorf("snapshot missing %q: %s", key, data)
+		}
+	}
+}
+
+func TestMetricsConcurrentUse(t *testing.T) {
+	m := NewMetrics()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				m.Observe("stage", time.Microsecond)
+				m.Inc("n", 1)
+				m.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.Counter("n"); got != 800 {
+		t.Errorf("counter = %d", got)
+	}
+	if s := m.Stage("stage").Snapshot(); s.Count != 800 {
+		t.Errorf("histogram count = %d", s.Count)
+	}
+}

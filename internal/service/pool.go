@@ -1,0 +1,145 @@
+package service
+
+// Bounded worker pool. Requests are queued on a fixed-depth channel
+// and executed by a fixed set of workers; callers block until their
+// task completes or their context is done. Close() drains gracefully:
+// new submissions are rejected, every already-accepted task still runs
+// to completion and its caller receives the real result — nothing is
+// dropped.
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrDraining is returned for submissions after Close() has begun.
+var ErrDraining = errors.New("service: draining, not accepting new requests")
+
+// ErrQueueFull is returned when the request queue is at capacity and
+// the caller's context expires before a slot frees up.
+var ErrQueueFull = errors.New("service: request queue full")
+
+type taskResult struct {
+	v   any
+	err error
+}
+
+type task struct {
+	ctx context.Context
+	fn  func(ctx context.Context) (any, error)
+	res chan taskResult
+}
+
+type pool struct {
+	queue chan *task
+	quit  chan struct{}
+
+	mu      sync.Mutex
+	closed  bool
+	pending sync.WaitGroup // accepted tasks not yet finished
+	workers sync.WaitGroup
+
+	inFlight atomic.Int64
+}
+
+func newPool(workers, queueDepth int) *pool {
+	if workers <= 0 {
+		workers = 4
+	}
+	if queueDepth <= 0 {
+		queueDepth = 64
+	}
+	p := &pool{
+		queue: make(chan *task, queueDepth),
+		quit:  make(chan struct{}),
+	}
+	for i := 0; i < workers; i++ {
+		p.workers.Add(1)
+		go p.worker()
+	}
+	return p
+}
+
+func (p *pool) worker() {
+	defer p.workers.Done()
+	for {
+		select {
+		case t := <-p.queue:
+			p.run(t)
+		case <-p.quit:
+			// quit closes only after every accepted task has finished
+			// (pending.Wait), so the queue is empty here.
+			return
+		}
+	}
+}
+
+func (p *pool) run(t *task) {
+	defer p.pending.Done()
+	// The caller may have given up while the task sat in the queue;
+	// don't burn a worker on an abandoned request.
+	if err := t.ctx.Err(); err != nil {
+		t.res <- taskResult{err: err}
+		return
+	}
+	p.inFlight.Add(1)
+	v, err := t.fn(t.ctx)
+	p.inFlight.Add(-1)
+	t.res <- taskResult{v: v, err: err}
+}
+
+// submit runs fn on a worker and returns its result. It fails fast
+// with ErrDraining after Close, ErrQueueFull/ctx.Err() when the queue
+// stays full past the context deadline, and ctx.Err() when the caller
+// gives up while queued (the task itself is then skipped by the
+// worker).
+func (p *pool) submit(ctx context.Context, fn func(ctx context.Context) (any, error)) (any, error) {
+	t := &task{ctx: ctx, fn: fn, res: make(chan taskResult, 1)}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrDraining
+	}
+	p.pending.Add(1)
+	p.mu.Unlock()
+
+	select {
+	case p.queue <- t:
+	case <-ctx.Done():
+		p.pending.Done()
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			return nil, errors.Join(ErrQueueFull, ctx.Err())
+		}
+		return nil, ctx.Err()
+	}
+	r := <-t.res
+	return r.v, r.err
+}
+
+// queueDepth reports the number of queued-but-not-started tasks.
+func (p *pool) queueDepth() int { return len(p.queue) }
+
+// queueCap reports the queue capacity.
+func (p *pool) queueCap() int { return cap(p.queue) }
+
+// running reports the number of tasks currently executing on workers.
+func (p *pool) running() int64 { return p.inFlight.Load() }
+
+// close drains the pool: rejects new submissions, waits for every
+// accepted task to finish, then stops the workers. Safe to call more
+// than once.
+func (p *pool) close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.workers.Wait()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	p.pending.Wait()
+	close(p.quit)
+	p.workers.Wait()
+}

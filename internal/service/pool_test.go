@@ -1,0 +1,114 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolRunsTasks(t *testing.T) {
+	p := newPool(2, 8)
+	defer p.close()
+	var n atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := p.submit(context.Background(), func(context.Context) (any, error) {
+				n.Add(1)
+				return "ok", nil
+			})
+			if err != nil || v != "ok" {
+				t.Errorf("submit: %v %v", v, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if n.Load() != 20 {
+		t.Errorf("ran %d tasks", n.Load())
+	}
+}
+
+func TestPoolCallerCancelWhileQueued(t *testing.T) {
+	p := newPool(1, 4)
+	defer p.close()
+	release := make(chan struct{})
+	go p.submit(context.Background(), func(context.Context) (any, error) {
+		<-release
+		return nil, nil
+	})
+	time.Sleep(10 * time.Millisecond) // occupy the only worker
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := p.submit(ctx, func(context.Context) (any, error) { return nil, nil })
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	close(release)
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestPoolQueueFullTimesOut(t *testing.T) {
+	p := newPool(1, 1)
+	defer p.close()
+	release := make(chan struct{})
+	block := func(context.Context) (any, error) { <-release; return nil, nil }
+	go p.submit(context.Background(), block) // worker
+	time.Sleep(5 * time.Millisecond)
+	go p.submit(context.Background(), block) // queue slot
+	time.Sleep(5 * time.Millisecond)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, err := p.submit(ctx, block)
+	close(release)
+	if !errors.Is(err, ErrQueueFull) {
+		t.Errorf("err = %v, want ErrQueueFull", err)
+	}
+}
+
+func TestPoolCloseDrainsAcceptedTasks(t *testing.T) {
+	p := newPool(2, 32)
+	const n = 16
+	var completed atomic.Int64
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			_, err := p.submit(context.Background(), func(context.Context) (any, error) {
+				time.Sleep(5 * time.Millisecond)
+				completed.Add(1)
+				return nil, nil
+			})
+			errs <- err
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	p.close() // must block until every accepted task has finished
+
+	accepted := 0
+	for i := 0; i < n; i++ {
+		if err := <-errs; err == nil {
+			accepted++
+		} else if !errors.Is(err, ErrDraining) {
+			t.Errorf("unexpected error: %v", err)
+		}
+	}
+	if int64(accepted) != completed.Load() {
+		t.Errorf("%d accepted but %d completed", accepted, completed.Load())
+	}
+	if accepted == 0 {
+		t.Error("close raced ahead of every submission")
+	}
+	if _, err := p.submit(context.Background(), func(context.Context) (any, error) { return nil, nil }); !errors.Is(err, ErrDraining) {
+		t.Errorf("post-close submit: %v", err)
+	}
+}

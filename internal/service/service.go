@@ -1,0 +1,519 @@
+// Package service turns the commfree compiler into a long-running
+// compilation service: clients submit loop nests in the DSL and receive
+// a priced, communication-free allocation plan (partition basis, forall
+// program, block→processor assignment, predicted distribution/compute
+// cost) or a simulated execution of that plan.
+//
+// The service layers three mechanisms over the existing pipeline:
+//
+//   - a canonicalizing plan cache (cache.go): nests are normalized via
+//     internal/lang's canonical renderer so α-equivalent programs hit
+//     the same LRU entry, with entry/byte bounds and hit/miss counters;
+//   - a bounded worker pool (pool.go) running parse→partition→select→
+//     codegen off a request queue with per-request timeouts, context
+//     cancellation, and graceful drain;
+//   - a metrics registry (metrics.go) of per-stage latency histograms,
+//     cache hit rate, queue depth, and in-flight count.
+//
+// cmd/commfreed exposes it over HTTP (http.go).
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"commfree/internal/assign"
+	"commfree/internal/codegen"
+	"commfree/internal/exec"
+	"commfree/internal/lang"
+	"commfree/internal/loop"
+	"commfree/internal/machine"
+	"commfree/internal/partition"
+	"commfree/internal/selector"
+	"commfree/internal/transform"
+)
+
+// Config tunes a Service. Zero values select the documented defaults.
+type Config struct {
+	// Workers is the worker-pool size (default 4) and QueueDepth the
+	// request-queue bound (default 64).
+	Workers    int
+	QueueDepth int
+	// CacheEntries / CacheBytes bound the plan cache (defaults 256
+	// entries, 64 MiB approximate).
+	CacheEntries int
+	CacheBytes   int64
+	// RequestTimeout caps one request end to end (default 30s).
+	RequestTimeout time.Duration
+	// MaxIterations is the per-request simulated-execution budget
+	// (default 1<<22 iterations; 0 keeps the default, negative means
+	// unlimited).
+	MaxIterations int64
+	// MaxProcessors bounds the machine size a request may ask for
+	// (default 1024); MaxSourceBytes bounds the submitted program
+	// (default 1 MiB).
+	MaxProcessors  int
+	MaxSourceBytes int
+	// Cost is the machine cost model (default machine.Transputer()).
+	Cost machine.CostModel
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 256
+	}
+	if c.CacheBytes <= 0 {
+		c.CacheBytes = 64 << 20
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.MaxIterations == 0 {
+		c.MaxIterations = 1 << 22
+	}
+	if c.MaxProcessors <= 0 {
+		c.MaxProcessors = 1024
+	}
+	if c.MaxSourceBytes <= 0 {
+		c.MaxSourceBytes = 1 << 20
+	}
+	if c.Cost == (machine.CostModel{}) {
+		c.Cost = machine.Transputer()
+	}
+	return c
+}
+
+// BadRequestError marks client errors (malformed source, unknown
+// strategy, out-of-range processors); the HTTP layer maps it to 400.
+type BadRequestError struct{ Err error }
+
+func (e *BadRequestError) Error() string { return e.Err.Error() }
+func (e *BadRequestError) Unwrap() error { return e.Err }
+
+func badRequest(format string, args ...any) error {
+	return &BadRequestError{Err: fmt.Errorf(format, args...)}
+}
+
+// CompileRequest is the input of POST /v1/compile (and the compilation
+// half of /v1/execute).
+type CompileRequest struct {
+	// Source is the loop-nest DSL program.
+	Source string `json:"source"`
+	// Strategy is one of "non-duplicate", "duplicate",
+	// "minimal-non-duplicate", "minimal-duplicate", or "auto" (pick the
+	// cheapest allocation, including selective duplication subsets).
+	// Empty means "non-duplicate".
+	Strategy string `json:"strategy,omitempty"`
+	// Processors is the machine size (default 16).
+	Processors int `json:"processors,omitempty"`
+}
+
+// Plan is the wire form of one compilation: everything a client needs
+// to reproduce the allocation, in JSON-stable types.
+type Plan struct {
+	// CanonicalSource is the canonicalized program the service actually
+	// compiled (α-equivalent inputs share it).
+	CanonicalSource string `json:"canonical_source"`
+	// Strategy is the strategy that was compiled (after "auto"
+	// resolution, e.g. "selective{B}").
+	Strategy   string `json:"strategy"`
+	Processors int    `json:"processors"`
+	// Partition, Transform, and Assignment describe the plan proper.
+	Partition  partition.Info `json:"partition"`
+	Transform  transform.Info `json:"transform"`
+	Assignment assign.Info    `json:"assignment"`
+	// Predicted is the selector's cost estimate for the compiled
+	// allocation; Ranking prices every alternative, cheapest first.
+	Predicted *selector.Candidate  `json:"predicted,omitempty"`
+	Ranking   []selector.Candidate `json:"ranking,omitempty"`
+	// SPMDGo is the generated standalone Go program.
+	SPMDGo string `json:"spmd_go"`
+}
+
+// CompileResponse is the output of POST /v1/compile.
+type CompileResponse struct {
+	Plan *Plan `json:"plan"`
+	// Cached reports whether the plan came from the cache (or from a
+	// concurrent compilation of the same canonical program).
+	Cached bool `json:"cached"`
+	// ElapsedS is the service-side wall time for this request.
+	ElapsedS float64 `json:"elapsed_s"`
+}
+
+// ExecuteRequest is the input of POST /v1/execute.
+type ExecuteRequest = CompileRequest
+
+// ExecuteResponse is the output of POST /v1/execute: the plan is run on
+// the simulated multicomputer and validated against sequential
+// execution.
+type ExecuteResponse struct {
+	Strategy   string `json:"strategy"`
+	Processors int    `json:"processors"`
+	Cached     bool   `json:"cached"`
+	// Simulated timings (seconds on the configured cost model).
+	DistributionS float64 `json:"distribution_s"`
+	ComputeS      float64 `json:"compute_s"`
+	SimElapsedS   float64 `json:"sim_elapsed_s"`
+	// HostMessages counts host→node distribution messages;
+	// InterNodeMessages is zero for every communication-free plan.
+	HostMessages      int64 `json:"host_messages"`
+	InterNodeMessages int64 `json:"inter_node_messages"`
+	// IterationsPerNode is the per-processor workload.
+	IterationsPerNode []int64 `json:"iterations_per_node"`
+	// Validated reports element-exact agreement with sequential
+	// execution over Elements array elements.
+	Validated  bool `json:"validated"`
+	Mismatches int  `json:"mismatches"`
+	Elements   int  `json:"elements"`
+	// ElapsedS is the service-side wall time for this request.
+	ElapsedS float64 `json:"elapsed_s"`
+}
+
+// compiled holds the live pipeline artifacts behind a cached plan,
+// needed to execute it. Read-only after construction.
+type compiled struct {
+	nest *loop.Nest
+	res  *partition.Result
+	tr   *transform.Transformed
+	asg  *assign.Assignment
+}
+
+// flight deduplicates concurrent compilations of one cache key.
+type flight struct {
+	done  chan struct{}
+	entry *cacheEntry
+	err   error
+}
+
+// Service is the compilation service.
+type Service struct {
+	cfg     Config
+	cache   *planCache
+	pool    *pool
+	metrics *Metrics
+
+	flightMu sync.Mutex
+	flights  map[string]*flight
+}
+
+// New builds a Service from the config.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	s := &Service{
+		cfg:     cfg,
+		cache:   newPlanCache(cfg.CacheEntries, cfg.CacheBytes),
+		pool:    newPool(cfg.Workers, cfg.QueueDepth),
+		metrics: NewMetrics(),
+		flights: map[string]*flight{},
+	}
+	s.metrics.Gauge("queue_depth", func() int64 { return int64(s.pool.queueDepth()) })
+	s.metrics.Gauge("queue_capacity", func() int64 { return int64(s.pool.queueCap()) })
+	s.metrics.Gauge("in_flight", func() int64 { return s.pool.running() })
+	s.metrics.Gauge("workers", func() int64 { return int64(cfg.Workers) })
+	return s
+}
+
+// Metrics exposes the registry (for tests and the HTTP layer).
+func (s *Service) Metrics() *Metrics { return s.metrics }
+
+// CacheStats exposes the cache counters.
+func (s *Service) CacheStats() CacheStats { return s.cache.stats() }
+
+// Close drains the service: in-flight and queued requests complete and
+// receive their responses; new requests fail with ErrDraining.
+func (s *Service) Close() { s.pool.close() }
+
+// parseStrategy maps the wire strategy name.
+func parseStrategy(name string) (strat partition.Strategy, auto bool, err error) {
+	switch name {
+	case "", "non-duplicate":
+		return partition.NonDuplicate, false, nil
+	case "duplicate":
+		return partition.Duplicate, false, nil
+	case "minimal-non-duplicate":
+		return partition.MinimalNonDuplicate, false, nil
+	case "minimal-duplicate":
+		return partition.MinimalDuplicate, false, nil
+	case "auto":
+		return partition.NonDuplicate, true, nil
+	default:
+		return 0, false, badRequest("unknown strategy %q", name)
+	}
+}
+
+// validate checks request bounds and fills defaults.
+func (s *Service) validate(req *CompileRequest) error {
+	if len(req.Source) == 0 {
+		return badRequest("empty source")
+	}
+	if len(req.Source) > s.cfg.MaxSourceBytes {
+		return badRequest("source is %d bytes, limit %d", len(req.Source), s.cfg.MaxSourceBytes)
+	}
+	if req.Processors == 0 {
+		req.Processors = 16
+	}
+	if req.Processors < 1 || req.Processors > s.cfg.MaxProcessors {
+		return badRequest("processors = %d, allowed 1..%d", req.Processors, s.cfg.MaxProcessors)
+	}
+	return nil
+}
+
+// Compile serves one compilation request through the cache and pool.
+func (s *Service) Compile(ctx context.Context, req CompileRequest) (*CompileResponse, error) {
+	start := time.Now()
+	s.metrics.Inc("compile_requests", 1)
+	entry, cached, err := s.compileEntry(ctx, req)
+	if err != nil {
+		s.metrics.Inc("errors", 1)
+		return nil, err
+	}
+	return &CompileResponse{
+		Plan:     entry.plan,
+		Cached:   cached,
+		ElapsedS: time.Since(start).Seconds(),
+	}, nil
+}
+
+// compileEntry is the shared compile-through-cache path.
+func (s *Service) compileEntry(ctx context.Context, req CompileRequest) (e *cacheEntry, cached bool, err error) {
+	if err := s.validate(&req); err != nil {
+		return nil, false, err
+	}
+	strat, auto, err := parseStrategy(req.Strategy)
+	if err != nil {
+		return nil, false, err
+	}
+	ctx, cancel := context.WithTimeout(ctx, s.cfg.RequestTimeout)
+	defer cancel()
+
+	// Stage: parse (cheap; runs on the caller so the cache fast path
+	// never touches the pool).
+	t0 := time.Now()
+	nest, err := lang.Parse(req.Source)
+	s.metrics.Observe("parse", time.Since(t0))
+	if err != nil {
+		return nil, false, &BadRequestError{Err: err}
+	}
+
+	stratName := req.Strategy
+	if stratName == "" {
+		stratName = strat.String()
+	}
+	key := fmt.Sprintf("s=%s|p=%d|%s", stratName, req.Processors, lang.Canonical(nest))
+	if e, ok := s.cache.get(key); ok {
+		return e, true, nil
+	}
+
+	// Single flight per key: one leader compiles on the pool, everyone
+	// else waits on its result without occupying a worker.
+	s.flightMu.Lock()
+	f, running := s.flights[key]
+	if !running {
+		f = &flight{done: make(chan struct{})}
+		s.flights[key] = f
+	}
+	s.flightMu.Unlock()
+
+	if running {
+		select {
+		case <-f.done:
+			if f.err != nil {
+				return nil, false, f.err
+			}
+			return f.entry, true, nil
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+	}
+
+	// Double-check: a previous leader may have finished (and populated
+	// the cache) between our miss and our flight registration.
+	if e, ok := s.cache.peek(key); ok {
+		s.flightMu.Lock()
+		delete(s.flights, key)
+		s.flightMu.Unlock()
+		f.entry = e
+		close(f.done)
+		return e, true, nil
+	}
+
+	v, err := s.pool.submit(ctx, func(ctx context.Context) (any, error) {
+		return s.compile(ctx, key, nest, strat, auto, req.Processors)
+	})
+	if err == nil {
+		e = v.(*cacheEntry)
+		s.cache.add(e)
+	}
+	f.entry, f.err = e, err
+	s.flightMu.Lock()
+	delete(s.flights, key)
+	s.flightMu.Unlock()
+	close(f.done)
+	return e, false, err
+}
+
+// compile runs the partition→select→codegen pipeline (on a pool
+// worker) and builds the cache entry.
+func (s *Service) compile(ctx context.Context, key string, nest *loop.Nest, strat partition.Strategy, auto bool, procs int) (*cacheEntry, error) {
+	// Compile the canonical nest, so cached plans are identical for all
+	// α-equivalent spellings of the program.
+	canonSrc := lang.Canonical(nest)
+	cn, err := lang.Parse(canonSrc)
+	if err != nil {
+		return nil, fmt.Errorf("service: canonical source does not re-parse: %w", err)
+	}
+
+	// Stage: selection — price every allocation alternative.
+	t0 := time.Now()
+	best, ranking, err := selector.Best(cn, procs, s.cfg.Cost)
+	s.metrics.Observe("selection", time.Since(t0))
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// Stage: partition under the chosen strategy (Theorems 1–4, or the
+	// selector's winner — possibly a selective subset — under "auto").
+	t0 = time.Now()
+	var res *partition.Result
+	var predicted *selector.Candidate
+	if auto {
+		if best.Strategy == partition.Selective {
+			dup := map[string]bool{}
+			for _, a := range best.Duplicated {
+				dup[a] = true
+			}
+			res, err = partition.ComputeSelective(cn, dup)
+		} else {
+			res, err = partition.Compute(cn, best.Strategy)
+		}
+		predicted = &best
+	} else {
+		res, err = partition.Compute(cn, strat)
+		for i := range ranking {
+			if ranking[i].Label == strat.String() {
+				predicted = &ranking[i]
+				break
+			}
+		}
+	}
+	if err == nil {
+		err = res.Verify()
+	}
+	s.metrics.Observe("partition", time.Since(t0))
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// Stage: codegen — forall transformation, processor assignment, and
+	// the standalone SPMD Go program.
+	t0 = time.Now()
+	tr, err := transform.Transform(cn, res.Psi)
+	var asg *assign.Assignment
+	var spmd string
+	if err == nil {
+		asg = assign.Assign(tr, procs)
+		spmd, err = codegen.Generate(tr, asg, codegen.Options{})
+	}
+	s.metrics.Observe("codegen", time.Since(t0))
+	if err != nil {
+		return nil, err
+	}
+
+	stratLabel := res.Strategy.String()
+	if predicted != nil {
+		stratLabel = predicted.Label
+	}
+	plan := &Plan{
+		CanonicalSource: canonSrc,
+		Strategy:        stratLabel,
+		Processors:      procs,
+		Partition:       res.Info(),
+		Transform:       tr.Info(),
+		Assignment:      asg.Info(),
+		Predicted:       predicted,
+		Ranking:         ranking,
+		SPMDGo:          spmd,
+	}
+	return &cacheEntry{
+		key:  key,
+		plan: plan,
+		comp: &compiled{nest: cn, res: res, tr: tr, asg: asg},
+		bytes: int64(len(key) + len(canonSrc) + len(spmd) + len(plan.Transform.Program) +
+			4096), // struct overhead estimate
+	}, nil
+}
+
+// Execute compiles (through the cache) and runs the plan on the
+// simulated multicomputer under the request budget, validating the
+// result against sequential execution.
+func (s *Service) Execute(ctx context.Context, req ExecuteRequest) (*ExecuteResponse, error) {
+	start := time.Now()
+	s.metrics.Inc("execute_requests", 1)
+	entry, cached, err := s.compileEntry(ctx, req)
+	if err != nil {
+		s.metrics.Inc("errors", 1)
+		return nil, err
+	}
+	if req.Processors == 0 {
+		req.Processors = 16
+	}
+
+	ctx, cancel := context.WithTimeout(ctx, s.cfg.RequestTimeout)
+	defer cancel()
+	v, err := s.pool.submit(ctx, func(ctx context.Context) (any, error) {
+		t0 := time.Now()
+		defer func() { s.metrics.Observe("execution", time.Since(t0)) }()
+		var budget *machine.Budget
+		if s.cfg.MaxIterations > 0 {
+			budget = machine.NewBudget(ctx, s.cfg.MaxIterations)
+		} else {
+			budget = machine.NewBudget(ctx, 0)
+		}
+		rep, err := exec.ParallelBudget(entry.comp.res, req.Processors, s.cfg.Cost, budget)
+		if err != nil {
+			return nil, err
+		}
+		want := exec.Sequential(entry.comp.nest, nil)
+		mismatches := 0
+		for k, wv := range want {
+			if rep.Final[k] != wv {
+				mismatches++
+			}
+		}
+		return &ExecuteResponse{
+			Strategy:          entry.plan.Strategy,
+			Processors:        req.Processors,
+			Cached:            cached,
+			DistributionS:     rep.Machine.DistributionTime(),
+			ComputeS:          rep.Machine.ComputeTime(),
+			SimElapsedS:       rep.Machine.Elapsed(),
+			HostMessages:      rep.Machine.Messages(),
+			InterNodeMessages: rep.Machine.InterNodeMessages(),
+			IterationsPerNode: rep.IterationsPerNode,
+			Validated:         mismatches == 0,
+			Mismatches:        mismatches,
+			Elements:          len(want),
+		}, nil
+	})
+	if err != nil {
+		s.metrics.Inc("errors", 1)
+		return nil, err
+	}
+	resp := v.(*ExecuteResponse)
+	resp.ElapsedS = time.Since(start).Seconds()
+	return resp, nil
+}

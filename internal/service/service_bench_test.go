@@ -1,0 +1,135 @@
+package service
+
+// Cold-compile vs. cache-hit benchmarks for the paper's loops L1–L5,
+// plus the acceptance test asserting the cache delivers at least a 10×
+// speedup over a cold compile. Results are recorded in EXPERIMENTS.md
+// ("Compilation service" section).
+
+import (
+	"context"
+	"sort"
+	"testing"
+	"time"
+)
+
+func paperLoopNames() []string { return []string{"L1", "L2", "L3", "L4", "L5"} }
+
+// BenchmarkColdCompile measures the full parse→partition→select→codegen
+// pipeline with an empty cache (a fresh service per iteration).
+func BenchmarkColdCompile(b *testing.B) {
+	srcs := paperSources()
+	for _, name := range paperLoopNames() {
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				s := New(Config{Workers: 1})
+				b.StartTimer()
+				if _, err := s.Compile(context.Background(), CompileRequest{Source: srcs[name], Processors: 16}); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				s.Close()
+				b.StartTimer()
+			}
+		})
+	}
+}
+
+// BenchmarkCacheHit measures the served-from-cache path (parse +
+// canonicalization + LRU lookup).
+func BenchmarkCacheHit(b *testing.B) {
+	srcs := paperSources()
+	for _, name := range paperLoopNames() {
+		b.Run(name, func(b *testing.B) {
+			s := New(Config{Workers: 1})
+			defer s.Close()
+			req := CompileRequest{Source: srcs[name], Processors: 16}
+			if _, err := s.Compile(context.Background(), req); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				resp, err := s.Compile(context.Background(), req)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !resp.Cached {
+					b.Fatal("cache miss in hit benchmark")
+				}
+			}
+		})
+	}
+}
+
+// TestCacheSpeedup asserts the acceptance criterion: serving a plan
+// from the cache is at least 10× faster than a cold compile, for every
+// one of the paper's loops.
+func TestCacheSpeedup(t *testing.T) {
+	srcs := paperSources()
+	s := newTestService(t, Config{})
+	for _, name := range paperLoopNames() {
+		req := CompileRequest{Source: srcs[name], Processors: 16}
+
+		t0 := time.Now()
+		if _, err := s.Compile(context.Background(), req); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		cold := time.Since(t0)
+
+		// Median of repeated hits, to be robust against scheduler noise.
+		const reps = 15
+		hits := make([]time.Duration, reps)
+		for i := range hits {
+			t0 = time.Now()
+			resp, err := s.Compile(context.Background(), req)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if !resp.Cached {
+				t.Fatalf("%s: repeat compile missed the cache", name)
+			}
+			hits[i] = time.Since(t0)
+		}
+		sort.Slice(hits, func(i, j int) bool { return hits[i] < hits[j] })
+		hit := hits[reps/2]
+
+		speedup := float64(cold) / float64(hit)
+		t.Logf("%s: cold %v, cache hit %v (median of %d) → %.0f×", name, cold, hit, reps, speedup)
+		if speedup < 10 {
+			t.Errorf("%s: cache speedup %.1f× < 10×", name, speedup)
+		}
+	}
+}
+
+// BenchmarkConcurrentLoad drives the whole service (cache + pool) with
+// parallel clients cycling the five loops.
+func BenchmarkConcurrentLoad(b *testing.B) {
+	srcs := paperSources()
+	names := paperLoopNames()
+	s := New(Config{Workers: 8, QueueDepth: 256})
+	defer s.Close()
+	// Prime the cache so the benchmark measures steady-state serving.
+	for _, n := range names {
+		if _, err := s.Compile(context.Background(), CompileRequest{Source: srcs[n], Processors: 16}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			name := names[i%len(names)]
+			i++
+			if _, err := s.Compile(context.Background(), CompileRequest{Source: srcs[name], Processors: 16}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	if b.N > 1 {
+		st := s.CacheStats()
+		b.ReportMetric(st.HitRate*100, "hit%")
+	}
+}

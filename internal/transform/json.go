@@ -1,0 +1,41 @@
+package transform
+
+// JSON-stable view of a transformed loop, for serving plans over the
+// wire.
+
+// Info is the wire form of a Transformed loop.
+type Info struct {
+	// ForallLevels (K) is the number of parallel loop levels;
+	// SequentialLevels (G) the number iterated inside a block.
+	ForallLevels     int `json:"forall_levels"`
+	SequentialLevels int `json:"sequential_levels"`
+	// QBasis is the integer basis of the orthogonal complement of Ψ,
+	// one row per forall level.
+	QBasis [][]int64 `json:"q_basis"`
+	// Names are the new loop variables in loop order (forall first).
+	Names []string `json:"names"`
+	// NumBlocks is the number of non-empty forall points.
+	NumBlocks int `json:"num_blocks"`
+	// Program is the paper-style forall pseudocode.
+	Program string `json:"program"`
+}
+
+// Info builds the JSON-stable view.
+func (t *Transformed) Info() Info {
+	q := t.Q
+	if q == nil {
+		q = [][]int64{}
+	}
+	names := t.Names
+	if names == nil {
+		names = []string{}
+	}
+	return Info{
+		ForallLevels:     t.K,
+		SequentialLevels: t.G,
+		QBasis:           q,
+		Names:            names,
+		NumBlocks:        len(t.ForallPoints()),
+		Program:          t.String(),
+	}
+}
