@@ -9,7 +9,7 @@
 // Usage:
 //
 //	commfreed [-addr :8377] [-workers 8] [-queue 128] [-cache 256]
-//	          [-timeout 30s] [-max-iterations 4194304]
+//	          [-timeout 30s] [-max-iterations 4194304] [-engine compiled]
 //
 // SIGINT/SIGTERM drain gracefully: the listener stops accepting, every
 // in-flight and queued request completes and receives its response,
@@ -46,6 +46,7 @@ func run() error {
 		cacheN   = flag.Int("cache", 256, "plan cache entries")
 		timeout  = flag.Duration("timeout", 30*time.Second, "per-request timeout")
 		maxIter  = flag.Int64("max-iterations", 1<<22, "per-request simulated-iteration budget (negative = unlimited)")
+		engine   = flag.String("engine", "compiled", "execution engine: compiled (dense, parallel) or oracle (map-based reference)")
 		drainFor = flag.Duration("drain", 60*time.Second, "graceful-shutdown drain limit")
 	)
 	flag.Parse()
@@ -56,6 +57,7 @@ func run() error {
 		CacheEntries:   *cacheN,
 		RequestTimeout: *timeout,
 		MaxIterations:  *maxIter,
+		Engine:         *engine,
 	})
 	srv := &http.Server{
 		Addr:              *addr,
@@ -68,8 +70,8 @@ func run() error {
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("commfreed: listening on %s (%d workers, queue %d, cache %d entries)",
-			*addr, *workers, *queue, *cacheN)
+		log.Printf("commfreed: listening on %s (%d workers, queue %d, cache %d entries, %s engine)",
+			*addr, *workers, *queue, *cacheN, *engine)
 		errc <- srv.ListenAndServe()
 	}()
 

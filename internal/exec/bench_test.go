@@ -1,0 +1,108 @@
+package exec
+
+// Benchmarks comparing the map-based oracle with the compiled engine
+// on the paper's matmul nest (L5) plus stencil and convolution
+// kernels. Partitioning and compilation happen outside the timed
+// loop: the subject is the executor, not the planner. BENCH_exec.json
+// records a snapshot of old engine vs new.
+
+import (
+	"testing"
+
+	"commfree/internal/lang"
+	"commfree/internal/loop"
+	"commfree/internal/machine"
+	"commfree/internal/partition"
+)
+
+const benchStencilSrc = `
+for i = 1 to 24
+  for j = 1 to 24
+    B[i,j] = A[i-1,j] + A[i+1,j] + A[i,j-1] + A[i,j+1]
+  end
+end
+`
+
+const benchConvSrc = `
+for i = 1 to 12
+  for j = 1 to 12
+    for ki = 1 to 3
+      for kj = 1 to 3
+        Y[i,j] = Y[i,j] + X[i+ki-1, j+kj-1] * W[ki,kj]
+      end
+    end
+  end
+end
+`
+
+type benchCase struct {
+	name string
+	nest *loop.Nest
+	res  *partition.Result
+	prog *Program
+}
+
+func benchCases(b *testing.B) []benchCase {
+	b.Helper()
+	cases := []benchCase{
+		{name: "matmul", nest: loop.L5(12)},
+		{name: "stencil", nest: lang.MustParse(benchStencilSrc)},
+		{name: "conv2d", nest: lang.MustParse(benchConvSrc)},
+	}
+	for i := range cases {
+		res, err := partition.Compute(cases[i].nest, partition.Duplicate)
+		if err != nil {
+			b.Fatalf("%s: %v", cases[i].name, err)
+		}
+		prog, err := CompileNest(res.Analysis.Nest, res.Redundant)
+		if err != nil {
+			b.Fatalf("%s: %v", cases[i].name, err)
+		}
+		cases[i].res, cases[i].prog = res, prog
+	}
+	return cases
+}
+
+func BenchmarkExecSequential(b *testing.B) {
+	for _, c := range benchCases(b) {
+		b.Run(c.name+"/map", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if len(Sequential(c.nest, nil)) == 0 {
+					b.Fatal("empty state")
+				}
+			}
+		})
+		b.Run(c.name+"/compiled", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if len(c.prog.Sequential()) == 0 {
+					b.Fatal("empty state")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkExecParallel(b *testing.B) {
+	cost := machine.Transputer()
+	const p = 16
+	for _, c := range benchCases(b) {
+		b.Run(c.name+"/map", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Parallel(c.res, p, cost); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(c.name+"/compiled", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.prog.ParallelBudget(c.res, p, cost, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,169 @@
+package exec
+
+// Differential tests: the compiled engine must produce bit-identical
+// final state — and identical machine accounting — to the map-based
+// oracle on every nest we can get our hands on: the repository's
+// testdata/ programs and the shared lang fuzz corpus, under all four
+// partitioning strategies (so redundant-computation elimination is
+// exercised through the minimal ones).
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"commfree/internal/lang"
+	"commfree/internal/loop"
+	"commfree/internal/machine"
+	"commfree/internal/partition"
+)
+
+// diffMaxIters bounds the nests the differential harness will execute;
+// fuzz inputs can describe astronomically large spaces.
+const diffMaxIters = 1 << 14
+
+var diffStrategies = []partition.Strategy{
+	partition.NonDuplicate,
+	partition.Duplicate,
+	partition.MinimalNonDuplicate,
+	partition.MinimalDuplicate,
+}
+
+// diffNest runs one nest through both engines under every strategy and
+// compares everything observable.
+func diffNest(t *testing.T, nest *loop.Nest, label string) {
+	t.Helper()
+	if err := nest.Validate(); err != nil {
+		return
+	}
+	var iters int64
+	nest.Walk(func([]int64) bool { iters++; return iters <= diffMaxIters })
+	if iters == 0 || iters > diffMaxIters {
+		return
+	}
+	want := Sequential(nest, nil)
+	cost := machine.Transputer()
+	for _, strat := range diffStrategies {
+		res, err := partition.Compute(nest, strat)
+		if err != nil {
+			continue // strategy inapplicable to this nest
+		}
+		if err := res.Verify(); err != nil {
+			t.Errorf("%s/%s: partition not communication-free: %v", label, strat, err)
+			continue
+		}
+
+		// Section III.C: pruning redundant computations must leave the
+		// sequential final state unchanged.
+		if res.Redundant != nil {
+			if err := Equal(want, Sequential(nest, res.Redundant)); err != nil {
+				t.Errorf("%s/%s: oracle with elimination diverges: %v", label, strat, err)
+				continue
+			}
+		}
+
+		prog, err := CompileNest(res.Analysis.Nest, res.Redundant)
+		if err != nil {
+			t.Errorf("%s/%s: CompileNest: %v", label, strat, err)
+			continue
+		}
+		if err := Equal(want, prog.Sequential()); err != nil {
+			t.Errorf("%s/%s: compiled sequential diverges: %v", label, strat, err)
+			continue
+		}
+
+		for _, p := range []int{3, 16} {
+			oracle, err := Parallel(res, p, cost)
+			if err != nil {
+				t.Errorf("%s/%s/p=%d: oracle parallel: %v", label, strat, p, err)
+				continue
+			}
+			comp, err := prog.ParallelBudget(res, p, cost, nil)
+			if err != nil {
+				t.Errorf("%s/%s/p=%d: compiled parallel: %v", label, strat, p, err)
+				continue
+			}
+			if err := Equal(oracle.Final, comp.Final); err != nil {
+				t.Errorf("%s/%s/p=%d: final state diverges: %v", label, strat, p, err)
+			}
+			if err := Equal(want, comp.Final); err != nil {
+				t.Errorf("%s/%s/p=%d: compiled parallel vs sequential: %v", label, strat, p, err)
+			}
+			if msgs := comp.Machine.InterNodeMessages(); msgs != 0 {
+				t.Errorf("%s/%s/p=%d: %d inter-node messages on a communication-free plan", label, strat, p, msgs)
+			}
+			if om, cm := oracle.Machine.Messages(), comp.Machine.Messages(); om != cm {
+				t.Errorf("%s/%s/p=%d: host messages %d vs oracle %d", label, strat, p, cm, om)
+			}
+			if ow, cw := oracle.Machine.DataMoved(), comp.Machine.DataMoved(); ow != cw {
+				t.Errorf("%s/%s/p=%d: data moved %d vs oracle %d", label, strat, p, cw, ow)
+			}
+			if od, cd := oracle.Machine.DistributionTime(), comp.Machine.DistributionTime(); od != cd {
+				t.Errorf("%s/%s/p=%d: distribution time %v vs oracle %v", label, strat, p, cd, od)
+			}
+		}
+	}
+}
+
+func diffSource(t *testing.T, src, label string) {
+	t.Helper()
+	nests, err := lang.ParseProgram(src)
+	if err != nil {
+		return // rejected inputs are out of scope here
+	}
+	for i, nest := range nests {
+		diffNest(t, nest, label+"#"+string(rune('0'+i)))
+	}
+}
+
+// TestDiffTestdata diffs both engines over every DSL program in
+// testdata/.
+func TestDiffTestdata(t *testing.T) {
+	dir := filepath.Join("..", "..", "testdata")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran := 0
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".cf") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			diffSource(t, string(data), name)
+		})
+		ran++
+	}
+	if ran < 5 {
+		t.Errorf("expected at least 5 testdata programs, diffed %d", ran)
+	}
+}
+
+// TestDiffCorpus diffs both engines over every parseable nest in the
+// shared lang fuzz corpus.
+func TestDiffCorpus(t *testing.T) {
+	for i, src := range lang.Corpus() {
+		diffSource(t, src, "corpus")
+		_ = i
+	}
+}
+
+// FuzzDiffExec feeds arbitrary DSL sources through both engines; any
+// accepted nest must execute identically on each.
+func FuzzDiffExec(f *testing.F) {
+	for _, src := range lang.Corpus() {
+		f.Add(src)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<12 {
+			return
+		}
+		diffSource(t, src, "fuzz")
+	})
+}

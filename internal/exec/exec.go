@@ -49,7 +49,7 @@ func Sequential(nest *loop.Nest, red *redundant.Result) map[string]float64 {
 		}
 		return InitValue(array, idx)
 	}
-	for _, it := range nest.Iterations() {
+	nest.Walk(func(it []int64) bool {
 		for si, st := range nest.Body {
 			if red != nil && red.IsRedundant(si, it) {
 				continue
@@ -60,7 +60,8 @@ func Sequential(nest *loop.Nest, red *redundant.Result) map[string]float64 {
 			}
 			state[Key(st.Write.Array, st.Write.Index(it))] = st.EvalExpr(it, vals)
 		}
-	}
+		return true
+	})
 	return state
 }
 
@@ -114,34 +115,33 @@ func ParallelBudget(res *partition.Result, p int, cost machine.CostModel, budget
 	mach := machine.New(topo, cost)
 	mach.EnableTrace()
 
-	// Per-node iteration lists (with their block IDs), in transformed
-	// execution order.
-	type blockIter struct {
-		block int
-		iter  []int64
+	// Per-node block lists. The forall point is constant across a block
+	// (the transformation projects Ψ out), so one OwnerID lookup per
+	// block replaces a walk of the whole iteration space, and each
+	// block's already-partitioned iteration list is shared rather than
+	// re-materialized.
+	perNode := make([][]*partition.Block, used)
+	for _, b := range res.Iter.Blocks {
+		id := asg.OwnerID(tr.NewPoint(b.Base)[:tr.K])
+		perNode[id] = append(perNode[id], b)
 	}
-	perNode := make([][]blockIter, used)
-	tr.Visit(nil, func(forall, orig []int64) {
-		id := asg.OwnerID(forall)
-		cp := make([]int64, len(orig))
-		copy(cp, orig)
-		perNode[id] = append(perNode[id], blockIter{block: res.Iter.BlockOf(cp).ID, iter: cp})
-	})
 
 	// Distribution: every element a block reads is preloaded into its
 	// node under the block's private key. Charged as one pipelined
 	// unicast per node.
 	red := res.Redundant
-	for id, iters := range perNode {
+	for id, blks := range perNode {
 		elems := map[string]float64{}
-		for _, bi := range iters {
-			for si, st := range nest.Body {
-				if red != nil && red.IsRedundant(si, bi.iter) {
-					continue
-				}
-				for _, r := range st.Reads {
-					idx := r.Index(bi.iter)
-					elems[BlockKey(bi.block, Key(r.Array, idx))] = InitValue(r.Array, idx)
+		for _, b := range blks {
+			for _, it := range b.Iterations {
+				for si, st := range nest.Body {
+					if red != nil && red.IsRedundant(si, it) {
+						continue
+					}
+					for _, r := range st.Reads {
+						idx := r.Index(it)
+						elems[BlockKey(b.ID, Key(r.Array, idx))] = InitValue(r.Array, idx)
+					}
 				}
 			}
 		}
@@ -154,25 +154,27 @@ func ParallelBudget(res *partition.Result, p int, cost machine.CostModel, budget
 
 	// Parallel execution against private block copies.
 	err = mach.Run(func(n *machine.Node) error {
-		for _, bi := range perNode[n.ID] {
-			if err := budget.Spend(1); err != nil {
-				return err
-			}
-			for si, st := range nest.Body {
-				if red != nil && red.IsRedundant(si, bi.iter) {
-					continue
+		for _, b := range perNode[n.ID] {
+			for _, it := range b.Iterations {
+				if err := budget.Spend(1); err != nil {
+					return err
 				}
-				vals := make([]float64, len(st.Reads))
-				for ri, r := range st.Reads {
-					v, err := n.Read(BlockKey(bi.block, Key(r.Array, r.Index(bi.iter))))
-					if err != nil {
-						return err
+				for si, st := range nest.Body {
+					if red != nil && red.IsRedundant(si, it) {
+						continue
 					}
-					vals[ri] = v
+					vals := make([]float64, len(st.Reads))
+					for ri, r := range st.Reads {
+						v, err := n.Read(BlockKey(b.ID, Key(r.Array, r.Index(it))))
+						if err != nil {
+							return err
+						}
+						vals[ri] = v
+					}
+					n.Write(BlockKey(b.ID, Key(st.Write.Array, st.Write.Index(it))), st.EvalExpr(it, vals))
 				}
-				n.Write(BlockKey(bi.block, Key(st.Write.Array, st.Write.Index(bi.iter))), st.EvalExpr(bi.iter, vals))
+				n.CountIteration()
 			}
-			n.CountIteration()
 		}
 		return nil
 	})
@@ -187,7 +189,7 @@ func ParallelBudget(res *partition.Result, p int, cost machine.CostModel, budget
 		block int
 	}
 	owner := map[string]ownerInfo{}
-	for _, it := range nest.Iterations() {
+	nest.Walk(func(it []int64) bool {
 		f := tr.NewPoint(it)[:tr.K]
 		id := asg.OwnerID(f)
 		blk := res.Iter.BlockOf(it).ID
@@ -197,7 +199,8 @@ func ParallelBudget(res *partition.Result, p int, cost machine.CostModel, budget
 			}
 			owner[Key(st.Write.Array, st.Write.Index(it))] = ownerInfo{node: id, block: blk}
 		}
-	}
+		return true
+	})
 	final := map[string]float64{}
 	for k, o := range owner {
 		if v, ok := mach.Node(o.node).Value(BlockKey(o.block, k)); ok {

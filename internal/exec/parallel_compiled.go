@@ -1,0 +1,350 @@
+package exec
+
+// Parallel execution of a communication-free partition with the
+// compiled engine. The plan mirrors the map-based oracle exactly —
+// same transformation, same cyclic assignment, same distribution
+// charges, same final state — but blocks run against dense flat
+// buffers on a bounded worker pool:
+//
+//   - non-duplicate strategies: communication-freedom means no two
+//     blocks touch the same element, so every worker writes straight
+//     into one shared buffer with no locks; a sequential prepass
+//     asserts the disjointness and refuses to run otherwise;
+//   - duplicate strategies: each worker keeps a private buffer that is
+//     reset to the initial values between blocks (the compiled form of
+//     the oracle's per-block private copies), and each element's final
+//     value is committed by the block holding its globally last write —
+//     a single owner per element, so the commit buffer needs no locks
+//     either.
+
+import (
+	"fmt"
+	"runtime"
+
+	"commfree/internal/assign"
+	"commfree/internal/machine"
+	"commfree/internal/partition"
+	"commfree/internal/transform"
+)
+
+// ParallelCompiled is Parallel on the compiled engine.
+func ParallelCompiled(res *partition.Result, p int, cost machine.CostModel) (*Report, error) {
+	return ParallelCompiledBudget(res, p, cost, nil)
+}
+
+// ParallelCompiledBudget compiles the nest and executes the partition
+// under a budget. Callers that execute one plan repeatedly should
+// CompileNest once and call Program.ParallelBudget directly.
+func ParallelCompiledBudget(res *partition.Result, p int, cost machine.CostModel, budget *machine.Budget) (*Report, error) {
+	prog, err := CompileNest(res.Analysis.Nest, res.Redundant)
+	if err != nil {
+		return nil, err
+	}
+	return prog.ParallelBudget(res, p, cost, budget)
+}
+
+// blockStats is the outcome of the sequential prepass over the
+// partition blocks.
+type blockStats struct {
+	nodeOf  []int   // owning processor per block
+	perNode [][]int // block indexes per processor
+	iters   []int64 // iteration count per block
+	words   []int   // distribution word count per processor
+	// owner[a][off] is the index of the block performing the globally
+	// last non-redundant write to the element (-1: never written) —
+	// the gather authority.
+	owner [][]int32
+	// result holds the committed buffers once execution finishes.
+	result [][]float64
+}
+
+// ParallelBudget executes a communication-free partition of the
+// compiled nest on p simulated processors. The budget is spent in
+// whole-block steps (the oracle spends per iteration), so a run can
+// overshoot the cap by at most the largest block before aborting.
+func (prog *Program) ParallelBudget(res *partition.Result, p int, cost machine.CostModel, budget *machine.Budget) (*Report, error) {
+	if res.Analysis.Nest != prog.Nest {
+		return nil, fmt.Errorf("exec: partition was computed from a different nest than the program")
+	}
+	if res.Redundant != prog.Red {
+		return nil, fmt.Errorf("exec: partition and program disagree on redundant-computation elimination")
+	}
+	nest := prog.Nest
+	tr, err := transform.Transform(nest, res.Psi)
+	if err != nil {
+		return nil, err
+	}
+	asg := assign.Assign(tr, p)
+	used := asg.NumProcessors()
+	topo := machine.Mesh{P1: 1, P2: used}
+	if sq, err := machine.SquareMesh(used); err == nil {
+		topo = sq
+	}
+	mach := machine.New(topo, cost)
+	mach.EnableTrace()
+
+	st, err := prog.prepass(res, tr, asg, used)
+	if err != nil {
+		return nil, err
+	}
+
+	// Distribution: one pipelined unicast per node carrying every
+	// element its blocks read (each block's private copy counts once,
+	// exactly like the oracle's preload).
+	for id := 0; id < used; id++ {
+		mach.ChargeSendWords(id, st.words[id])
+	}
+
+	blocks := res.Iter.Blocks
+	workers := runtime.GOMAXPROCS(0)
+	if workers > used {
+		workers = used
+	}
+	if res.AllowsDuplication() {
+		err = prog.runDuplicate(mach, blocks, st, budget, workers)
+	} else {
+		err = prog.runDisjoint(mach, blocks, st, budget, workers)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &Report{
+		Machine:    mach,
+		Transform:  tr,
+		Assignment: asg,
+		Final:      prog.gatherOwned(st),
+	}
+	for id := 0; id < used; id++ {
+		rep.IterationsPerNode = append(rep.IterationsPerNode, mach.Node(id).Stats().Iterations)
+	}
+	return rep, nil
+}
+
+// prepass sweeps the blocks once, sequentially, computing the block→
+// processor map, per-block iteration counts, per-node distribution
+// words, and per-element write ownership. For non-duplicate strategies
+// it also asserts that block footprints are disjoint — the property
+// that lets the execution phase skip locking entirely.
+func (prog *Program) prepass(res *partition.Result, tr *transform.Transformed, asg *assign.Assignment, used int) (*blockStats, error) {
+	blocks := res.Iter.Blocks
+	if len(blocks) > 1<<30 {
+		return nil, fmt.Errorf("exec: %d blocks exceed the compiled scheduler's range", len(blocks))
+	}
+	dupOK := res.AllowsDuplication()
+	st := &blockStats{
+		nodeOf:  make([]int, len(blocks)),
+		perNode: make([][]int, used),
+		iters:   make([]int64, len(blocks)),
+		words:   make([]int, used),
+		owner:   make([][]int32, len(prog.arrays)),
+	}
+	var epoch, touched [][]int32
+	bestKey := make([][]int64, len(prog.arrays))
+	epoch = make([][]int32, len(prog.arrays))
+	if !dupOK {
+		touched = make([][]int32, len(prog.arrays))
+	}
+	for i, lay := range prog.arrays {
+		st.owner[i] = newInt32s(lay.size, -1)
+		bestKey[i] = make([]int64, lay.size)
+		epoch[i] = newInt32s(lay.size, -1)
+		if !dupOK {
+			touched[i] = newInt32s(lay.size, -1)
+		}
+	}
+	nstmts := int64(len(prog.stmts))
+	for bi, b := range blocks {
+		// The forall point is constant across a block (Q ⊥ Ψ), so the
+		// base iteration names the owning processor.
+		node := asg.OwnerID(tr.NewPoint(b.Base)[:tr.K])
+		st.nodeOf[bi] = node
+		st.perNode[node] = append(st.perNode[node], bi)
+		st.iters[bi] = int64(len(b.Iterations))
+		seq := int32(bi)
+		for _, it := range b.Iterations {
+			rank := prog.rankOf(it)
+			for si := range prog.stmts {
+				cs := &prog.stmts[si]
+				if prog.isRedundant(si, it) {
+					continue
+				}
+				for ri := range cs.reads {
+					r := &cs.reads[ri]
+					off := r.offset(it)
+					if epoch[r.array][off] != seq {
+						epoch[r.array][off] = seq
+						st.words[node]++
+					}
+					if !dupOK {
+						if t := touched[r.array][off]; t < 0 {
+							touched[r.array][off] = seq
+						} else if t != seq {
+							return nil, fmt.Errorf("exec: element of %s touched by blocks %d and %d — footprints not disjoint under %s",
+								prog.arrays[r.array].name, blocks[t].ID, b.ID, res.Strategy)
+						}
+					}
+				}
+				w := &cs.write
+				off := w.offset(it)
+				key := rank*nstmts + int64(si)
+				if st.owner[w.array][off] < 0 || key > bestKey[w.array][off] {
+					bestKey[w.array][off] = key
+					st.owner[w.array][off] = seq
+				}
+				if !dupOK {
+					if t := touched[w.array][off]; t < 0 {
+						touched[w.array][off] = seq
+					} else if t != seq {
+						return nil, fmt.Errorf("exec: element of %s touched by blocks %d and %d — footprints not disjoint under %s",
+							prog.arrays[w.array].name, blocks[t].ID, b.ID, res.Strategy)
+					}
+				}
+			}
+		}
+	}
+	return st, nil
+}
+
+func newInt32s(n int64, fill int32) []int32 {
+	s := make([]int32, n)
+	for i := range s {
+		s[i] = fill
+	}
+	return s
+}
+
+// runDisjoint executes non-duplicate partitions: every element belongs
+// to exactly one block (asserted by the prepass), so all workers share
+// one buffer and never contend — the compiled meaning of
+// "communication-free".
+func (prog *Program) runDisjoint(mach *machine.Machine, blocks []*partition.Block, st *blockStats, budget *machine.Budget, workers int) error {
+	shared := prog.cloneBuffers()
+	err := mach.RunBounded(workers, func(_ int, nd *machine.Node) error {
+		scratch := make([]float64, prog.maxReads)
+		for _, bi := range st.perNode[nd.ID] {
+			if err := budget.Spend(st.iters[bi]); err != nil {
+				return err
+			}
+			for _, it := range blocks[bi].Iterations {
+				for si := range prog.stmts {
+					cs := &prog.stmts[si]
+					if prog.isRedundant(si, it) {
+						continue
+					}
+					vals := scratch[:len(cs.reads)]
+					for ri := range cs.reads {
+						r := &cs.reads[ri]
+						vals[ri] = shared[r.array][r.offset(it)]
+					}
+					shared[cs.write.array][cs.write.offset(it)] = cs.st.EvalExpr(it, vals)
+				}
+			}
+			nd.AddIterations(st.iters[bi])
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	st.result = shared
+	return nil
+}
+
+// runDuplicate executes duplicate-data partitions: each worker holds a
+// private buffer reset between blocks (private block copies), and each
+// block commits the elements it owns — exactly one writer per element
+// of the commit buffer, so it too is lock-free.
+func (prog *Program) runDuplicate(mach *machine.Machine, blocks []*partition.Block, st *blockStats, budget *machine.Budget, workers int) error {
+	final := prog.cloneBuffers()
+	type workerState struct {
+		bufs  [][]float64
+		mark  [][]int32 // last block (by index) to write each element
+		dirty [][]int64 // offsets written by the current block
+	}
+	states := make([]*workerState, workers)
+	err := mach.RunBounded(workers, func(w int, nd *machine.Node) error {
+		ws := states[w]
+		if ws == nil {
+			ws = &workerState{bufs: prog.cloneBuffers()}
+			ws.mark = make([][]int32, len(prog.arrays))
+			ws.dirty = make([][]int64, len(prog.arrays))
+			for i, lay := range prog.arrays {
+				ws.mark[i] = newInt32s(lay.size, -1)
+			}
+			states[w] = ws
+		}
+		scratch := make([]float64, prog.maxReads)
+		for _, bi := range st.perNode[nd.ID] {
+			if err := budget.Spend(st.iters[bi]); err != nil {
+				return err
+			}
+			seq := int32(bi)
+			for _, it := range blocks[bi].Iterations {
+				for si := range prog.stmts {
+					cs := &prog.stmts[si]
+					if prog.isRedundant(si, it) {
+						continue
+					}
+					vals := scratch[:len(cs.reads)]
+					for ri := range cs.reads {
+						r := &cs.reads[ri]
+						vals[ri] = ws.bufs[r.array][r.offset(it)]
+					}
+					off := cs.write.offset(it)
+					ws.bufs[cs.write.array][off] = cs.st.EvalExpr(it, vals)
+					if ws.mark[cs.write.array][off] != seq {
+						ws.mark[cs.write.array][off] = seq
+						ws.dirty[cs.write.array] = append(ws.dirty[cs.write.array], off)
+					}
+				}
+			}
+			// Commit owned elements, then restore the private buffer to
+			// its initial state for the next block.
+			for a := range ws.dirty {
+				owner := st.owner[a]
+				init := prog.arrays[a].init
+				for _, off := range ws.dirty[a] {
+					if owner[off] == seq {
+						final[a][off] = ws.bufs[a][off]
+					}
+					ws.bufs[a][off] = init[off]
+				}
+				ws.dirty[a] = ws.dirty[a][:0]
+			}
+			nd.AddIterations(st.iters[bi])
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	st.result = final
+	return nil
+}
+
+// gatherOwned builds the final element map from the owner table and the
+// committed buffers.
+func (prog *Program) gatherOwned(st *blockStats) map[string]float64 {
+	count := 0
+	for a := range prog.arrays {
+		for _, o := range st.owner[a] {
+			if o >= 0 {
+				count++
+			}
+		}
+	}
+	final := make(map[string]float64, count)
+	var kb []byte
+	for a, lay := range prog.arrays {
+		owner := st.owner[a]
+		src := st.result[a]
+		lay.eachIndex(func(off int64, idx []int64) {
+			if owner[off] >= 0 {
+				kb = appendKey(kb, lay.name, idx)
+				final[string(kb)] = src[off]
+			}
+		})
+	}
+	return final
+}

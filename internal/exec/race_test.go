@@ -1,0 +1,69 @@
+package exec
+
+// The service executes one cached plan from a pool of workers: many
+// goroutines share a single *Program (and its *partition.Result). This
+// test documents — and, under -race, proves — that a compiled Program
+// is read-only after CompileNest: 16 goroutines race ParallelBudget
+// (and the compiled Sequential) over one shared program and must all
+// produce the sequential reference state.
+
+import (
+	"sync"
+	"testing"
+
+	"commfree/internal/loop"
+	"commfree/internal/machine"
+	"commfree/internal/partition"
+)
+
+func TestParallelCompiledConcurrentOnSharedProgram(t *testing.T) {
+	nests := map[string]*loop.Nest{
+		"L1": loop.L1(),
+		"L4": loop.L4(),
+		"L5": loop.L5(6),
+	}
+	cost := machine.Transputer()
+	for name, nest := range nests {
+		nest := nest
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			res, err := partition.Compute(nest, partition.Duplicate)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := CompileNest(res.Analysis.Nest, res.Redundant)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := Sequential(nest, nil)
+			const goroutines = 16
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					if g%4 == 3 {
+						// Every fourth goroutine races the compiled
+						// sequential path against the parallel ones.
+						if err := Equal(want, prog.Sequential()); err != nil {
+							t.Errorf("goroutine %d: sequential: %v", g, err)
+						}
+						return
+					}
+					rep, err := prog.ParallelBudget(res, 1+g%8, cost, nil)
+					if err != nil {
+						t.Errorf("goroutine %d: %v", g, err)
+						return
+					}
+					if err := Equal(want, rep.Final); err != nil {
+						t.Errorf("goroutine %d: %v", g, err)
+					}
+					if msgs := rep.Machine.InterNodeMessages(); msgs != 0 {
+						t.Errorf("goroutine %d: %d inter-node messages", g, msgs)
+					}
+				}(g)
+			}
+			wg.Wait()
+		})
+	}
+}

@@ -1,0 +1,49 @@
+package lang
+
+// srcL1 and srcL2 are the paper's running examples L1 and L2 in DSL
+// form; they anchor the shared corpus and several package tests.
+const srcL1 = `
+for i = 1 to 4
+  for j = 1 to 4
+    S1: A[2i, j]  = C[i, j] * 7
+    S2: B[j, i+1] = A[2i-2, j-1] + C[i-1, j-1]
+  end
+end
+`
+
+const srcL2 = `
+for i = 1 to 4
+  for j = 1 to 4
+    S1: A[i+j, i+j]     := B[2i, j] * A[i+j-1, i+j]
+    S2: A[i+j-1, i+j-1] := B[2i-1, j-1] / 3
+  end
+end
+`
+
+// fuzzSeeds is the shared seed corpus: a mix of accepted and rejected
+// inputs. FuzzParse uses it as the fuzzing corpus, the round-trip
+// property test (roundtrip_test.go) replays the accepted subset, and
+// the exec differential tests run the parseable nests through both
+// execution engines.
+var fuzzSeeds = []string{
+	srcL1,
+	srcL2,
+	"for i = 1 to 4\n A[i] = 1\nend",
+	"for i = 0 to 8 step 2\n A[i] = A[i-2] + 1\nend",
+	"for i = 1 to 8\nfor j = i to 2i+1\n A[3i-2j+1, j] = A[3i-2j, j-1] / 2 + 5\nend\nend",
+	"for i = 1 to 4\n A[2*(i-1)] = -i\nend",
+	"for i = 1 to 3\n# comment\n A[i] = i * 2 // tail\nend",
+	"for",
+	"for i = 1 to\n",
+	"A[i] = 1",
+	"for i = 1 to 4\n A[i*i] = 1\nend",
+	"for i = 1 to 4\n A[i] = @\nend",
+	"for i = 1 to 4\n A[i] = 1\nend\nfor j = 1 to 2\n B[j] = 1\nend",
+}
+
+// Corpus returns a copy of the shared seed corpus. Entries are raw
+// fuzz inputs: some parse, some are deliberate rejections — callers
+// filter with Parse.
+func Corpus() []string {
+	return append([]string(nil), fuzzSeeds...)
+}

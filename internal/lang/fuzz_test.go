@@ -5,24 +5,8 @@ import (
 	"testing"
 )
 
-// fuzzSeeds is the shared seed corpus: a mix of accepted and rejected
-// inputs. FuzzParse uses it as the fuzzing corpus and the round-trip
-// property test (roundtrip_test.go) replays the accepted subset.
-var fuzzSeeds = []string{
-	srcL1,
-	srcL2,
-	"for i = 1 to 4\n A[i] = 1\nend",
-	"for i = 0 to 8 step 2\n A[i] = A[i-2] + 1\nend",
-	"for i = 1 to 8\nfor j = i to 2i+1\n A[3i-2j+1, j] = A[3i-2j, j-1] / 2 + 5\nend\nend",
-	"for i = 1 to 4\n A[2*(i-1)] = -i\nend",
-	"for i = 1 to 3\n# comment\n A[i] = i * 2 // tail\nend",
-	"for",
-	"for i = 1 to\n",
-	"A[i] = 1",
-	"for i = 1 to 4\n A[i*i] = 1\nend",
-	"for i = 1 to 4\n A[i] = @\nend",
-	"for i = 1 to 4\n A[i] = 1\nend\nfor j = 1 to 2\n B[j] = 1\nend",
-}
+// The shared seed corpus lives in corpus.go (lang.Corpus) so the exec
+// differential tests can replay it through both execution engines.
 
 // FuzzParse drives the lexer/parser with arbitrary input (must never
 // panic) and, when the input parses, checks the format→parse round trip.

@@ -7,23 +7,8 @@ import (
 	"commfree/internal/loop"
 )
 
-const srcL1 = `
-for i = 1 to 4
-  for j = 1 to 4
-    S1: A[2i, j]  = C[i, j] * 7
-    S2: B[j, i+1] = A[2i-2, j-1] + C[i-1, j-1]
-  end
-end
-`
-
-const srcL2 = `
-for i = 1 to 4
-  for j = 1 to 4
-    S1: A[i+j, i+j]     := B[2i, j] * A[i+j-1, i+j]
-    S2: A[i+j-1, i+j-1] := B[2i-1, j-1] / 3
-  end
-end
-`
+// srcL1 and srcL2 are defined in corpus.go alongside the shared fuzz
+// seed corpus.
 
 func TestParseL1MatchesPaperIR(t *testing.T) {
 	got := MustParse(srcL1)

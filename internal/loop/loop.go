@@ -296,49 +296,73 @@ func (l *Nest) ReferenceMatrix(array string) [][]int64 {
 	return refs[0].H
 }
 
+// Walk streams the iteration space in lexicographic order without
+// materializing it: an iterative odometer over the affine bounds, with
+// the innermost index varying fastest. The point slice is reused
+// between calls, so fn must copy it to retain it past the call. Walk
+// stops early and returns false when fn returns false.
+func (l *Nest) Walk(fn func(i []int64) bool) bool {
+	n := l.Depth()
+	point := make([]int64, n)
+	if n == 0 {
+		return fn(point)
+	}
+	his := make([]int64, n)
+	k := 0
+	for {
+		// Descend: open levels k..n-1 at their lower bounds. Bounds may
+		// reference only outer indices, so evaluating against the
+		// partially updated point is exact.
+		for ; k < n; k++ {
+			lo := l.Levels[k].Lower.Eval(point)
+			hi := l.Levels[k].Upper.Eval(point)
+			if lo > hi {
+				break // empty range under the current outer values
+			}
+			point[k] = lo
+			his[k] = hi
+		}
+		if k == n {
+			if !fn(point) {
+				return false
+			}
+		}
+		// Advance: increment the deepest open level with headroom, then
+		// re-descend below it.
+		k--
+		for ; k >= 0; k-- {
+			if point[k] < his[k] {
+				point[k]++
+				k++
+				break
+			}
+		}
+		if k < 0 {
+			return true
+		}
+	}
+}
+
 // Iterations enumerates the iteration space in lexicographic order.
+// Prefer Walk on large nests — this materializes every point.
 func (l *Nest) Iterations() [][]int64 {
 	var out [][]int64
-	point := make([]int64, l.Depth())
-	var walk func(k int)
-	walk = func(k int) {
-		if k == l.Depth() {
-			cp := make([]int64, len(point))
-			copy(cp, point)
-			out = append(out, cp)
-			return
-		}
-		lo := l.Levels[k].Lower.Eval(point)
-		hi := l.Levels[k].Upper.Eval(point)
-		for v := lo; v <= hi; v++ {
-			point[k] = v
-			walk(k + 1)
-		}
-		point[k] = 0
-	}
-	walk(0)
+	l.Walk(func(it []int64) bool {
+		cp := make([]int64, len(it))
+		copy(cp, it)
+		out = append(out, cp)
+		return true
+	})
 	return out
 }
 
 // NumIterations counts the iteration-space size without materializing it.
 func (l *Nest) NumIterations() int64 {
 	var count int64
-	point := make([]int64, l.Depth())
-	var walk func(k int)
-	walk = func(k int) {
-		if k == l.Depth() {
-			count++
-			return
-		}
-		lo := l.Levels[k].Lower.Eval(point)
-		hi := l.Levels[k].Upper.Eval(point)
-		for v := lo; v <= hi; v++ {
-			point[k] = v
-			walk(k + 1)
-		}
-		point[k] = 0
-	}
-	walk(0)
+	l.Walk(func([]int64) bool {
+		count++
+		return true
+	})
 	return count
 }
 

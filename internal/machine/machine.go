@@ -17,6 +17,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // CostModel carries the paper's three timing constants, in seconds.
@@ -125,6 +126,15 @@ func (n *Node) CountIteration() {
 	n.mu.Unlock()
 }
 
+// AddIterations charges c loop iterations at once. The compiled
+// executor counts per block rather than per iteration, so the counter
+// mutex is taken once per block instead of once per iteration.
+func (n *Node) AddIterations(c int64) {
+	n.mu.Lock()
+	n.iterations += c
+	n.mu.Unlock()
+}
+
 // Stats summarizes a node's activity.
 type Stats struct {
 	Iterations   int64
@@ -188,6 +198,15 @@ func (m *Machine) SendTo(node int, data []Datum) {
 		m.nodes[node].Preload(d.Key, d.Value)
 	}
 	m.charge(m.Cost.TStart+float64(len(data))*m.Cost.TComm, 1, len(data))
+}
+
+// ChargeSendWords accounts a host→node unicast of the given word count
+// at SendTo's cost without materializing any data in the node's keyed
+// memory — the compiled executor keeps node state in dense buffers of
+// its own and only needs the message charged.
+func (m *Machine) ChargeSendWords(node, words int) {
+	_ = m.nodes[node] // bounds-check the node id like SendTo would
+	m.charge(m.Cost.TStart+float64(words)*m.Cost.TComm, 1, words)
 }
 
 // Multicast sends the same data to a set of nodes in a pipelined fashion:
@@ -278,14 +297,35 @@ func (m *Machine) charge(t float64, msgs, words int) {
 // nodes run in parallel, so the slowest one determines the wall clock.
 // The first node error aborts the report.
 func (m *Machine) Run(fn func(n *Node) error) error {
+	return m.RunBounded(len(m.nodes), func(_ int, n *Node) error { return fn(n) })
+}
+
+// RunBounded is Run with at most `workers` node goroutines active at a
+// time: nodes are dealt from a shared counter to a fixed pool, so a
+// 1024-node simulation does not spawn 1024 goroutines. The worker
+// index (0..workers-1) is passed to fn so callers can keep per-worker
+// scratch buffers; each node is processed by exactly one worker.
+// Cost accounting is identical to Run: the compute phase is charged as
+// max over nodes of iterations·t_comp.
+func (m *Machine) RunBounded(workers int, fn func(worker int, n *Node) error) error {
+	if workers <= 0 || workers > len(m.nodes) {
+		workers = len(m.nodes)
+	}
 	var wg sync.WaitGroup
 	errs := make([]error, len(m.nodes))
-	for i, nd := range m.nodes {
+	var next atomic.Int64
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(i int, nd *Node) {
+		go func(w int) {
 			defer wg.Done()
-			errs[i] = fn(nd)
-		}(i, nd)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(m.nodes) {
+					return
+				}
+				errs[i] = fn(w, m.nodes[i])
+			}
+		}(w)
 	}
 	wg.Wait()
 	var maxIter int64

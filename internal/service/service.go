@@ -58,6 +58,11 @@ type Config struct {
 	MaxSourceBytes int
 	// Cost is the machine cost model (default machine.Transputer()).
 	Cost machine.CostModel
+	// Engine selects the /v1/execute executor: "compiled" (default)
+	// runs the dense compiled engine with the parallel block scheduler,
+	// falling back to the map-based oracle when a nest exceeds the
+	// compile caps; "oracle" forces the map-based interpreter.
+	Engine string
 }
 
 func (c Config) withDefaults() Config {
@@ -87,6 +92,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Cost == (machine.CostModel{}) {
 		c.Cost = machine.Transputer()
+	}
+	if c.Engine != "oracle" {
+		c.Engine = "compiled"
 	}
 	return c
 }
@@ -168,6 +176,9 @@ type ExecuteResponse struct {
 	InterNodeMessages int64 `json:"inter_node_messages"`
 	// IterationsPerNode is the per-processor workload.
 	IterationsPerNode []int64 `json:"iterations_per_node"`
+	// Engine is the executor that ran the plan: "compiled" or "oracle"
+	// (also reported when a compile-cap fallback downgraded the request).
+	Engine string `json:"engine"`
 	// Validated reports element-exact agreement with sequential
 	// execution over Elements array elements.
 	Validated  bool `json:"validated"`
@@ -178,12 +189,26 @@ type ExecuteResponse struct {
 }
 
 // compiled holds the live pipeline artifacts behind a cached plan,
-// needed to execute it. Read-only after construction.
+// needed to execute it. Read-only after construction (the program is
+// materialized lazily, once, on first execution).
 type compiled struct {
 	nest *loop.Nest
 	res  *partition.Result
 	tr   *transform.Transformed
 	asg  *assign.Assignment
+
+	progOnce sync.Once
+	prog     *exec.Program
+	progErr  error
+}
+
+// program compiles the nest for the dense engine, once per cache
+// entry; every subsequent execution of the plan reuses it.
+func (c *compiled) program() (*exec.Program, error) {
+	c.progOnce.Do(func() {
+		c.prog, c.progErr = exec.CompileNest(c.res.Analysis.Nest, c.res.Redundant)
+	})
+	return c.prog, c.progErr
 }
 
 // flight deduplicates concurrent compilations of one cache key.
@@ -218,6 +243,12 @@ func New(cfg Config) *Service {
 	s.metrics.Gauge("queue_capacity", func() int64 { return int64(s.pool.queueCap()) })
 	s.metrics.Gauge("in_flight", func() int64 { return s.pool.running() })
 	s.metrics.Gauge("workers", func() int64 { return int64(cfg.Workers) })
+	s.metrics.Gauge("engine_compiled", func() int64 {
+		if cfg.Engine == "compiled" {
+			return 1
+		}
+		return 0
+	})
 	return s
 }
 
@@ -483,17 +514,57 @@ func (s *Service) Execute(ctx context.Context, req ExecuteRequest) (*ExecuteResp
 		} else {
 			budget = machine.NewBudget(ctx, 0)
 		}
-		rep, err := exec.ParallelBudget(entry.comp.res, req.Processors, s.cfg.Cost, budget)
+
+		// Stage: exec_compile — resolve the cached plan into the dense
+		// program (amortized: sync.Once per cache entry). Nests beyond
+		// the compile caps fall back to the map-based oracle.
+		engine := s.cfg.Engine
+		var prog *exec.Program
+		if engine == "compiled" {
+			tc := time.Now()
+			p, cerr := entry.comp.program()
+			s.metrics.Observe("exec_compile", time.Since(tc))
+			if cerr != nil {
+				s.metrics.Inc("exec_compile_fallbacks", 1)
+				engine = "oracle"
+			} else {
+				prog = p
+			}
+		}
+
+		// Stage: exec_run — the simulated parallel execution.
+		tr := time.Now()
+		var rep *exec.Report
+		var err error
+		if prog != nil {
+			rep, err = prog.ParallelBudget(entry.comp.res, req.Processors, s.cfg.Cost, budget)
+		} else {
+			rep, err = exec.ParallelBudget(entry.comp.res, req.Processors, s.cfg.Cost, budget)
+		}
+		s.metrics.Observe("exec_run", time.Since(tr))
 		if err != nil {
 			return nil, err
 		}
-		want := exec.Sequential(entry.comp.nest, nil)
+		s.metrics.Inc("execute_engine_"+engine, 1)
+
+		// Stage: exec_validate — element-exact comparison against the
+		// sequential reference. The compiled program's pruned sequential
+		// path is the same final state by Section III.C (proven by the
+		// differential tests).
+		tv := time.Now()
+		var want map[string]float64
+		if prog != nil {
+			want = prog.Sequential()
+		} else {
+			want = exec.Sequential(entry.comp.nest, nil)
+		}
 		mismatches := 0
 		for k, wv := range want {
 			if rep.Final[k] != wv {
 				mismatches++
 			}
 		}
+		s.metrics.Observe("exec_validate", time.Since(tv))
 		return &ExecuteResponse{
 			Strategy:          entry.plan.Strategy,
 			Processors:        req.Processors,
@@ -504,6 +575,7 @@ func (s *Service) Execute(ctx context.Context, req ExecuteRequest) (*ExecuteResp
 			HostMessages:      rep.Machine.Messages(),
 			InterNodeMessages: rep.Machine.InterNodeMessages(),
 			IterationsPerNode: rep.IterationsPerNode,
+			Engine:            engine,
 			Validated:         mismatches == 0,
 			Mismatches:        mismatches,
 			Elements:          len(want),

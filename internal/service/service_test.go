@@ -169,6 +169,24 @@ func TestExecuteValidatesAgainstSequential(t *testing.T) {
 	}
 }
 
+func TestExecuteReportsEngine(t *testing.T) {
+	// The default engine is the compiled one; forcing the oracle must
+	// be reported and validate identically.
+	for _, engine := range []string{"compiled", "oracle"} {
+		s := newTestService(t, Config{Engine: engine})
+		resp, err := s.Execute(context.Background(), ExecuteRequest{Source: srcL1, Strategy: "duplicate", Processors: 4})
+		if err != nil {
+			t.Fatalf("%s: %v", engine, err)
+		}
+		if resp.Engine != engine {
+			t.Errorf("engine = %q, want %q", resp.Engine, engine)
+		}
+		if !resp.Validated || resp.InterNodeMessages != 0 {
+			t.Errorf("%s: validated=%v inter-node=%d", engine, resp.Validated, resp.InterNodeMessages)
+		}
+	}
+}
+
 func TestExecuteBudgetExhausted(t *testing.T) {
 	s := newTestService(t, Config{MaxIterations: 3})
 	_, err := s.Execute(context.Background(), ExecuteRequest{Source: srcL1, Processors: 4})
@@ -211,7 +229,7 @@ func TestStageMetricsRecorded(t *testing.T) {
 		t.Fatal(err)
 	}
 	snap := s.MetricsDocument()
-	for _, stage := range []string{"parse", "partition", "selection", "codegen", "execution"} {
+	for _, stage := range []string{"parse", "partition", "selection", "codegen", "execution", "exec_compile", "exec_run", "exec_validate"} {
 		h, ok := snap.Stages[stage]
 		if !ok || h.Count == 0 {
 			t.Errorf("stage %q not recorded (%+v)", stage, h)
