@@ -6,7 +6,11 @@
 //
 // Usage:
 //
-//	commfree -file loop.cf [-strategy duplicate] [-p 16] [-exec] [-compare-baseline]
+//	commfree -file loop.cf [-strategy duplicate] [-p 16] [-exec] [-compare-baseline] [-trace]
+//
+// -trace prints the pipeline's span tree (parse → deps → redundant →
+// partition → transform → assign, plus per-block execution spans under
+// -exec) after the report.
 //
 // With no -file, the paper's loop L1 is used as a demonstration.
 package main
@@ -37,8 +41,14 @@ func main() {
 		compare  = flag.Bool("compare-baseline", false, "also run the Ramanujam–Sadayappan hyperplane baseline")
 		emit     = flag.String("emit", "", "write a standalone Go SPMD program implementing the compiled loop to this path ('-' for stdout)")
 		auto     = flag.Bool("auto", false, "rank all allocation strategies by simulated cost and compile the best one (overrides -strategy)")
+		trace    = flag.Bool("trace", false, "print the pipeline span tree (stage timings, per-block execution spans under -exec)")
 	)
 	flag.Parse()
+
+	var trc *commfree.Trace
+	if *trace {
+		trc = commfree.NewTrace("commfree")
+	}
 
 	src := demoSrc
 	if *file != "" {
@@ -83,7 +93,7 @@ func main() {
 		}
 	} else {
 		var err error
-		comp, err = commfree.Compile(src, strat, *procs)
+		comp, err = commfree.CompileTraced(src, strat, *procs, trc)
 		if err != nil {
 			fatal(err)
 		}
@@ -118,7 +128,7 @@ func main() {
 	}
 
 	if *execute {
-		rep, err := comp.Execute(commfree.TransputerCost())
+		rep, err := comp.ExecuteTraced(commfree.TransputerCost(), trc)
 		if err != nil {
 			fatal(err)
 		}
@@ -142,6 +152,10 @@ func main() {
 		if tr := rep.Machine.CurrentTrace(); tr != nil {
 			fmt.Printf("\n%s", tr.Gantt(60))
 		}
+	}
+
+	if trc != nil {
+		fmt.Printf("\n== pipeline trace ==\n%s", trc.Tree())
 	}
 }
 

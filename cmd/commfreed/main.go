@@ -3,13 +3,19 @@
 // /v1/compile and receive a priced, communication-free allocation plan;
 // /v1/execute additionally runs the plan on the simulated multicomputer
 // and validates it against sequential execution. /v1/metrics exports
-// per-stage latency histograms, cache hit rate, and queue gauges;
-// /healthz answers liveness probes.
+// per-stage latency histograms, cache hit rate, and queue gauges (JSON,
+// or Prometheus text with ?format=prometheus); /v1/trace/{id} returns
+// the span tree of a recent request; /healthz answers liveness probes.
 //
 // Usage:
 //
 //	commfreed [-addr :8377] [-workers 8] [-queue 128] [-cache 256]
 //	          [-timeout 30s] [-max-iterations 4194304] [-engine compiled]
+//	          [-trace-ring 256] [-debug]
+//
+// -debug additionally mounts net/http/pprof under /debug/pprof/ for
+// live profiling (off by default: the profile endpoints expose stack
+// traces and should not face untrusted networks).
 //
 // SIGINT/SIGTERM drain gracefully: the listener stops accepting, every
 // in-flight and queued request completes and receives its response,
@@ -23,6 +29,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -40,14 +47,16 @@ func main() {
 
 func run() error {
 	var (
-		addr     = flag.String("addr", ":8377", "listen address")
-		workers  = flag.Int("workers", 8, "worker pool size")
-		queue    = flag.Int("queue", 128, "request queue depth")
-		cacheN   = flag.Int("cache", 256, "plan cache entries")
-		timeout  = flag.Duration("timeout", 30*time.Second, "per-request timeout")
-		maxIter  = flag.Int64("max-iterations", 1<<22, "per-request simulated-iteration budget (negative = unlimited)")
-		engine   = flag.String("engine", "compiled", "execution engine: compiled (dense, parallel) or oracle (map-based reference)")
-		drainFor = flag.Duration("drain", 60*time.Second, "graceful-shutdown drain limit")
+		addr      = flag.String("addr", ":8377", "listen address")
+		workers   = flag.Int("workers", 8, "worker pool size")
+		queue     = flag.Int("queue", 128, "request queue depth")
+		cacheN    = flag.Int("cache", 256, "plan cache entries")
+		timeout   = flag.Duration("timeout", 30*time.Second, "per-request timeout")
+		maxIter   = flag.Int64("max-iterations", 1<<22, "per-request simulated-iteration budget (negative = unlimited)")
+		engine    = flag.String("engine", "compiled", "execution engine: compiled (dense, parallel) or oracle (map-based reference)")
+		drainFor  = flag.Duration("drain", 60*time.Second, "graceful-shutdown drain limit")
+		traceRing = flag.Int("trace-ring", 256, "recent request traces kept for GET /v1/trace/{id}")
+		debug     = flag.Bool("debug", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 
@@ -58,10 +67,23 @@ func run() error {
 		RequestTimeout: *timeout,
 		MaxIterations:  *maxIter,
 		Engine:         *engine,
+		TraceRing:      *traceRing,
 	})
+	handler := svc.Handler()
+	if *debug {
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+		log.Printf("commfreed: pprof mounted at /debug/pprof/")
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           svc.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

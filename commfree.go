@@ -42,6 +42,7 @@ import (
 	"commfree/internal/layout"
 	"commfree/internal/loop"
 	"commfree/internal/machine"
+	"commfree/internal/obs"
 	"commfree/internal/partition"
 	"commfree/internal/redundant"
 	"commfree/internal/selector"
@@ -198,25 +199,47 @@ type Compilation struct {
 	Assignment  *Assignment
 }
 
+// Trace is a structured span tree recording one pipeline run: every
+// stage (parse, deps, redundant, partition, transform, assign,
+// exec_run with per-block children) becomes a timed span. Start one
+// with NewTrace, pass it to CompileTraced / Compilation.ExecuteTraced,
+// and render it with Trace.Tree() or export it with Trace.Export(). A
+// nil *Trace is always legal and free.
+type Trace = obs.Trace
+
+// NewTrace starts a named trace.
+func NewTrace(name string) *Trace { return obs.New(name) }
+
 // Compile parses, partitions, transforms, and assigns in one call.
 func Compile(src string, strat Strategy, processors int) (*Compilation, error) {
+	return CompileTraced(src, strat, processors, nil)
+}
+
+// CompileTraced is Compile with stage spans recorded into trc.
+func CompileTraced(src string, strat Strategy, processors int, trc *Trace) (*Compilation, error) {
+	psp := trc.Start(0, "parse")
 	nest, err := Parse(src)
+	psp.End()
 	if err != nil {
 		return nil, err
 	}
-	return CompileNest(nest, strat, processors)
+	return compileNestTraced(nest, strat, processors, trc)
 }
 
 // CompileNest is Compile for an already-built nest.
 func CompileNest(nest *Nest, strat Strategy, processors int) (*Compilation, error) {
+	return compileNestTraced(nest, strat, processors, nil)
+}
+
+func compileNestTraced(nest *Nest, strat Strategy, processors int, trc *Trace) (*Compilation, error) {
 	if processors < 1 {
 		return nil, fmt.Errorf("commfree: processors = %d", processors)
 	}
-	res, err := partition.Compute(nest, strat)
+	res, err := partition.ComputeWithTrace(nest, strat, trc, 0)
 	if err != nil {
 		return nil, err
 	}
-	return finishCompilation(nest, res, processors)
+	return finishCompilationTraced(nest, res, processors, trc)
 }
 
 // CompileCandidate compiles the allocation a SelectStrategy candidate
@@ -243,10 +266,18 @@ func CompileCandidate(nest *Nest, cand StrategyCandidate, processors int) (*Comp
 }
 
 func finishCompilation(nest *Nest, res *PartitionResult, processors int) (*Compilation, error) {
+	return finishCompilationTraced(nest, res, processors, nil)
+}
+
+func finishCompilationTraced(nest *Nest, res *PartitionResult, processors int, trc *Trace) (*Compilation, error) {
+	tsp := trc.Start(0, "transform")
 	tr, err := transform.Transform(nest, res.Psi)
+	tsp.End()
 	if err != nil {
 		return nil, err
 	}
+	asp := trc.Start(0, "assign")
+	defer asp.End()
 	return &Compilation{
 		Nest:        nest,
 		Strategy:    res.Strategy,
@@ -264,7 +295,16 @@ func (c *Compilation) Verify() error { return c.Partition.Verify() }
 // Execute runs the compilation on the simulated multicomputer and checks
 // nothing crossed between nodes.
 func (c *Compilation) Execute(cost CostModel) (*ExecutionReport, error) {
-	rep, err := exec.Parallel(c.Partition, c.Processors, cost)
+	return c.ExecuteTraced(cost, nil)
+}
+
+// ExecuteTraced is Execute with an "exec_run" span whose children are
+// the distribution charge and one span per executed block (worker,
+// node, block id, iterations, words moved).
+func (c *Compilation) ExecuteTraced(cost CostModel, trc *Trace) (*ExecutionReport, error) {
+	rsp := trc.Start(0, "exec_run")
+	rep, err := exec.ParallelTraced(c.Partition, c.Processors, cost, nil, trc, rsp.ID())
+	rsp.End()
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,202 @@
+// Package conformance is the property-based theorem conformance suite:
+// it checks, for arbitrary valid loop nests, every machine-checkable
+// guarantee the paper makes. Each property is a theorem (or an
+// immediate corollary) of Chen & Sheu:
+//
+//   - Theorems 1–4: every strategy's partition is communication-free
+//     (non-duplicate strategies share no element across blocks at all;
+//     duplicate strategies share no flow dependence) — checked
+//     exhaustively by partition.Result.Verify;
+//   - the duplicate partition space contains no directions the
+//     non-duplicate one lacks: Ψ_dup ⊆ Ψ_nondup (duplication only
+//     removes constraints), and likewise elimination only removes
+//     constraints: Ψ_minimal ⊆ Ψ (the paper's Ψ^r ⊆ Ψ);
+//   - consequently dim Ψ_minimal ≤ dim Ψ — eliminating redundant
+//     computations never costs parallelism;
+//   - the loop transformation T is a bijection on the iteration space:
+//     Original(NewPoint(ī)) = ī for every iteration;
+//   - the compiled dense engine and the map-based oracle agree on the
+//     final sequential state, with and without elimination;
+//   - parallel execution under the partition reproduces the sequential
+//     state exactly with zero inter-node messages.
+//
+// The test harness generates nests with loopgen, checks them here, and
+// shrinks any failure to a minimal DSL repro (loopgen.Shrink +
+// lang.Format).
+package conformance
+
+import (
+	"fmt"
+
+	"commfree/internal/exec"
+	"commfree/internal/loop"
+	"commfree/internal/machine"
+	"commfree/internal/partition"
+	"commfree/internal/transform"
+)
+
+// strategies are the four theorem strategies, checked on every nest.
+var strategies = []partition.Strategy{
+	partition.NonDuplicate,
+	partition.Duplicate,
+	partition.MinimalNonDuplicate,
+	partition.MinimalDuplicate,
+}
+
+// maxExecIterations bounds the nests on which the (comparatively
+// expensive) execution-equality properties run; the algebraic
+// properties run regardless.
+const maxExecIterations = 1 << 12
+
+// CheckNest runs the full conformance suite on one nest, running the
+// parallel-execution property under the Duplicate strategy. A nil
+// return means every property held.
+func CheckNest(nest *loop.Nest) error {
+	return Check(nest, partition.Duplicate)
+}
+
+// Check is CheckNest with the parallel-execution property run under
+// execStrat (callers rotate it so all four schedulers see coverage).
+func Check(nest *loop.Nest, execStrat partition.Strategy) error {
+	if err := nest.Validate(); err != nil {
+		return fmt.Errorf("conformance: input nest invalid: %w", err)
+	}
+	results := make(map[partition.Strategy]*partition.Result, len(strategies))
+	for _, strat := range strategies {
+		res, err := partition.Compute(nest, strat)
+		if err != nil {
+			return fmt.Errorf("conformance: %s: partition failed: %w", strat, err)
+		}
+		// Theorems 1–4: exhaustive communication-freeness.
+		if err := res.Verify(); err != nil {
+			return fmt.Errorf("conformance: %s: communication-freeness violated: %w", strat, err)
+		}
+		if err := checkBijectivity(nest, res); err != nil {
+			return fmt.Errorf("conformance: %s: %w", strat, err)
+		}
+		results[strat] = res
+	}
+
+	if err := checkInclusions(results); err != nil {
+		return err
+	}
+	if nest.NumIterations() > maxExecIterations {
+		return nil
+	}
+	if err := checkSequentialAgreement(nest, results); err != nil {
+		return err
+	}
+	return checkParallelExecution(nest, results[execStrat])
+}
+
+// checkBijectivity verifies Original(NewPoint(ī)) = ī over the whole
+// iteration space: the transformation matrix T = [Ψ̄; Ψ] is unimodular
+// enough to round-trip every integer point.
+func checkBijectivity(nest *loop.Nest, res *partition.Result) error {
+	tr, err := transform.Transform(nest, res.Psi)
+	if err != nil {
+		return fmt.Errorf("transform failed: %w", err)
+	}
+	var fail error
+	nest.Walk(func(it []int64) bool {
+		j := tr.NewPoint(it)
+		back, ok := tr.Original(j)
+		if !ok {
+			fail = fmt.Errorf("transform not invertible at %v (image %v)", it, j)
+			return false
+		}
+		for k := range back {
+			if back[k] != it[k] {
+				fail = fmt.Errorf("transform round-trip %v → %v → %v", it, j, back)
+				return false
+			}
+		}
+		return true
+	})
+	return fail
+}
+
+// checkInclusions verifies the partition-space lattice: duplication and
+// elimination both only remove constraints, so
+// Ψ_dup ⊆ Ψ_nondup, Ψ_minimal ⊆ Ψ_plain, and dim Ψ_minimal ≤ dim Ψ.
+func checkInclusions(results map[partition.Strategy]*partition.Result) error {
+	nd := results[partition.NonDuplicate]
+	du := results[partition.Duplicate]
+	mnd := results[partition.MinimalNonDuplicate]
+	md := results[partition.MinimalDuplicate]
+	for _, incl := range []struct {
+		name     string
+		sub, sup *partition.Result
+	}{
+		{"Ψ_dup ⊆ Ψ_nondup", du, nd},
+		{"Ψ_min-nondup ⊆ Ψ_nondup (Ψ^r ⊆ Ψ)", mnd, nd},
+		{"Ψ_min-dup ⊆ Ψ_dup (Ψ^r ⊆ Ψ)", md, du},
+	} {
+		if !incl.sub.Psi.SubspaceOf(incl.sup.Psi) {
+			return fmt.Errorf("conformance: inclusion %s violated: dim %d vs %d",
+				incl.name, incl.sub.Psi.Dim(), incl.sup.Psi.Dim())
+		}
+	}
+	if mnd.Psi.Dim() > nd.Psi.Dim() {
+		return fmt.Errorf("conformance: elimination increased dim Ψ: %d > %d (non-duplicate)",
+			mnd.Psi.Dim(), nd.Psi.Dim())
+	}
+	if md.Psi.Dim() > du.Psi.Dim() {
+		return fmt.Errorf("conformance: elimination increased dim Ψ: %d > %d (duplicate)",
+			md.Psi.Dim(), du.Psi.Dim())
+	}
+	return nil
+}
+
+// checkSequentialAgreement verifies the compiled dense engine against
+// the map-based oracle on the sequential semantics, both with the
+// redundancy pruning of the minimal strategies and without (Section
+// III.C: elimination leaves the final state unchanged).
+func checkSequentialAgreement(nest *loop.Nest, results map[partition.Strategy]*partition.Result) error {
+	want := exec.Sequential(nest, nil)
+	for _, strat := range []partition.Strategy{partition.NonDuplicate, partition.MinimalDuplicate} {
+		red := results[strat].Redundant
+		if err := exec.Equal(exec.Sequential(nest, red), want); err != nil {
+			return fmt.Errorf("conformance: %s: elimination changed the sequential state: %w", strat, err)
+		}
+		prog, cerr := exec.CompileNest(nest, red)
+		if cerr != nil {
+			continue // beyond the dense engine's caps — oracle-only nest
+		}
+		if err := exec.Equal(prog.Sequential(), want); err != nil {
+			return fmt.Errorf("conformance: %s: compiled engine diverges from oracle: %w", strat, err)
+		}
+	}
+	return nil
+}
+
+// checkParallelExecution runs the partition on the simulated machine —
+// oracle scheduler and, when compilable, the dense parallel scheduler —
+// and demands the exact sequential state with zero inter-node traffic.
+func checkParallelExecution(nest *loop.Nest, res *partition.Result) error {
+	const procs = 4
+	cost := machine.Transputer()
+	want := exec.Sequential(nest, nil)
+
+	rep, err := exec.Parallel(res, procs, cost)
+	if err != nil {
+		return fmt.Errorf("conformance: %s: oracle parallel execution failed: %w", res.Strategy, err)
+	}
+	if n := rep.Machine.InterNodeMessages(); n != 0 {
+		return fmt.Errorf("conformance: %s: %d inter-node messages during execution", res.Strategy, n)
+	}
+	if err := exec.Equal(rep.Final, want); err != nil {
+		return fmt.Errorf("conformance: %s: oracle parallel state diverges: %w", res.Strategy, err)
+	}
+
+	if prog, cerr := exec.CompileNest(nest, res.Redundant); cerr == nil {
+		crep, err := prog.ParallelBudget(res, procs, cost, nil)
+		if err != nil {
+			return fmt.Errorf("conformance: %s: compiled parallel execution failed: %w", res.Strategy, err)
+		}
+		if err := exec.Equal(crep.Final, want); err != nil {
+			return fmt.Errorf("conformance: %s: compiled parallel state diverges: %w", res.Strategy, err)
+		}
+	}
+	return nil
+}

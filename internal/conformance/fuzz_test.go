@@ -1,0 +1,33 @@
+package conformance
+
+import (
+	"testing"
+
+	"commfree/internal/lang"
+)
+
+// FuzzConformance feeds arbitrary DSL source through the parser and,
+// when it yields a valid nest of tractable size, demands every theorem
+// conformance property of it. Seeds are the language corpus (the
+// paper's loops plus the parser's deliberate-rejection cases, which
+// exercise the skip path).
+func FuzzConformance(f *testing.F) {
+	for _, src := range lang.Corpus() {
+		f.Add(src)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 4096 {
+			t.Skip("oversized input")
+		}
+		nest, err := lang.Parse(src)
+		if err != nil {
+			t.Skip("not a valid program")
+		}
+		if nest.NumIterations() > 1<<10 {
+			t.Skip("iteration space too large for a fuzz step")
+		}
+		if err := CheckNest(nest); err != nil {
+			t.Fatalf("conformance violation on fuzzed program: %v\nsource:\n%s", err, src)
+		}
+	})
+}

@@ -12,6 +12,7 @@ import (
 	"commfree/internal/lang"
 	"commfree/internal/loop"
 	"commfree/internal/machine"
+	"commfree/internal/obs"
 	"commfree/internal/partition"
 )
 
@@ -102,6 +103,29 @@ func BenchmarkExecParallel(b *testing.B) {
 				if _, err := c.prog.ParallelBudget(c.res, p, cost, nil); err != nil {
 					b.Fatal(err)
 				}
+			}
+		})
+	}
+}
+
+// BenchmarkExecParallelTraced is BenchmarkExecParallel/compiled with a
+// live trace attached — the instrumentation-overhead benchmark. The
+// acceptance bound is ns/op within 5% of the untraced BENCH_exec.json
+// snapshot (block spans are recorded lock-free into preallocated slots
+// and published with one Bulk call, so the delta is two allocations).
+func BenchmarkExecParallelTraced(b *testing.B) {
+	cost := machine.Transputer()
+	const p = 16
+	for _, c := range benchCases(b) {
+		b.Run(c.name+"/compiled", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				trc := obs.New("bench")
+				root := trc.Start(0, "exec_run")
+				if _, err := c.prog.ParallelTraced(c.res, p, cost, nil, trc, root.ID()); err != nil {
+					b.Fatal(err)
+				}
+				root.End()
 			}
 		})
 	}

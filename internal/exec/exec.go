@@ -8,10 +8,12 @@ package exec
 
 import (
 	"fmt"
+	"time"
 
 	"commfree/internal/assign"
 	"commfree/internal/loop"
 	"commfree/internal/machine"
+	"commfree/internal/obs"
 	"commfree/internal/partition"
 	"commfree/internal/redundant"
 	"commfree/internal/transform"
@@ -101,6 +103,15 @@ func Parallel(res *partition.Result, p int, cost machine.CostModel) (*Report, er
 // (machine.ErrBudgetExhausted or the context's error) once it is
 // exceeded. A nil budget is unlimited.
 func ParallelBudget(res *partition.Result, p int, cost machine.CostModel, budget *machine.Budget) (*Report, error) {
+	return ParallelTraced(res, p, cost, budget, nil, 0)
+}
+
+// ParallelTraced is ParallelBudget with span instrumentation matching
+// the compiled engine's: a "distribute" span carrying the simulated
+// distribution traffic, and one "block" child span per executed block
+// (worker, node, block id, iteration count, words moved) under the
+// given parent. A nil trace costs nothing.
+func ParallelTraced(res *partition.Result, p int, cost machine.CostModel, budget *machine.Budget, trc *obs.Trace, parent obs.SpanID) (*Report, error) {
 	nest := res.Analysis.Nest
 	tr, err := transform.Transform(nest, res.Psi)
 	if err != nil {
@@ -128,11 +139,23 @@ func ParallelBudget(res *partition.Result, p int, cost machine.CostModel, budget
 
 	// Distribution: every element a block reads is preloaded into its
 	// node under the block's private key. Charged as one pipelined
-	// unicast per node.
+	// unicast per node. Block IDs are dense and 1-based, so b.ID-1
+	// indexes per-block accounting.
 	red := res.Redundant
+	dsp := trc.Start(parent, "distribute")
+	var bwords []int
+	if dsp.OK() {
+		bwords = make([]int, len(res.Iter.Blocks))
+	}
+	var msgs, words int
+	var secs float64
+	if dsp.OK() {
+		mach.SetChargeHook(func(_, m, w int, s float64) { msgs += m; words += w; secs += s })
+	}
 	for id, blks := range perNode {
 		elems := map[string]float64{}
 		for _, b := range blks {
+			before := len(elems)
 			for _, it := range b.Iterations {
 				for si, st := range nest.Body {
 					if red != nil && red.IsRedundant(si, it) {
@@ -144,6 +167,11 @@ func ParallelBudget(res *partition.Result, p int, cost machine.CostModel, budget
 					}
 				}
 			}
+			if bwords != nil {
+				// BlockKey namespaces every entry, so growth since
+				// `before` is exactly this block's word count.
+				bwords[b.ID-1] = len(elems) - before
+			}
 		}
 		data := make([]machine.Datum, 0, len(elems))
 		for k, v := range elems {
@@ -151,9 +179,22 @@ func ParallelBudget(res *partition.Result, p int, cost machine.CostModel, budget
 		}
 		mach.SendTo(id, data)
 	}
+	if dsp.OK() {
+		mach.SetChargeHook(nil)
+		dsp.SetInt("messages", int64(msgs))
+		dsp.SetInt("words", int64(words))
+		dsp.SetInt("sim_ns", int64(secs*1e9))
+	}
+	dsp.End()
 
-	// Parallel execution against private block copies.
+	// Parallel execution against private block copies. The oracle runs
+	// one goroutine per node, so worker id == node id in block spans.
+	bt := newBlockTrace(trc, parent, len(res.Iter.Blocks))
 	err = mach.Run(func(n *machine.Node) error {
+		var last time.Duration
+		if bt != nil {
+			last = bt.tr.Since()
+		}
 		for _, b := range perNode[n.ID] {
 			for _, it := range b.Iterations {
 				if err := budget.Spend(1); err != nil {
@@ -175,12 +216,18 @@ func ParallelBudget(res *partition.Result, p int, cost machine.CostModel, budget
 				}
 				n.CountIteration()
 			}
+			if bt != nil {
+				now := bt.tr.Since()
+				bt.record(b.ID-1, b.ID, n.ID, n.ID, int64(len(b.Iterations)), bwords[b.ID-1], last, now)
+				last = now
+			}
 		}
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
+	bt.publish()
 
 	// Ownership: the block performing the globally last (non-redundant)
 	// write holds the authoritative copy; gather from its node.

@@ -20,9 +20,11 @@ package exec
 import (
 	"fmt"
 	"runtime"
+	"time"
 
 	"commfree/internal/assign"
 	"commfree/internal/machine"
+	"commfree/internal/obs"
 	"commfree/internal/partition"
 	"commfree/internal/transform"
 )
@@ -50,6 +52,7 @@ type blockStats struct {
 	perNode [][]int // block indexes per processor
 	iters   []int64 // iteration count per block
 	words   []int   // distribution word count per processor
+	bwords  []int   // distribution word count per block (span attribute)
 	// owner[a][off] is the index of the block performing the globally
 	// last non-redundant write to the element (-1: never written) —
 	// the gather authority.
@@ -58,11 +61,71 @@ type blockStats struct {
 	result [][]float64
 }
 
+// blockTrace is the tracing state of one traced parallel run: one
+// compact int64 row per block, filled lock-free by the block's owning
+// worker (each block index is written exactly once), published with one
+// BulkCompact call after the run. The rows carry no pointers, so the
+// hot path does plain integer stores — no allocation, no GC write
+// barriers — and tracing adds a single allocation per run.
+type blockTrace struct {
+	tr     *obs.Trace
+	parent obs.SpanID
+	vals   []int64 // blockStride entries per block
+}
+
+// blockStride is one row: [startNS, durNS, worker, node, block,
+// iterations, words]; blockKeys names the attribute columns.
+const blockStride = 7
+
+var blockKeys = []string{"worker", "node", "block", "iterations", "words"}
+
+func newBlockTrace(tr *obs.Trace, parent obs.SpanID, blocks int) *blockTrace {
+	if tr == nil {
+		return nil
+	}
+	bt := &blockTrace{tr: tr, parent: parent, vals: make([]int64, blockStride*blocks)}
+	for i := 0; i < blocks; i++ {
+		bt.vals[blockStride*i+1] = -1 // mark "never ran" for BulkCompact
+	}
+	return bt
+}
+
+// record fills block bi's row. Safe without locks: bi is owned by
+// exactly one worker and the row is a disjoint sub-range. The caller
+// supplies both endpoints so consecutive blocks on one worker can chain
+// them and pay one clock read per block.
+func (bt *blockTrace) record(bi, blockID, worker, node int, iters int64, words int, start, now time.Duration) {
+	row := bt.vals[blockStride*bi : blockStride*bi+blockStride]
+	row[0] = start.Nanoseconds()
+	row[1] = (now - start).Nanoseconds()
+	row[2] = int64(worker)
+	row[3] = int64(node)
+	row[4] = int64(blockID)
+	row[5] = iters
+	row[6] = int64(words)
+}
+
+// publish hands the rows to the trace; nil-safe.
+func (bt *blockTrace) publish() {
+	if bt != nil {
+		bt.tr.BulkCompact(bt.parent, "block", blockKeys, bt.vals)
+	}
+}
+
 // ParallelBudget executes a communication-free partition of the
 // compiled nest on p simulated processors. The budget is spent in
 // whole-block steps (the oracle spends per iteration), so a run can
 // overshoot the cap by at most the largest block before aborting.
 func (prog *Program) ParallelBudget(res *partition.Result, p int, cost machine.CostModel, budget *machine.Budget) (*Report, error) {
+	return prog.ParallelTraced(res, p, cost, budget, nil, 0)
+}
+
+// ParallelTraced is ParallelBudget with span instrumentation: a
+// "distribute" span carrying the simulated distribution traffic and one
+// "block" child span per executed block (worker, node, block id,
+// iteration count, words moved) under the given parent. A nil trace is
+// free: the block hot loop does not touch the clock or the trace.
+func (prog *Program) ParallelTraced(res *partition.Result, p int, cost machine.CostModel, budget *machine.Budget, trc *obs.Trace, parent obs.SpanID) (*Report, error) {
 	if res.Analysis.Nest != prog.Nest {
 		return nil, fmt.Errorf("exec: partition was computed from a different nest than the program")
 	}
@@ -91,23 +154,40 @@ func (prog *Program) ParallelBudget(res *partition.Result, p int, cost machine.C
 	// Distribution: one pipelined unicast per node carrying every
 	// element its blocks read (each block's private copy counts once,
 	// exactly like the oracle's preload).
-	for id := 0; id < used; id++ {
-		mach.ChargeSendWords(id, st.words[id])
+	dsp := trc.Start(parent, "distribute")
+	if dsp.OK() {
+		var msgs, words int
+		var secs float64
+		mach.SetChargeHook(func(_, m, w int, s float64) { msgs += m; words += w; secs += s })
+		for id := 0; id < used; id++ {
+			mach.ChargeSendWords(id, st.words[id])
+		}
+		mach.SetChargeHook(nil)
+		dsp.SetInt("messages", int64(msgs))
+		dsp.SetInt("words", int64(words))
+		dsp.SetInt("sim_ns", int64(secs*1e9))
+	} else {
+		for id := 0; id < used; id++ {
+			mach.ChargeSendWords(id, st.words[id])
+		}
 	}
+	dsp.End()
 
 	blocks := res.Iter.Blocks
 	workers := runtime.GOMAXPROCS(0)
 	if workers > used {
 		workers = used
 	}
+	bt := newBlockTrace(trc, parent, len(blocks))
 	if res.AllowsDuplication() {
-		err = prog.runDuplicate(mach, blocks, st, budget, workers)
+		err = prog.runDuplicate(mach, blocks, st, budget, workers, bt)
 	} else {
-		err = prog.runDisjoint(mach, blocks, st, budget, workers)
+		err = prog.runDisjoint(mach, blocks, st, budget, workers, bt)
 	}
 	if err != nil {
 		return nil, err
 	}
+	bt.publish()
 
 	rep := &Report{
 		Machine:    mach,
@@ -137,6 +217,7 @@ func (prog *Program) prepass(res *partition.Result, tr *transform.Transformed, a
 		perNode: make([][]int, used),
 		iters:   make([]int64, len(blocks)),
 		words:   make([]int, used),
+		bwords:  make([]int, len(blocks)),
 		owner:   make([][]int32, len(prog.arrays)),
 	}
 	var epoch, touched [][]int32
@@ -175,6 +256,7 @@ func (prog *Program) prepass(res *partition.Result, tr *transform.Transformed, a
 					if epoch[r.array][off] != seq {
 						epoch[r.array][off] = seq
 						st.words[node]++
+						st.bwords[bi]++
 					}
 					if !dupOK {
 						if t := touched[r.array][off]; t < 0 {
@@ -218,10 +300,14 @@ func newInt32s(n int64, fill int32) []int32 {
 // to exactly one block (asserted by the prepass), so all workers share
 // one buffer and never contend — the compiled meaning of
 // "communication-free".
-func (prog *Program) runDisjoint(mach *machine.Machine, blocks []*partition.Block, st *blockStats, budget *machine.Budget, workers int) error {
+func (prog *Program) runDisjoint(mach *machine.Machine, blocks []*partition.Block, st *blockStats, budget *machine.Budget, workers int, bt *blockTrace) error {
 	shared := prog.cloneBuffers()
-	err := mach.RunBounded(workers, func(_ int, nd *machine.Node) error {
+	err := mach.RunBounded(workers, func(w int, nd *machine.Node) error {
 		scratch := make([]float64, prog.maxReads)
+		var last time.Duration
+		if bt != nil {
+			last = bt.tr.Since()
+		}
 		for _, bi := range st.perNode[nd.ID] {
 			if err := budget.Spend(st.iters[bi]); err != nil {
 				return err
@@ -241,6 +327,11 @@ func (prog *Program) runDisjoint(mach *machine.Machine, blocks []*partition.Bloc
 				}
 			}
 			nd.AddIterations(st.iters[bi])
+			if bt != nil {
+				now := bt.tr.Since()
+				bt.record(bi, blocks[bi].ID, w, nd.ID, st.iters[bi], st.bwords[bi], last, now)
+				last = now
+			}
 		}
 		return nil
 	})
@@ -255,7 +346,7 @@ func (prog *Program) runDisjoint(mach *machine.Machine, blocks []*partition.Bloc
 // private buffer reset between blocks (private block copies), and each
 // block commits the elements it owns — exactly one writer per element
 // of the commit buffer, so it too is lock-free.
-func (prog *Program) runDuplicate(mach *machine.Machine, blocks []*partition.Block, st *blockStats, budget *machine.Budget, workers int) error {
+func (prog *Program) runDuplicate(mach *machine.Machine, blocks []*partition.Block, st *blockStats, budget *machine.Budget, workers int, bt *blockTrace) error {
 	final := prog.cloneBuffers()
 	type workerState struct {
 		bufs  [][]float64
@@ -275,6 +366,10 @@ func (prog *Program) runDuplicate(mach *machine.Machine, blocks []*partition.Blo
 			states[w] = ws
 		}
 		scratch := make([]float64, prog.maxReads)
+		var last time.Duration
+		if bt != nil {
+			last = bt.tr.Since()
+		}
 		for _, bi := range st.perNode[nd.ID] {
 			if err := budget.Spend(st.iters[bi]); err != nil {
 				return err
@@ -313,6 +408,11 @@ func (prog *Program) runDuplicate(mach *machine.Machine, blocks []*partition.Blo
 				ws.dirty[a] = ws.dirty[a][:0]
 			}
 			nd.AddIterations(st.iters[bi])
+			if bt != nil {
+				now := bt.tr.Since()
+				bt.record(bi, blocks[bi].ID, w, nd.ID, st.iters[bi], st.bwords[bi], last, now)
+				last = now
+			}
 		}
 		return nil
 	})

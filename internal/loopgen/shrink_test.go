@@ -1,0 +1,69 @@
+package loopgen
+
+import (
+	"math/rand"
+	"testing"
+
+	"commfree/internal/loop"
+)
+
+// With an always-failing predicate the shrinker should drive any
+// generated nest to the structural floor: depth 2, one statement, no
+// reads, extent-2 levels.
+func TestShrinkReachesFloor(t *testing.T) {
+	rnd := rand.New(rand.NewSource(7))
+	cfg := DefaultConfig()
+	for trial := 0; trial < 25; trial++ {
+		n := Generate(rnd, cfg)
+		s := Shrink(n, func(*loop.Nest) bool { return true })
+		if err := s.Validate(); err != nil {
+			t.Fatalf("trial %d: shrunk nest invalid: %v", trial, err)
+		}
+		if len(s.Levels) != 2 {
+			t.Errorf("trial %d: depth %d, want 2", trial, len(s.Levels))
+		}
+		if len(s.Body) != 1 {
+			t.Errorf("trial %d: %d statements, want 1", trial, len(s.Body))
+		}
+		if len(s.Body[0].Reads) != 0 {
+			t.Errorf("trial %d: %d reads, want 0", trial, len(s.Body[0].Reads))
+		}
+		for k, lv := range s.Levels {
+			if ext := lv.Upper.Const - lv.Lower.Const + 1; ext != 2 {
+				t.Errorf("trial %d: level %d extent %d, want 2", trial, k, ext)
+			}
+		}
+	}
+}
+
+// The shrunk nest must still fail the predicate, and the input must
+// never be mutated.
+func TestShrinkPreservesFailure(t *testing.T) {
+	rnd := rand.New(rand.NewSource(11))
+	cfg := DefaultConfig()
+	for trial := 0; trial < 25; trial++ {
+		n := Generate(rnd, cfg)
+		orig := loopString(n)
+		// "Fails" iff some statement writes the first generated array.
+		fails := func(m *loop.Nest) bool {
+			for _, st := range m.Body {
+				if st.Write.Array == "A" {
+					return true
+				}
+			}
+			return false
+		}
+		s := Shrink(n, fails)
+		if loopString(n) != orig {
+			t.Fatalf("trial %d: Shrink mutated its input", trial)
+		}
+		if fails(n) && !fails(s) {
+			t.Fatalf("trial %d: shrunk nest no longer fails", trial)
+		}
+		if !fails(n) && s != n {
+			t.Fatalf("trial %d: passing nest was not returned unchanged", trial)
+		}
+	}
+}
+
+func loopString(n *loop.Nest) string { return n.String() }

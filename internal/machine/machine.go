@@ -169,6 +169,23 @@ type Machine struct {
 	dataMoved   int64
 	computeTime float64
 	trace       *Trace
+	chargeHook  ChargeHook
+}
+
+// ChargeHook observes every host-side distribution charge: the
+// destination node (-1 for multicast/broadcast to several nodes), the
+// message and word counts, and the simulated seconds the transfer
+// occupied on the host lane. Hooks run outside the machine lock and
+// must be safe for concurrent calls if the caller charges concurrently.
+type ChargeHook func(node, messages, words int, seconds float64)
+
+// SetChargeHook registers the hook (nil disables). The observability
+// layer uses it to attribute simulated distribution traffic to spans
+// without re-walking the partition.
+func (m *Machine) SetChargeHook(h ChargeHook) {
+	m.mu.Lock()
+	m.chargeHook = h
+	m.mu.Unlock()
 }
 
 // New builds a machine with the given mesh topology and cost model.
@@ -197,7 +214,7 @@ func (m *Machine) SendTo(node int, data []Datum) {
 	for _, d := range data {
 		m.nodes[node].Preload(d.Key, d.Value)
 	}
-	m.charge(m.Cost.TStart+float64(len(data))*m.Cost.TComm, 1, len(data))
+	m.charge(node, m.Cost.TStart+float64(len(data))*m.Cost.TComm, 1, len(data))
 }
 
 // ChargeSendWords accounts a host→node unicast of the given word count
@@ -206,7 +223,7 @@ func (m *Machine) SendTo(node int, data []Datum) {
 // its own and only needs the message charged.
 func (m *Machine) ChargeSendWords(node, words int) {
 	_ = m.nodes[node] // bounds-check the node id like SendTo would
-	m.charge(m.Cost.TStart+float64(words)*m.Cost.TComm, 1, words)
+	m.charge(node, m.Cost.TStart+float64(words)*m.Cost.TComm, 1, words)
 }
 
 // Multicast sends the same data to a set of nodes in a pipelined fashion:
@@ -222,7 +239,7 @@ func (m *Machine) Multicast(nodes []int, data []Datum) {
 	if len(nodes) > 1 {
 		fill = len(nodes) - 1
 	}
-	m.charge(m.Cost.TStart+float64(len(data)+fill)*m.Cost.TComm, 1, len(data)*len(nodes))
+	m.charge(-1, m.Cost.TStart+float64(len(data)+fill)*m.Cost.TComm, 1, len(data)*len(nodes))
 }
 
 // MulticastInstall sends one stream of `words` data words to a set of
@@ -243,7 +260,7 @@ func (m *Machine) MulticastInstall(nodes []int, words int, install map[int][]Dat
 	for _, ds := range install {
 		installed += len(ds)
 	}
-	m.charge(m.Cost.TStart+float64(words+fill)*m.Cost.TComm, 1, installed)
+	m.charge(-1, m.Cost.TStart+float64(words+fill)*m.Cost.TComm, 1, installed)
 }
 
 // BroadcastInstall is MulticastInstall across the whole mesh at broadcast
@@ -262,7 +279,7 @@ func (m *Machine) BroadcastInstall(words int, install map[int][]Datum) {
 	for _, ds := range install {
 		installed += len(ds)
 	}
-	m.charge(m.Cost.TStart+float64(dia)*float64(words)*m.Cost.TComm, 1, installed)
+	m.charge(-1, m.Cost.TStart+float64(dia)*float64(words)*m.Cost.TComm, 1, installed)
 }
 
 // Broadcast sends the same data to every node; the stream crosses the
@@ -278,18 +295,22 @@ func (m *Machine) Broadcast(data []Datum) {
 	if dia < 1 {
 		dia = 1
 	}
-	m.charge(m.Cost.TStart+float64(dia)*float64(len(data))*m.Cost.TComm, 1, len(data)*len(m.nodes))
+	m.charge(-1, m.Cost.TStart+float64(dia)*float64(len(data))*m.Cost.TComm, 1, len(data)*len(m.nodes))
 }
 
-func (m *Machine) charge(t float64, msgs, words int) {
+func (m *Machine) charge(node int, t float64, msgs, words int) {
 	m.mu.Lock()
 	start := m.distTime
 	m.distTime += t
 	end := m.distTime
 	m.messages += int64(msgs)
 	m.dataMoved += int64(words)
+	hook := m.chargeHook
 	m.mu.Unlock()
 	m.record("host", fmt.Sprintf("dist %d words", words), start, end)
+	if hook != nil {
+		hook(node, msgs, words, t)
+	}
 }
 
 // Run executes fn concurrently on every node (one goroutine each) and

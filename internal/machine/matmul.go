@@ -86,7 +86,7 @@ func L5PrimeMachine(m int64, p int, c CostModel, withValues bool) (*Machine, err
 		if withValues {
 			mach.SendTo(a, data)
 		} else {
-			mach.charge(c.TStart+float64((m/int64(p))*m)*c.TComm, 1, int((m/int64(p))*m))
+			mach.charge(a, c.TStart+float64((m/int64(p))*m)*c.TComm, 1, int((m/int64(p))*m))
 		}
 	}
 	// Whole B broadcast.
@@ -100,7 +100,7 @@ func L5PrimeMachine(m int64, p int, c CostModel, withValues bool) (*Machine, err
 		mach.Broadcast(data)
 	} else {
 		dia := float64(topo.Diameter())
-		mach.charge(c.TStart+dia*float64(m*m)*c.TComm, 1, int(m*m)*p)
+		mach.charge(-1, c.TStart+dia*float64(m*m)*c.TComm, 1, int(m*m)*p)
 	}
 	return mach, nil
 }
@@ -194,7 +194,7 @@ func L5DoublePrimeMachine(m int64, p int, c CostModel, withValues bool) (*Machin
 			mach.Multicast(group, data)
 		} else {
 			n := int((m / sq) * m)
-			mach.charge(c.TStart+float64(n+len(group)-1)*c.TComm, 1, n*len(group))
+			mach.charge(-1, c.TStart+float64(n+len(group)-1)*c.TComm, 1, n*len(group))
 		}
 	}
 	// B columns j ≡ a2+1 (mod √p) go to every processor in mesh column a2.
@@ -213,7 +213,7 @@ func L5DoublePrimeMachine(m int64, p int, c CostModel, withValues bool) (*Machin
 			mach.Multicast(group, data)
 		} else {
 			n := int((m / sq) * m)
-			mach.charge(c.TStart+float64(n+len(group)-1)*c.TComm, 1, n*len(group))
+			mach.charge(-1, c.TStart+float64(n+len(group)-1)*c.TComm, 1, n*len(group))
 		}
 	}
 	// C tiles (uncharged, as in the paper's T₃ accounting).

@@ -1,0 +1,280 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTraceIsInert(t *testing.T) {
+	var tr *Trace
+	if tr.ID() != "" || tr.Name() != "" {
+		t.Fatalf("nil trace has identity: %q %q", tr.ID(), tr.Name())
+	}
+	h := tr.Start(0, "x")
+	if h.OK() || h.ID() != 0 {
+		t.Fatalf("nil trace produced a live handle: %+v", h)
+	}
+	// All of these must no-op, not panic.
+	h.SetInt("k", 1)
+	h.SetStr("k", "v")
+	h.End()
+	tr.Bulk([]Span{{Name: "b"}})
+	if got := tr.Spans(); got != nil {
+		t.Fatalf("nil trace has spans: %v", got)
+	}
+	if got := tr.Tree(); got != "(no trace)\n" {
+		t.Fatalf("nil tree = %q", got)
+	}
+	if e := tr.Export(); e.TraceID != "" || len(e.Spans) != 0 {
+		t.Fatalf("nil export = %+v", e)
+	}
+}
+
+func TestSpanTreeStructure(t *testing.T) {
+	tr := New("compile")
+	if tr.ID() == "" {
+		t.Fatal("empty trace ID")
+	}
+	root := tr.Start(0, "parse")
+	root.SetInt("bytes", 42)
+	root.End()
+	run := tr.Start(0, "exec_run")
+	child := tr.Start(run.ID(), "block")
+	child.SetInt("worker", 3)
+	child.SetStr("strategy", "duplicate")
+	child.End()
+	run.End()
+
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	if spans[0].Name != "parse" || spans[0].Parent != 0 {
+		t.Fatalf("span 0 = %+v", spans[0])
+	}
+	if spans[2].Name != "block" || spans[2].Parent != spans[1].ID {
+		t.Fatalf("block parent = %d, want %d", spans[2].Parent, spans[1].ID)
+	}
+	for _, sp := range spans {
+		if sp.DurNS < 0 {
+			t.Errorf("span %s still open (dur %d)", sp.Name, sp.DurNS)
+		}
+	}
+	if spans[2].Attrs[0].Key != "worker" || spans[2].Attrs[0].Int != 3 {
+		t.Errorf("attrs = %+v", spans[2].Attrs)
+	}
+
+	tree := tr.Tree()
+	if !strings.Contains(tree, "parse") || !strings.Contains(tree, "block") {
+		t.Errorf("tree missing spans:\n%s", tree)
+	}
+	// block is indented one level deeper than exec_run.
+	var runIndent, blockIndent int
+	for _, line := range strings.Split(tree, "\n") {
+		trimmed := strings.TrimLeft(line, " ")
+		if strings.HasPrefix(trimmed, "exec_run") {
+			runIndent = len(line) - len(trimmed)
+		}
+		if strings.HasPrefix(trimmed, "block") {
+			blockIndent = len(line) - len(trimmed)
+		}
+	}
+	if blockIndent <= runIndent {
+		t.Errorf("block indent %d not deeper than exec_run %d:\n%s", blockIndent, runIndent, tree)
+	}
+}
+
+func TestBulkAssignsIDsAndSkipsEmpty(t *testing.T) {
+	tr := New("x")
+	parent := tr.Start(0, "exec_run")
+	blocks := make([]Span, 4)
+	for i := range blocks {
+		if i == 2 {
+			continue // simulate a block that never ran
+		}
+		blocks[i] = Span{Parent: parent.ID(), Name: "block", StartNS: int64(i), DurNS: 1,
+			Attrs: []Attr{{Key: "block", Int: int64(i + 1)}}}
+	}
+	tr.Bulk(blocks)
+	parent.End()
+	spans := tr.Spans()
+	if len(spans) != 4 { // exec_run + 3 blocks
+		t.Fatalf("got %d spans, want 4", len(spans))
+	}
+	seen := map[SpanID]bool{}
+	for _, sp := range spans {
+		if sp.ID == 0 || seen[sp.ID] {
+			t.Fatalf("bad/duplicate span ID in %+v", sp)
+		}
+		seen[sp.ID] = true
+		if sp.Name == "block" && sp.Parent != parent.ID() {
+			t.Errorf("block parent = %d, want %d", sp.Parent, parent.ID())
+		}
+	}
+}
+
+func TestExportJSONShape(t *testing.T) {
+	tr := New("execute")
+	sp := tr.Start(0, "exec_run")
+	time.Sleep(time.Millisecond)
+	sp.End()
+	data, err := json.Marshal(tr.Export())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"trace_id", "name", "began_unix_ns", "dur_ns", "spans"} {
+		if _, ok := doc[key]; !ok {
+			t.Errorf("export missing %q: %s", key, data)
+		}
+	}
+	if doc["dur_ns"].(float64) < float64(time.Millisecond) {
+		t.Errorf("dur_ns = %v, want >= 1ms", doc["dur_ns"])
+	}
+}
+
+func TestTreeSummarizesLargeFanOut(t *testing.T) {
+	tr := New("x")
+	parent := tr.Start(0, "exec_run")
+	for i := 0; i < treeChildCap+10; i++ {
+		c := tr.Start(parent.ID(), "block")
+		c.End()
+	}
+	parent.End()
+	tree := tr.Tree()
+	if !strings.Contains(tree, "10 more") {
+		t.Errorf("large fan-out not summarized:\n%s", tree)
+	}
+}
+
+func TestConcurrentSpans(t *testing.T) {
+	tr := New("race")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				h := tr.Start(0, fmt.Sprintf("g%d", g))
+				h.SetInt("i", int64(i))
+				h.End()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := len(tr.Spans()); got != 400 {
+		t.Fatalf("got %d spans, want 400", got)
+	}
+}
+
+func TestRingEvictionAndLookup(t *testing.T) {
+	r := NewRing(3)
+	var ids []string
+	for i := 0; i < 5; i++ {
+		tr := New("t")
+		ids = append(ids, tr.ID())
+		r.Add(tr)
+	}
+	if r.Len() != 3 || r.Cap() != 3 {
+		t.Fatalf("len=%d cap=%d, want 3/3", r.Len(), r.Cap())
+	}
+	for _, id := range ids[:2] {
+		if r.Get(id) != nil {
+			t.Errorf("evicted trace %s still retrievable", id)
+		}
+	}
+	for _, id := range ids[2:] {
+		if r.Get(id) == nil {
+			t.Errorf("trace %s missing", id)
+		}
+	}
+	recent := r.Recent(2)
+	if len(recent) != 2 || recent[0].ID() != ids[4] || recent[1].ID() != ids[3] {
+		t.Errorf("recent order wrong: %v", recent)
+	}
+}
+
+func TestUniqueTraceIDs(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 1000; i++ {
+		id := New("x").ID()
+		if seen[id] {
+			t.Fatalf("duplicate trace ID %s", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestBulkCompactMaterializesSpans(t *testing.T) {
+	trc := New("run")
+	root := trc.Start(0, "exec_run")
+	// Three rows: [startNS, durNS, worker, words]; the middle row never
+	// ran (durNS -1) and must be skipped.
+	trc.BulkCompact(root.ID(), "block", []string{"worker", "words"}, []int64{
+		100, 50, 3, 12,
+		0, -1, 0, 0,
+		200, 25, 1, 7,
+	})
+	root.End()
+
+	if got := trc.NumSpans(); got != 3 { // exec_run + 2 live rows
+		t.Fatalf("NumSpans = %d, want 3", got)
+	}
+	spans := trc.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("Spans() returned %d spans", len(spans))
+	}
+	var blocks []Span
+	for _, sp := range spans {
+		if sp.Name == "block" {
+			blocks = append(blocks, sp)
+		}
+	}
+	if len(blocks) != 2 {
+		t.Fatalf("materialized %d block spans, want 2", len(blocks))
+	}
+	// IDs continue after the dense spans, in row order.
+	if blocks[0].ID != 2 || blocks[1].ID != 3 {
+		t.Errorf("compact span IDs = %d, %d", blocks[0].ID, blocks[1].ID)
+	}
+	first := blocks[0]
+	if first.Parent != root.ID() || first.StartNS != 100 || first.DurNS != 50 {
+		t.Errorf("first block span = %+v", first)
+	}
+	if len(first.Attrs) != 2 || first.Attrs[0] != (Attr{Key: "worker", Int: 3}) || first.Attrs[1] != (Attr{Key: "words", Int: 12}) {
+		t.Errorf("first block attrs = %+v", first.Attrs)
+	}
+
+	// EachDuration sees dense and compact spans alike, skipping the
+	// dead row.
+	durs := map[string][]int64{}
+	trc.EachDuration(func(name string, d int64) { durs[name] = append(durs[name], d) })
+	if len(durs["block"]) != 2 || durs["block"][0] != 50 || durs["block"][1] != 25 {
+		t.Errorf("EachDuration block durations = %v", durs["block"])
+	}
+	if len(durs["exec_run"]) != 1 {
+		t.Errorf("EachDuration exec_run durations = %v", durs["exec_run"])
+	}
+
+	// Export carries the materialized spans too.
+	exp := trc.Export()
+	if len(exp.Spans) != 3 {
+		t.Errorf("Export has %d spans", len(exp.Spans))
+	}
+}
+
+func TestBulkCompactOnNilTrace(t *testing.T) {
+	var trc *Trace
+	trc.BulkCompact(0, "block", []string{"w"}, []int64{0, 1, 2})
+	trc.EachDuration(func(string, int64) { t.Fatal("callback on nil trace") })
+	if trc.NumSpans() != 0 {
+		t.Fatal("NumSpans on nil trace")
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"commfree/internal/deps"
 	"commfree/internal/linalg"
 	"commfree/internal/loop"
+	"commfree/internal/obs"
 	"commfree/internal/rational"
 	"commfree/internal/redundant"
 	"commfree/internal/space"
@@ -320,7 +321,17 @@ type Result struct {
 
 // Compute runs the full partitioning pipeline on a validated nest.
 func Compute(nest *loop.Nest, strat Strategy) (*Result, error) {
+	return ComputeWithTrace(nest, strat, nil, 0)
+}
+
+// ComputeWithTrace is Compute with span instrumentation: the analysis
+// stages are recorded as "deps", "redundant", and "partition" spans
+// under the given parent. A nil trace costs nothing (obs handles are
+// inert), so this is the single implementation behind Compute.
+func ComputeWithTrace(nest *loop.Nest, strat Strategy, tr *obs.Trace, parent obs.SpanID) (*Result, error) {
+	sp := tr.Start(parent, "deps")
 	a, err := deps.Analyze(nest)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -330,12 +341,21 @@ func Compute(nest *loop.Nest, strat Strategy) (*Result, error) {
 		PerArray: map[string]*space.Space{},
 		Data:     map[string]*DataPartition{},
 	}
+	sp = tr.Start(parent, "redundant")
 	if strat.Minimal() {
 		res.Redundant, err = redundant.Eliminate(a)
 		if err != nil {
+			sp.End()
 			return nil, err
 		}
+		sp.SetInt("eliminated", int64(res.Redundant.NumRedundant()))
+	} else {
+		sp.SetInt("skipped", 1)
 	}
+	sp.End()
+
+	sp = tr.Start(parent, "partition")
+	defer sp.End()
 	n := nest.Depth()
 	psi := space.Zero(n)
 	for _, array := range nest.Arrays() {
@@ -375,7 +395,15 @@ func (r *Result) ParallelismDim() int {
 // case: Ψ′ = span({(0,1,0)} ∪ {(0,0,1)}) keeps array A distributed by
 // rows while B is replicated everywhere.
 func ComputeSelective(nest *loop.Nest, duplicated map[string]bool) (*Result, error) {
+	return ComputeSelectiveWithTrace(nest, duplicated, nil, 0)
+}
+
+// ComputeSelectiveWithTrace is ComputeSelective with span instrumentation
+// (see ComputeWithTrace).
+func ComputeSelectiveWithTrace(nest *loop.Nest, duplicated map[string]bool, tr *obs.Trace, parent obs.SpanID) (*Result, error) {
+	sp := tr.Start(parent, "deps")
 	a, err := deps.Analyze(nest)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -385,6 +413,11 @@ func ComputeSelective(nest *loop.Nest, duplicated map[string]bool) (*Result, err
 		PerArray: map[string]*space.Space{},
 		Data:     map[string]*DataPartition{},
 	}
+	sp = tr.Start(parent, "redundant")
+	sp.SetInt("skipped", 1)
+	sp.End()
+	sp = tr.Start(parent, "partition")
+	defer sp.End()
 	n := nest.Depth()
 	psi := space.Zero(n)
 	for _, array := range nest.Arrays() {

@@ -2,10 +2,14 @@ package service
 
 // HTTP front end: JSON in, JSON out.
 //
-//	POST /v1/compile  {source, strategy?, processors?} → CompileResponse
-//	POST /v1/execute  {source, strategy?, processors?} → ExecuteResponse
-//	GET  /v1/metrics  → metrics document (stages, counters, gauges, cache)
-//	GET  /healthz     → {"status":"ok"}
+//	POST /v1/compile     {source, strategy?, processors?} → CompileResponse
+//	POST /v1/execute     {source, strategy?, processors?} → ExecuteResponse
+//	GET  /v1/metrics     → metrics document (stages, counters, gauges, cache);
+//	                       ?format=prometheus renders text exposition 0.0.4
+//	GET  /v1/trace/{id}  → span tree of a recent request (JSON export;
+//	                       ?format=tree renders ASCII); bare /v1/trace/
+//	                       lists recent traces newest first
+//	GET  /healthz        → {"status":"ok"}
 //
 // Error responses are {"error": "..."} with 400 for malformed input,
 // 503 while draining, 504 on per-request timeout, and 500 otherwise.
@@ -14,7 +18,9 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
+	"strings"
 
 	"commfree/internal/machine"
 )
@@ -37,12 +43,65 @@ func (s *Service) Handler() http.Handler {
 			writeError(w, http.StatusMethodNotAllowed, errors.New("GET only"))
 			return
 		}
+		if r.URL.Query().Get("format") == "prometheus" {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			s.WritePrometheus(w)
+			return
+		}
 		writeJSON(w, http.StatusOK, s.MetricsDocument())
+	})
+	mux.HandleFunc("/v1/trace/", func(w http.ResponseWriter, r *http.Request) {
+		s.handleTrace(w, r)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	return mux
+}
+
+// TraceSummary is one entry of the GET /v1/trace/ listing.
+type TraceSummary struct {
+	TraceID     string `json:"trace_id"`
+	Name        string `json:"name"`
+	BeganUnixNS int64  `json:"began_unix_ns"`
+	Spans       int    `json:"spans"`
+}
+
+// handleTrace serves GET /v1/trace/{id} (the span tree of one recent
+// request) and GET /v1/trace/ (a listing of recent traces, newest
+// first). Traces fall out of the bounded ring as new requests land, so
+// a 404 means evicted or never existed.
+func (s *Service) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/v1/trace/")
+	if id == "" {
+		recent := s.traces.Recent(64)
+		out := make([]TraceSummary, 0, len(recent))
+		for _, trc := range recent {
+			out = append(out, TraceSummary{
+				TraceID:     trc.ID(),
+				Name:        trc.Name(),
+				BeganUnixNS: trc.Began().UnixNano(),
+				Spans:       trc.NumSpans(),
+			})
+		}
+		writeJSON(w, http.StatusOK, out)
+		return
+	}
+	trc := s.traces.Get(id)
+	if trc == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("trace %q not found (evicted or never existed)", id))
+		return
+	}
+	if r.URL.Query().Get("format") == "tree" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte(trc.Tree()))
+		return
+	}
+	writeJSON(w, http.StatusOK, trc.Export())
 }
 
 // MetricsDocument is the full /v1/metrics payload: the generic registry

@@ -10,6 +10,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"commfree/internal/obs"
 )
 
 // bucketBounds are the histogram upper bounds in seconds (the last
@@ -133,6 +135,18 @@ func (m *Metrics) Stage(name string) *Histogram {
 // Observe records a latency under the named stage.
 func (m *Metrics) Observe(stage string, d time.Duration) {
 	m.Stage(stage).Observe(d)
+}
+
+// ObserveTrace folds a finished request trace into the stage
+// histograms: every closed span contributes its duration under its span
+// name, so the span-tree vocabulary and the latency histograms stay
+// one and the same (parse, deps, redundant, partition, verify, codegen,
+// transform, assign, exec_compile, exec_run, distribute, block,
+// exec_validate). Nil traces and still-open spans are skipped.
+func (m *Metrics) ObserveTrace(trc *obs.Trace) {
+	trc.EachDuration(func(name string, durNS int64) {
+		m.Observe(name, time.Duration(durNS))
+	})
 }
 
 // Time runs fn and records its wall-clock duration under the stage.

@@ -1,0 +1,110 @@
+package service
+
+// Prometheus text-exposition rendering of the metrics registry
+// (format 0.0.4), served on GET /v1/metrics?format=prometheus:
+//
+//	commfree_uptime_seconds                      gauge
+//	commfree_<counter>_total                     counter
+//	commfree_<gauge>                             gauge
+//	commfree_cache_{hits,misses,evictions}_total counter
+//	commfree_cache_{entries,bytes}               gauge
+//	commfree_stage_duration_seconds{stage=...}   histogram
+//
+// Histogram buckets are rendered cumulatively over the full bound list
+// (the JSON snapshot elides empty buckets; Prometheus requires every
+// le, monotone, ending in +Inf).
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the current metrics in Prometheus text
+// exposition format 0.0.4.
+func (s *Service) WritePrometheus(w io.Writer) {
+	doc := s.MetricsDocument()
+
+	fmt.Fprintf(w, "# HELP commfree_uptime_seconds Time since the service started.\n")
+	fmt.Fprintf(w, "# TYPE commfree_uptime_seconds gauge\n")
+	fmt.Fprintf(w, "commfree_uptime_seconds %s\n", promFloat(doc.UptimeS))
+
+	for _, name := range sortedKeys(doc.Counters) {
+		mn := "commfree_" + promName(name) + "_total"
+		fmt.Fprintf(w, "# TYPE %s counter\n", mn)
+		fmt.Fprintf(w, "%s %d\n", mn, doc.Counters[name])
+	}
+	for _, name := range sortedKeys(doc.Gauges) {
+		mn := "commfree_" + promName(name)
+		fmt.Fprintf(w, "# TYPE %s gauge\n", mn)
+		fmt.Fprintf(w, "%s %d\n", mn, doc.Gauges[name])
+	}
+
+	for _, kv := range []struct {
+		name string
+		v    int64
+		kind string
+	}{
+		{"cache_hits_total", doc.Cache.Hits, "counter"},
+		{"cache_misses_total", doc.Cache.Misses, "counter"},
+		{"cache_evictions_total", doc.Cache.Evictions, "counter"},
+		{"cache_entries", int64(doc.Cache.Entries), "gauge"},
+		{"cache_bytes", doc.Cache.Bytes, "gauge"},
+	} {
+		mn := "commfree_" + kv.name
+		fmt.Fprintf(w, "# TYPE %s %s\n", mn, kv.kind)
+		fmt.Fprintf(w, "%s %d\n", mn, kv.v)
+	}
+
+	if len(doc.Stages) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "# HELP commfree_stage_duration_seconds Pipeline stage latency.\n")
+	fmt.Fprintf(w, "# TYPE commfree_stage_duration_seconds histogram\n")
+	for _, stage := range sortedKeys(doc.Stages) {
+		h := doc.Stages[stage]
+		// Re-accumulate the elided snapshot buckets cumulatively over
+		// the canonical bound list.
+		var cum int64
+		j := 0
+		for _, le := range bucketBounds {
+			if j < len(h.Buckets) && !h.Buckets[j].Inf && h.Buckets[j].LE == le {
+				cum += h.Buckets[j].Count
+				j++
+			}
+			fmt.Fprintf(w, "commfree_stage_duration_seconds_bucket{stage=%q,le=%q} %d\n",
+				stage, promFloat(le), cum)
+		}
+		fmt.Fprintf(w, "commfree_stage_duration_seconds_bucket{stage=%q,le=\"+Inf\"} %d\n", stage, h.Count)
+		fmt.Fprintf(w, "commfree_stage_duration_seconds_sum{stage=%q} %s\n", stage, promFloat(h.SumS))
+		fmt.Fprintf(w, "commfree_stage_duration_seconds_count{stage=%q} %d\n", stage, h.Count)
+	}
+}
+
+// promName maps a registry name to the Prometheus identifier charset
+// [a-zA-Z0-9_:].
+func promName(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == ':':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+}
+
+func promFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

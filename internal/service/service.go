@@ -30,6 +30,7 @@ import (
 	"commfree/internal/lang"
 	"commfree/internal/loop"
 	"commfree/internal/machine"
+	"commfree/internal/obs"
 	"commfree/internal/partition"
 	"commfree/internal/selector"
 	"commfree/internal/transform"
@@ -63,6 +64,9 @@ type Config struct {
 	// falling back to the map-based oracle when a nest exceeds the
 	// compile caps; "oracle" forces the map-based interpreter.
 	Engine string
+	// TraceRing bounds the ring of recent request traces behind
+	// GET /v1/trace/{id} (default 256 traces).
+	TraceRing int
 }
 
 func (c Config) withDefaults() Config {
@@ -95,6 +99,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Engine != "oracle" {
 		c.Engine = "compiled"
+	}
+	if c.TraceRing <= 0 {
+		c.TraceRing = 256
 	}
 	return c
 }
@@ -154,6 +161,9 @@ type CompileResponse struct {
 	Cached bool `json:"cached"`
 	// ElapsedS is the service-side wall time for this request.
 	ElapsedS float64 `json:"elapsed_s"`
+	// TraceID names this request's span tree; retrieve it with
+	// GET /v1/trace/{id} while it remains in the trace ring.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // ExecuteRequest is the input of POST /v1/execute.
@@ -186,6 +196,9 @@ type ExecuteResponse struct {
 	Elements   int  `json:"elements"`
 	// ElapsedS is the service-side wall time for this request.
 	ElapsedS float64 `json:"elapsed_s"`
+	// TraceID names this request's span tree; retrieve it with
+	// GET /v1/trace/{id} while it remains in the trace ring.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // compiled holds the live pipeline artifacts behind a cached plan,
@@ -224,6 +237,7 @@ type Service struct {
 	cache   *planCache
 	pool    *pool
 	metrics *Metrics
+	traces  *obs.Ring
 
 	flightMu sync.Mutex
 	flights  map[string]*flight
@@ -237,6 +251,7 @@ func New(cfg Config) *Service {
 		cache:   newPlanCache(cfg.CacheEntries, cfg.CacheBytes),
 		pool:    newPool(cfg.Workers, cfg.QueueDepth),
 		metrics: NewMetrics(),
+		traces:  obs.NewRing(cfg.TraceRing),
 		flights: map[string]*flight{},
 	}
 	s.metrics.Gauge("queue_depth", func() int64 { return int64(s.pool.queueDepth()) })
@@ -254,6 +269,9 @@ func New(cfg Config) *Service {
 
 // Metrics exposes the registry (for tests and the HTTP layer).
 func (s *Service) Metrics() *Metrics { return s.metrics }
+
+// Traces exposes the recent-trace ring (for tests and the HTTP layer).
+func (s *Service) Traces() *obs.Ring { return s.traces }
 
 // CacheStats exposes the cache counters.
 func (s *Service) CacheStats() CacheStats { return s.cache.stats() }
@@ -301,7 +319,12 @@ func (s *Service) validate(req *CompileRequest) error {
 func (s *Service) Compile(ctx context.Context, req CompileRequest) (*CompileResponse, error) {
 	start := time.Now()
 	s.metrics.Inc("compile_requests", 1)
-	entry, cached, err := s.compileEntry(ctx, req)
+	trc := obs.New("compile")
+	defer func() {
+		s.traces.Add(trc)
+		s.metrics.ObserveTrace(trc)
+	}()
+	entry, cached, err := s.compileEntry(ctx, req, trc)
 	if err != nil {
 		s.metrics.Inc("errors", 1)
 		return nil, err
@@ -310,11 +333,15 @@ func (s *Service) Compile(ctx context.Context, req CompileRequest) (*CompileResp
 		Plan:     entry.plan,
 		Cached:   cached,
 		ElapsedS: time.Since(start).Seconds(),
+		TraceID:  trc.ID(),
 	}, nil
 }
 
-// compileEntry is the shared compile-through-cache path.
-func (s *Service) compileEntry(ctx context.Context, req CompileRequest) (e *cacheEntry, cached bool, err error) {
+// compileEntry is the shared compile-through-cache path. Pipeline spans
+// land in trc; on a cache hit (or a piggy-backed flight) the trace holds
+// only the parse span — the cold path's spans belong to the leader's
+// request.
+func (s *Service) compileEntry(ctx context.Context, req CompileRequest, trc *obs.Trace) (e *cacheEntry, cached bool, err error) {
 	if err := s.validate(&req); err != nil {
 		return nil, false, err
 	}
@@ -327,9 +354,10 @@ func (s *Service) compileEntry(ctx context.Context, req CompileRequest) (e *cach
 
 	// Stage: parse (cheap; runs on the caller so the cache fast path
 	// never touches the pool).
-	t0 := time.Now()
+	psp := trc.Start(0, "parse")
+	psp.SetInt("bytes", int64(len(req.Source)))
 	nest, err := lang.Parse(req.Source)
-	s.metrics.Observe("parse", time.Since(t0))
+	psp.End()
 	if err != nil {
 		return nil, false, &BadRequestError{Err: err}
 	}
@@ -377,7 +405,7 @@ func (s *Service) compileEntry(ctx context.Context, req CompileRequest) (e *cach
 	}
 
 	v, err := s.pool.submit(ctx, func(ctx context.Context) (any, error) {
-		return s.compile(ctx, key, nest, strat, auto, req.Processors)
+		return s.compile(ctx, key, nest, strat, auto, req.Processors, trc)
 	})
 	if err == nil {
 		e = v.(*cacheEntry)
@@ -392,8 +420,9 @@ func (s *Service) compileEntry(ctx context.Context, req CompileRequest) (e *cach
 }
 
 // compile runs the partition→select→codegen pipeline (on a pool
-// worker) and builds the cache entry.
-func (s *Service) compile(ctx context.Context, key string, nest *loop.Nest, strat partition.Strategy, auto bool, procs int) (*cacheEntry, error) {
+// worker) and builds the cache entry. Stage spans land in trc; the
+// stage histograms are folded in from the spans at request end.
+func (s *Service) compile(ctx context.Context, key string, nest *loop.Nest, strat partition.Strategy, auto bool, procs int, trc *obs.Trace) (*cacheEntry, error) {
 	// Compile the canonical nest, so cached plans are identical for all
 	// α-equivalent spellings of the program.
 	canonSrc := lang.Canonical(nest)
@@ -403,9 +432,10 @@ func (s *Service) compile(ctx context.Context, key string, nest *loop.Nest, stra
 	}
 
 	// Stage: selection — price every allocation alternative.
-	t0 := time.Now()
+	ssp := trc.Start(0, "selection")
 	best, ranking, err := selector.Best(cn, procs, s.cfg.Cost)
-	s.metrics.Observe("selection", time.Since(t0))
+	ssp.SetInt("candidates", int64(len(ranking)))
+	ssp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -413,9 +443,9 @@ func (s *Service) compile(ctx context.Context, key string, nest *loop.Nest, stra
 		return nil, err
 	}
 
-	// Stage: partition under the chosen strategy (Theorems 1–4, or the
-	// selector's winner — possibly a selective subset — under "auto").
-	t0 = time.Now()
+	// Stages: deps → redundant → partition, under the chosen strategy
+	// (Theorems 1–4, or the selector's winner — possibly a selective
+	// subset — under "auto"). The partition package emits the spans.
 	var res *partition.Result
 	var predicted *selector.Candidate
 	if auto {
@@ -424,13 +454,13 @@ func (s *Service) compile(ctx context.Context, key string, nest *loop.Nest, stra
 			for _, a := range best.Duplicated {
 				dup[a] = true
 			}
-			res, err = partition.ComputeSelective(cn, dup)
+			res, err = partition.ComputeSelectiveWithTrace(cn, dup, trc, 0)
 		} else {
-			res, err = partition.Compute(cn, best.Strategy)
+			res, err = partition.ComputeWithTrace(cn, best.Strategy, trc, 0)
 		}
 		predicted = &best
 	} else {
-		res, err = partition.Compute(cn, strat)
+		res, err = partition.ComputeWithTrace(cn, strat, trc, 0)
 		for i := range ranking {
 			if ranking[i].Label == strat.String() {
 				predicted = &ranking[i]
@@ -439,9 +469,10 @@ func (s *Service) compile(ctx context.Context, key string, nest *loop.Nest, stra
 		}
 	}
 	if err == nil {
+		vsp := trc.Start(0, "verify")
 		err = res.Verify()
+		vsp.End()
 	}
-	s.metrics.Observe("partition", time.Since(t0))
 	if err != nil {
 		return nil, err
 	}
@@ -451,15 +482,20 @@ func (s *Service) compile(ctx context.Context, key string, nest *loop.Nest, stra
 
 	// Stage: codegen — forall transformation, processor assignment, and
 	// the standalone SPMD Go program.
-	t0 = time.Now()
+	csp := trc.Start(0, "codegen")
+	tsp := trc.Start(csp.ID(), "transform")
 	tr, err := transform.Transform(cn, res.Psi)
+	tsp.End()
 	var asg *assign.Assignment
 	var spmd string
 	if err == nil {
+		asp := trc.Start(csp.ID(), "assign")
 		asg = assign.Assign(tr, procs)
+		asp.SetInt("processors", int64(asg.NumProcessors()))
+		asp.End()
 		spmd, err = codegen.Generate(tr, asg, codegen.Options{})
 	}
-	s.metrics.Observe("codegen", time.Since(t0))
+	csp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -494,7 +530,12 @@ func (s *Service) compile(ctx context.Context, key string, nest *loop.Nest, stra
 func (s *Service) Execute(ctx context.Context, req ExecuteRequest) (*ExecuteResponse, error) {
 	start := time.Now()
 	s.metrics.Inc("execute_requests", 1)
-	entry, cached, err := s.compileEntry(ctx, req)
+	trc := obs.New("execute")
+	defer func() {
+		s.traces.Add(trc)
+		s.metrics.ObserveTrace(trc)
+	}()
+	entry, cached, err := s.compileEntry(ctx, req, trc)
 	if err != nil {
 		s.metrics.Inc("errors", 1)
 		return nil, err
@@ -521,9 +562,9 @@ func (s *Service) Execute(ctx context.Context, req ExecuteRequest) (*ExecuteResp
 		engine := s.cfg.Engine
 		var prog *exec.Program
 		if engine == "compiled" {
-			tc := time.Now()
+			csp := trc.Start(0, "exec_compile")
 			p, cerr := entry.comp.program()
-			s.metrics.Observe("exec_compile", time.Since(tc))
+			csp.End()
 			if cerr != nil {
 				s.metrics.Inc("exec_compile_fallbacks", 1)
 				engine = "oracle"
@@ -532,16 +573,19 @@ func (s *Service) Execute(ctx context.Context, req ExecuteRequest) (*ExecuteResp
 			}
 		}
 
-		// Stage: exec_run — the simulated parallel execution.
-		tr := time.Now()
+		// Stage: exec_run — the simulated parallel execution. The
+		// engine hangs per-block child spans (worker, block, words)
+		// plus a "distribute" span under this one.
+		rsp := trc.Start(0, "exec_run")
+		rsp.SetStr("engine", engine)
 		var rep *exec.Report
 		var err error
 		if prog != nil {
-			rep, err = prog.ParallelBudget(entry.comp.res, req.Processors, s.cfg.Cost, budget)
+			rep, err = prog.ParallelTraced(entry.comp.res, req.Processors, s.cfg.Cost, budget, trc, rsp.ID())
 		} else {
-			rep, err = exec.ParallelBudget(entry.comp.res, req.Processors, s.cfg.Cost, budget)
+			rep, err = exec.ParallelTraced(entry.comp.res, req.Processors, s.cfg.Cost, budget, trc, rsp.ID())
 		}
-		s.metrics.Observe("exec_run", time.Since(tr))
+		rsp.End()
 		if err != nil {
 			return nil, err
 		}
@@ -551,7 +595,7 @@ func (s *Service) Execute(ctx context.Context, req ExecuteRequest) (*ExecuteResp
 		// sequential reference. The compiled program's pruned sequential
 		// path is the same final state by Section III.C (proven by the
 		// differential tests).
-		tv := time.Now()
+		vsp := trc.Start(0, "exec_validate")
 		var want map[string]float64
 		if prog != nil {
 			want = prog.Sequential()
@@ -564,7 +608,9 @@ func (s *Service) Execute(ctx context.Context, req ExecuteRequest) (*ExecuteResp
 				mismatches++
 			}
 		}
-		s.metrics.Observe("exec_validate", time.Since(tv))
+		vsp.SetInt("elements", int64(len(want)))
+		vsp.SetInt("mismatches", int64(mismatches))
+		vsp.End()
 		return &ExecuteResponse{
 			Strategy:          entry.plan.Strategy,
 			Processors:        req.Processors,
@@ -587,5 +633,6 @@ func (s *Service) Execute(ctx context.Context, req ExecuteRequest) (*ExecuteResp
 	}
 	resp := v.(*ExecuteResponse)
 	resp.ElapsedS = time.Since(start).Seconds()
+	resp.TraceID = trc.ID()
 	return resp, nil
 }
