@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	commfree -file loop.cf [-strategy duplicate] [-p 16] [-exec] [-compare-baseline] [-trace]
+//	commfree -file loop.cf [-strategy duplicate] [-p 16] [-exec] [-chaos-seed 7] [-compare-baseline] [-trace]
 //
 // -trace prints the pipeline's span tree (parse → deps → redundant →
 // partition → transform → assign, plus per-block execution spans under
@@ -34,14 +34,15 @@ end
 
 func main() {
 	var (
-		file     = flag.String("file", "", "loop DSL source file (default: built-in demo L1)")
-		strategy = flag.String("strategy", "non-duplicate", "partitioning strategy: non-duplicate | duplicate | minimal-non-duplicate | minimal-duplicate")
-		procs    = flag.Int("p", 4, "number of processors")
-		execute  = flag.Bool("exec", false, "execute on the simulated multicomputer and validate against sequential execution")
-		compare  = flag.Bool("compare-baseline", false, "also run the Ramanujam–Sadayappan hyperplane baseline")
-		emit     = flag.String("emit", "", "write a standalone Go SPMD program implementing the compiled loop to this path ('-' for stdout)")
-		auto     = flag.Bool("auto", false, "rank all allocation strategies by simulated cost and compile the best one (overrides -strategy)")
-		trace    = flag.Bool("trace", false, "print the pipeline span tree (stage timings, per-block execution spans under -exec)")
+		file      = flag.String("file", "", "loop DSL source file (default: built-in demo L1)")
+		strategy  = flag.String("strategy", "non-duplicate", "partitioning strategy: non-duplicate | duplicate | minimal-non-duplicate | minimal-duplicate")
+		procs     = flag.Int("p", 4, "number of processors")
+		execute   = flag.Bool("exec", false, "execute on the simulated multicomputer and validate against sequential execution")
+		compare   = flag.Bool("compare-baseline", false, "also run the Ramanujam–Sadayappan hyperplane baseline")
+		emit      = flag.String("emit", "", "write a standalone Go SPMD program implementing the compiled loop to this path ('-' for stdout)")
+		auto      = flag.Bool("auto", false, "rank all allocation strategies by simulated cost and compile the best one (overrides -strategy)")
+		trace     = flag.Bool("trace", false, "print the pipeline span tree (stage timings, per-block execution spans under -exec)")
+		chaosSeed = flag.Int64("chaos-seed", 0, "with -exec: inject a deterministic fault schedule derived from this seed (block crashes, message loss, slow nodes) and prove recovery is bit-identical; 0 disables")
 	)
 	flag.Parse()
 
@@ -128,7 +129,13 @@ func main() {
 	}
 
 	if *execute {
-		rep, err := comp.ExecuteTraced(commfree.TransputerCost(), trc)
+		var rep *commfree.ExecutionReport
+		var err error
+		if *chaosSeed != 0 {
+			rep, err = comp.ExecuteChaos(commfree.TransputerCost(), trc, *chaosSeed)
+		} else {
+			rep, err = comp.ExecuteTraced(commfree.TransputerCost(), trc)
+		}
 		if err != nil {
 			fatal(err)
 		}
@@ -144,6 +151,10 @@ func main() {
 			len(rep.IterationsPerNode), rep.Machine.InterNodeMessages())
 		fmt.Printf("distribution %.6fs + compute %.6fs = %.6fs simulated\n",
 			rep.Machine.DistributionTime(), rep.Machine.ComputeTime(), rep.Machine.Elapsed())
+		if *chaosSeed != 0 {
+			fmt.Printf("chaos: seed %d injected %d faults (%d post-commit), %d block retries, %d message resends\n",
+				*chaosSeed, rep.Chaos.Faults, rep.Chaos.PostCommit, rep.Chaos.Retries, rep.Chaos.MsgResends)
+		}
 		if mismatches == 0 {
 			fmt.Printf("result: identical to sequential execution (%d elements)\n", len(want))
 		} else {

@@ -11,7 +11,13 @@
 //
 //	commfreed [-addr :8377] [-workers 8] [-queue 128] [-cache 256]
 //	          [-timeout 30s] [-max-iterations 4194304] [-engine compiled]
-//	          [-trace-ring 256] [-debug]
+//	          [-trace-ring 256] [-chaos-seed 0] [-debug]
+//
+// -chaos-seed enables service-wide deterministic fault injection: every
+// execution runs under a seeded failure schedule (block crashes with
+// checkpointed retry, message loss, slow nodes) and must still validate
+// bit-identically; requests may override the seed per call with
+// "chaos_seed". 0 disables injection (the default).
 //
 // -debug additionally mounts net/http/pprof under /debug/pprof/ for
 // live profiling (off by default: the profile endpoints expose stack
@@ -56,6 +62,7 @@ func run() error {
 		engine    = flag.String("engine", "compiled", "execution engine: compiled (dense, parallel) or oracle (map-based reference)")
 		drainFor  = flag.Duration("drain", 60*time.Second, "graceful-shutdown drain limit")
 		traceRing = flag.Int("trace-ring", 256, "recent request traces kept for GET /v1/trace/{id}")
+		chaosSeed = flag.Int64("chaos-seed", 0, "inject deterministic faults into every execution from this seed (0 disables); requests may override with \"chaos_seed\"")
 		debug     = flag.Bool("debug", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
@@ -68,6 +75,7 @@ func run() error {
 		MaxIterations:  *maxIter,
 		Engine:         *engine,
 		TraceRing:      *traceRing,
+		ChaosSeed:      *chaosSeed,
 	})
 	handler := svc.Handler()
 	if *debug {

@@ -34,6 +34,7 @@ import (
 
 	"commfree/internal/assign"
 	"commfree/internal/baseline"
+	"commfree/internal/chaos"
 	"commfree/internal/codegen"
 	"commfree/internal/deps"
 	"commfree/internal/distplan"
@@ -89,6 +90,9 @@ type (
 	CostModel = machine.CostModel
 	// ExecutionReport is the result of simulated parallel execution.
 	ExecutionReport = exec.Report
+	// ChaosStats counts the faults a seeded chaos schedule injected and
+	// the retries that absorbed them (ExecutionReport.Chaos).
+	ChaosStats = chaos.Stats
 	// DependenceAnalysis is the per-array dependence information.
 	DependenceAnalysis = deps.Analysis
 	// RedundancyResult is the outcome of Section III.C elimination.
@@ -302,8 +306,24 @@ func (c *Compilation) Execute(cost CostModel) (*ExecutionReport, error) {
 // the distribution charge and one span per executed block (worker,
 // node, block id, iterations, words moved).
 func (c *Compilation) ExecuteTraced(cost CostModel, trc *Trace) (*ExecutionReport, error) {
+	return c.executeOpts(cost, trc, nil)
+}
+
+// ExecuteChaos is ExecuteTraced under a deterministic fault-injection
+// schedule derived from seed (see internal/chaos): blocks crash and are
+// retried from checkpoints, distribution messages are lost and resent,
+// nodes run slow — and the result must still be bit-identical to the
+// fault-free run, because blocks have disjoint footprints (or private
+// copies) and are therefore independently re-executable. The injected
+// faults and retries are reported in ExecutionReport.Chaos.
+func (c *Compilation) ExecuteChaos(cost CostModel, trc *Trace, seed int64) (*ExecutionReport, error) {
+	return c.executeOpts(cost, trc, chaos.Default(seed))
+}
+
+func (c *Compilation) executeOpts(cost CostModel, trc *Trace, inj *chaos.Injector) (*ExecutionReport, error) {
 	rsp := trc.Start(0, "exec_run")
-	rep, err := exec.ParallelTraced(c.Partition, c.Processors, cost, nil, trc, rsp.ID())
+	rep, err := exec.ParallelOpts(c.Partition, c.Processors, cost,
+		exec.Options{Trace: trc, Parent: rsp.ID(), Chaos: inj})
 	rsp.End()
 	if err != nil {
 		return nil, err

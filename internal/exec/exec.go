@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"commfree/internal/assign"
+	"commfree/internal/chaos"
 	"commfree/internal/loop"
 	"commfree/internal/machine"
 	"commfree/internal/obs"
@@ -76,6 +77,9 @@ type Report struct {
 	Final map[string]float64
 	// IterationsPerNode is the per-node workload.
 	IterationsPerNode []int64
+	// Chaos snapshots the injector's cumulative fault/retry counters at
+	// the end of the run (zero when no injector was attached).
+	Chaos chaos.Stats
 }
 
 // BlockKey namespaces an element key with the block that owns the copy.
@@ -103,7 +107,7 @@ func Parallel(res *partition.Result, p int, cost machine.CostModel) (*Report, er
 // (machine.ErrBudgetExhausted or the context's error) once it is
 // exceeded. A nil budget is unlimited.
 func ParallelBudget(res *partition.Result, p int, cost machine.CostModel, budget *machine.Budget) (*Report, error) {
-	return ParallelTraced(res, p, cost, budget, nil, 0)
+	return ParallelOpts(res, p, cost, Options{Budget: budget})
 }
 
 // ParallelTraced is ParallelBudget with span instrumentation matching
@@ -112,7 +116,18 @@ func ParallelBudget(res *partition.Result, p int, cost machine.CostModel, budget
 // (worker, node, block id, iteration count, words moved) under the
 // given parent. A nil trace costs nothing.
 func ParallelTraced(res *partition.Result, p int, cost machine.CostModel, budget *machine.Budget, trc *obs.Trace, parent obs.SpanID) (*Report, error) {
+	return ParallelOpts(res, p, cost, Options{Budget: budget, Trace: trc, Parent: parent})
+}
+
+// ParallelOpts is the oracle scheduler under the full option set —
+// budget, tracing, and chaos injection. Under chaos, every block is an
+// atomic recovery unit: a deterministic failure schedule crashes
+// blocks mid-compute or post-commit, and the executor retries each at
+// block granularity from a checkpoint of its write footprint, which is
+// sound precisely because communication-free blocks never share cells.
+func ParallelOpts(res *partition.Result, p int, cost machine.CostModel, opts Options) (*Report, error) {
 	nest := res.Analysis.Nest
+	budget, trc, parent, inj := opts.Budget, opts.Trace, opts.Parent, opts.Chaos
 	tr, err := transform.Transform(nest, res.Psi)
 	if err != nil {
 		return nil, err
@@ -125,6 +140,9 @@ func ParallelTraced(res *partition.Result, p int, cost machine.CostModel, budget
 	}
 	mach := machine.New(topo, cost)
 	mach.EnableTrace()
+	if inj != nil {
+		mach.SetFaultInjector(inj)
+	}
 
 	// Per-node block lists. The forall point is constant across a block
 	// (the transformation projects Ψ out), so one OwnerID lookup per
@@ -196,25 +214,11 @@ func ParallelTraced(res *partition.Result, p int, cost machine.CostModel, budget
 			last = bt.tr.Since()
 		}
 		for _, b := range perNode[n.ID] {
-			for _, it := range b.Iterations {
-				if err := budget.Spend(1); err != nil {
-					return err
-				}
-				for si, st := range nest.Body {
-					if red != nil && red.IsRedundant(si, it) {
-						continue
-					}
-					vals := make([]float64, len(st.Reads))
-					for ri, r := range st.Reads {
-						v, err := n.Read(BlockKey(b.ID, Key(r.Array, r.Index(it))))
-						if err != nil {
-							return err
-						}
-						vals[ri] = v
-					}
-					n.Write(BlockKey(b.ID, Key(st.Write.Array, st.Write.Index(it))), st.EvalExpr(it, vals))
-				}
-				n.CountIteration()
+			if err := runOracleBlock(nest, red, n, b, budget, inj, opts.maxRetries()); err != nil {
+				return err
+			}
+			if d := inj.NodeDelayS(n.ID); d > 0 {
+				mach.AddComputeSeconds(d)
 			}
 			if bt != nil {
 				now := bt.tr.Since()
@@ -263,7 +267,109 @@ func ParallelTraced(res *partition.Result, p int, cost machine.CostModel, budget
 	for id := 0; id < used; id++ {
 		rep.IterationsPerNode = append(rep.IterationsPerNode, mach.Node(id).Stats().Iterations)
 	}
+	if inj != nil {
+		rep.Chaos = inj.Stats()
+	}
 	return rep, nil
+}
+
+// runOracleBlock executes one block on its node. With no injector it is
+// a single pass over the block's iterations; under chaos it becomes a
+// bounded retry loop around the same pass, with a checkpoint of the
+// block's write-set image taken up front so a crashed attempt's partial
+// writes can be rolled back before the re-run.
+func runOracleBlock(nest *loop.Nest, red *redundant.Result, n *machine.Node, b *partition.Block, budget *machine.Budget, inj *chaos.Injector, maxRetries int) error {
+	run := func(count int64) error {
+		for _, it := range b.Iterations[:count] {
+			if err := budget.Spend(1); err != nil {
+				return err
+			}
+			for si, st := range nest.Body {
+				if red != nil && red.IsRedundant(si, it) {
+					continue
+				}
+				vals := make([]float64, len(st.Reads))
+				for ri, r := range st.Reads {
+					v, err := n.Read(BlockKey(b.ID, Key(r.Array, r.Index(it))))
+					if err != nil {
+						return err
+					}
+					vals[ri] = v
+				}
+				n.Write(BlockKey(b.ID, Key(st.Write.Array, st.Write.Index(it))), st.EvalExpr(it, vals))
+			}
+			n.CountIteration()
+		}
+		return nil
+	}
+	if inj == nil {
+		return run(int64(len(b.Iterations)))
+	}
+
+	// Checkpoint: the pre-execution image of the block's write set.
+	// Restoring it in reverse makes a crashed attempt invisible; keys
+	// absent before the block are left holding stale partial values, but
+	// those are write-only (every read key is preloaded at distribution
+	// time), so the eventual successful pass overwrites them before
+	// gather ever looks.
+	type cpEntry struct {
+		key     string
+		val     float64
+		existed bool
+	}
+	var cps []cpEntry
+	seen := map[string]bool{}
+	for _, it := range b.Iterations {
+		for si, st := range nest.Body {
+			if red != nil && red.IsRedundant(si, it) {
+				continue
+			}
+			k := BlockKey(b.ID, Key(st.Write.Array, st.Write.Index(it)))
+			if !seen[k] {
+				seen[k] = true
+				v, ok := n.Value(k)
+				cps = append(cps, cpEntry{k, v, ok})
+			}
+		}
+	}
+
+	done := false
+	for attempt := 0; ; attempt++ {
+		fail, post := inj.BlockFault(b.ID, attempt)
+		if !fail {
+			if !done {
+				return run(int64(len(b.Iterations)))
+			}
+			return nil
+		}
+		switch {
+		case done:
+			// Crash while recovering an already-committed block: the
+			// completion record makes the retry a no-op.
+		case post:
+			// Crash after the commit point: the work is durable; mark it
+			// so later attempts skip instead of double-executing.
+			if err := run(int64(len(b.Iterations))); err != nil {
+				return err
+			}
+			done = true
+		default:
+			// Mid-compute crash: a deterministic prefix of the block
+			// runs, then the checkpoint rolls its writes back.
+			if err := run(inj.Cut(b.ID, attempt, int64(len(b.Iterations)))); err != nil {
+				return err
+			}
+			for i := len(cps) - 1; i >= 0; i-- {
+				if cps[i].existed {
+					n.Write(cps[i].key, cps[i].val)
+				}
+			}
+		}
+		inj.CountRetry()
+		if attempt+1 > maxRetries {
+			return &chaos.FaultError{Node: n.ID, Block: b.ID, Attempt: attempt}
+		}
+	}
 }
 
 // Equal compares two array states and returns the first difference.

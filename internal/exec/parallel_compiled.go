@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"commfree/internal/assign"
+	"commfree/internal/chaos"
 	"commfree/internal/machine"
 	"commfree/internal/obs"
 	"commfree/internal/partition"
@@ -117,7 +118,7 @@ func (bt *blockTrace) publish() {
 // whole-block steps (the oracle spends per iteration), so a run can
 // overshoot the cap by at most the largest block before aborting.
 func (prog *Program) ParallelBudget(res *partition.Result, p int, cost machine.CostModel, budget *machine.Budget) (*Report, error) {
-	return prog.ParallelTraced(res, p, cost, budget, nil, 0)
+	return prog.ParallelOpts(res, p, cost, Options{Budget: budget})
 }
 
 // ParallelTraced is ParallelBudget with span instrumentation: a
@@ -126,6 +127,18 @@ func (prog *Program) ParallelBudget(res *partition.Result, p int, cost machine.C
 // iteration count, words moved) under the given parent. A nil trace is
 // free: the block hot loop does not touch the clock or the trace.
 func (prog *Program) ParallelTraced(res *partition.Result, p int, cost machine.CostModel, budget *machine.Budget, trc *obs.Trace, parent obs.SpanID) (*Report, error) {
+	return prog.ParallelOpts(res, p, cost, Options{Budget: budget, Trace: trc, Parent: parent})
+}
+
+// ParallelOpts is the compiled scheduler under the full option set —
+// budget, tracing, and chaos injection. Under chaos the per-block
+// retry/checkpoint machinery of Options applies: disjoint partitions
+// roll crashed attempts back through an undo log over the shared
+// buffer (sound because footprints never overlap), duplicate
+// partitions simply reset the worker's private buffer without
+// committing.
+func (prog *Program) ParallelOpts(res *partition.Result, p int, cost machine.CostModel, opts Options) (*Report, error) {
+	trc, parent, inj := opts.Trace, opts.Parent, opts.Chaos
 	if res.Analysis.Nest != prog.Nest {
 		return nil, fmt.Errorf("exec: partition was computed from a different nest than the program")
 	}
@@ -145,6 +158,9 @@ func (prog *Program) ParallelTraced(res *partition.Result, p int, cost machine.C
 	}
 	mach := machine.New(topo, cost)
 	mach.EnableTrace()
+	if inj != nil {
+		mach.SetFaultInjector(inj)
+	}
 
 	st, err := prog.prepass(res, tr, asg, used)
 	if err != nil {
@@ -180,9 +196,9 @@ func (prog *Program) ParallelTraced(res *partition.Result, p int, cost machine.C
 	}
 	bt := newBlockTrace(trc, parent, len(blocks))
 	if res.AllowsDuplication() {
-		err = prog.runDuplicate(mach, blocks, st, budget, workers, bt)
+		err = prog.runDuplicate(mach, blocks, st, workers, bt, opts)
 	} else {
-		err = prog.runDisjoint(mach, blocks, st, budget, workers, bt)
+		err = prog.runDisjoint(mach, blocks, st, workers, bt, opts)
 	}
 	if err != nil {
 		return nil, err
@@ -197,6 +213,9 @@ func (prog *Program) ParallelTraced(res *partition.Result, p int, cost machine.C
 	}
 	for id := 0; id < used; id++ {
 		rep.IterationsPerNode = append(rep.IterationsPerNode, mach.Node(id).Stats().Iterations)
+	}
+	if inj != nil {
+		rep.Chaos = inj.Stats()
 	}
 	return rep, nil
 }
@@ -296,34 +315,125 @@ func newInt32s(n int64, fill int32) []int32 {
 	return s
 }
 
+// chaosRetryBlock drives the bounded retry loop for one block of the
+// compiled engine. Each attempt's fate comes from the injector's pure
+// schedule; the engine-specific hooks do the actual work:
+//
+//	run(count, logUndo) — execute the first count iterations,
+//	                      recording undo state when logUndo is set
+//	commit()            — make a completed attempt durable
+//	restore()           — roll a crashed partial attempt back
+//
+// A completed attempt whose crash lands post-commit sets a completion
+// marker, so recovery replays are no-ops (commits are exactly-once).
+// Budget is spent per attempt — retries are real work.
+func chaosRetryBlock(inj *chaos.Injector, node, blockID, maxRetries int, iters int64, budget *machine.Budget, run func(count int64, logUndo bool), commit, restore func()) error {
+	done := false
+	for attempt := 0; ; attempt++ {
+		fail, post := inj.BlockFault(blockID, attempt)
+		if !fail {
+			if !done {
+				if err := budget.Spend(iters); err != nil {
+					return err
+				}
+				run(iters, false)
+				commit()
+			}
+			return nil
+		}
+		switch {
+		case done:
+			// Crash while recovering an already-committed block: the
+			// completion marker makes the retry a no-op.
+		case post:
+			// Crash after the commit point: the work is durable.
+			if err := budget.Spend(iters); err != nil {
+				return err
+			}
+			run(iters, false)
+			commit()
+			done = true
+		default:
+			// Mid-compute crash: a deterministic prefix runs, then the
+			// engine rolls its writes back.
+			cut := inj.Cut(blockID, attempt, iters)
+			if err := budget.Spend(cut); err != nil {
+				return err
+			}
+			run(cut, true)
+			restore()
+		}
+		inj.CountRetry()
+		if attempt+1 > maxRetries {
+			return &chaos.FaultError{Node: node, Block: blockID, Attempt: attempt}
+		}
+	}
+}
+
+// execBlockShared runs the first count iterations of a block against
+// the shared (disjoint-footprint) buffers, optionally logging each
+// write's previous value for rollback.
+func (prog *Program) execBlockShared(bufs [][]float64, b *partition.Block, count int64, scratch []float64, undo *undoLog) {
+	for _, it := range b.Iterations[:count] {
+		for si := range prog.stmts {
+			cs := &prog.stmts[si]
+			if prog.isRedundant(si, it) {
+				continue
+			}
+			vals := scratch[:len(cs.reads)]
+			for ri := range cs.reads {
+				r := &cs.reads[ri]
+				vals[ri] = bufs[r.array][r.offset(it)]
+			}
+			off := cs.write.offset(it)
+			if undo != nil {
+				undo.push(cs.write.array, off, bufs[cs.write.array][off])
+			}
+			bufs[cs.write.array][off] = cs.st.EvalExpr(it, vals)
+		}
+	}
+}
+
 // runDisjoint executes non-duplicate partitions: every element belongs
 // to exactly one block (asserted by the prepass), so all workers share
 // one buffer and never contend — the compiled meaning of
-// "communication-free".
-func (prog *Program) runDisjoint(mach *machine.Machine, blocks []*partition.Block, st *blockStats, budget *machine.Budget, workers int, bt *blockTrace) error {
+// "communication-free". That same disjointness makes chaos recovery
+// block-local: a crashed attempt's undo log touches only cells no other
+// block can reach.
+func (prog *Program) runDisjoint(mach *machine.Machine, blocks []*partition.Block, st *blockStats, workers int, bt *blockTrace, opts Options) error {
+	budget, inj := opts.Budget, opts.Chaos
 	shared := prog.cloneBuffers()
 	err := mach.RunBounded(workers, func(w int, nd *machine.Node) error {
 		scratch := make([]float64, prog.maxReads)
+		var undo undoLog
 		var last time.Duration
 		if bt != nil {
 			last = bt.tr.Since()
 		}
 		for _, bi := range st.perNode[nd.ID] {
-			if err := budget.Spend(st.iters[bi]); err != nil {
-				return err
-			}
-			for _, it := range blocks[bi].Iterations {
-				for si := range prog.stmts {
-					cs := &prog.stmts[si]
-					if prog.isRedundant(si, it) {
-						continue
-					}
-					vals := scratch[:len(cs.reads)]
-					for ri := range cs.reads {
-						r := &cs.reads[ri]
-						vals[ri] = shared[r.array][r.offset(it)]
-					}
-					shared[cs.write.array][cs.write.offset(it)] = cs.st.EvalExpr(it, vals)
+			if inj == nil {
+				if err := budget.Spend(st.iters[bi]); err != nil {
+					return err
+				}
+				prog.execBlockShared(shared, blocks[bi], st.iters[bi], scratch, nil)
+			} else {
+				err := chaosRetryBlock(inj, nd.ID, blocks[bi].ID, opts.maxRetries(), st.iters[bi], budget,
+					func(count int64, logUndo bool) {
+						var u *undoLog
+						if logUndo {
+							undo.reset()
+							u = &undo
+						}
+						prog.execBlockShared(shared, blocks[bi], count, scratch, u)
+					},
+					func() {}, // writes to the shared buffer are the commit
+					func() { undo.rollback(shared) },
+				)
+				if err != nil {
+					return err
+				}
+				if d := inj.NodeDelayS(nd.ID); d > 0 {
+					mach.AddComputeSeconds(d)
 				}
 			}
 			nd.AddIterations(st.iters[bi])
@@ -342,22 +452,85 @@ func (prog *Program) runDisjoint(mach *machine.Machine, blocks []*partition.Bloc
 	return nil
 }
 
+// dupWorkerState is one worker's private execution state under a
+// duplicate-data strategy: a private buffer plus the dirty bookkeeping
+// that lets both commits and chaos rollbacks touch only the cells the
+// current block actually wrote.
+type dupWorkerState struct {
+	bufs  [][]float64
+	mark  [][]int32 // last block (by index) to write each element
+	dirty [][]int64 // offsets written by the current block
+}
+
+// execBlockPrivate runs the first count iterations of a block against
+// the worker's private buffer, marking written cells dirty.
+func (prog *Program) execBlockPrivate(ws *dupWorkerState, b *partition.Block, count int64, seq int32, scratch []float64) {
+	for _, it := range b.Iterations[:count] {
+		for si := range prog.stmts {
+			cs := &prog.stmts[si]
+			if prog.isRedundant(si, it) {
+				continue
+			}
+			vals := scratch[:len(cs.reads)]
+			for ri := range cs.reads {
+				r := &cs.reads[ri]
+				vals[ri] = ws.bufs[r.array][r.offset(it)]
+			}
+			off := cs.write.offset(it)
+			ws.bufs[cs.write.array][off] = cs.st.EvalExpr(it, vals)
+			if ws.mark[cs.write.array][off] != seq {
+				ws.mark[cs.write.array][off] = seq
+				ws.dirty[cs.write.array] = append(ws.dirty[cs.write.array], off)
+			}
+		}
+	}
+}
+
+// commitAndReset commits the elements block seq owns into final, then
+// restores the private buffer to its initial state for the next block.
+func (prog *Program) commitAndReset(ws *dupWorkerState, st *blockStats, seq int32, final [][]float64) {
+	for a := range ws.dirty {
+		owner := st.owner[a]
+		init := prog.arrays[a].init
+		for _, off := range ws.dirty[a] {
+			if owner[off] == seq {
+				final[a][off] = ws.bufs[a][off]
+			}
+			ws.bufs[a][off] = init[off]
+		}
+		ws.dirty[a] = ws.dirty[a][:0]
+	}
+}
+
+// resetPrivate rolls a crashed partial attempt back: dirty cells return
+// to their initial values and their marks clear, so the next attempt's
+// dirty tracking starts fresh. Nothing is committed.
+func (prog *Program) resetPrivate(ws *dupWorkerState) {
+	for a := range ws.dirty {
+		init := prog.arrays[a].init
+		mark := ws.mark[a]
+		for _, off := range ws.dirty[a] {
+			ws.bufs[a][off] = init[off]
+			mark[off] = -1
+		}
+		ws.dirty[a] = ws.dirty[a][:0]
+	}
+}
+
 // runDuplicate executes duplicate-data partitions: each worker holds a
 // private buffer reset between blocks (private block copies), and each
 // block commits the elements it owns — exactly one writer per element
-// of the commit buffer, so it too is lock-free.
-func (prog *Program) runDuplicate(mach *machine.Machine, blocks []*partition.Block, st *blockStats, budget *machine.Budget, workers int, bt *blockTrace) error {
+// of the commit buffer, so it too is lock-free. Chaos recovery falls
+// out of the same machinery: an uncommitted attempt is undone by the
+// usual reset-to-init, just without the commit.
+func (prog *Program) runDuplicate(mach *machine.Machine, blocks []*partition.Block, st *blockStats, workers int, bt *blockTrace, opts Options) error {
+	budget, inj := opts.Budget, opts.Chaos
 	final := prog.cloneBuffers()
-	type workerState struct {
-		bufs  [][]float64
-		mark  [][]int32 // last block (by index) to write each element
-		dirty [][]int64 // offsets written by the current block
-	}
-	states := make([]*workerState, workers)
+	states := make([]*dupWorkerState, workers)
 	err := mach.RunBounded(workers, func(w int, nd *machine.Node) error {
 		ws := states[w]
 		if ws == nil {
-			ws = &workerState{bufs: prog.cloneBuffers()}
+			ws = &dupWorkerState{bufs: prog.cloneBuffers()}
 			ws.mark = make([][]int32, len(prog.arrays))
 			ws.dirty = make([][]int64, len(prog.arrays))
 			for i, lay := range prog.arrays {
@@ -371,41 +544,25 @@ func (prog *Program) runDuplicate(mach *machine.Machine, blocks []*partition.Blo
 			last = bt.tr.Since()
 		}
 		for _, bi := range st.perNode[nd.ID] {
-			if err := budget.Spend(st.iters[bi]); err != nil {
-				return err
-			}
 			seq := int32(bi)
-			for _, it := range blocks[bi].Iterations {
-				for si := range prog.stmts {
-					cs := &prog.stmts[si]
-					if prog.isRedundant(si, it) {
-						continue
-					}
-					vals := scratch[:len(cs.reads)]
-					for ri := range cs.reads {
-						r := &cs.reads[ri]
-						vals[ri] = ws.bufs[r.array][r.offset(it)]
-					}
-					off := cs.write.offset(it)
-					ws.bufs[cs.write.array][off] = cs.st.EvalExpr(it, vals)
-					if ws.mark[cs.write.array][off] != seq {
-						ws.mark[cs.write.array][off] = seq
-						ws.dirty[cs.write.array] = append(ws.dirty[cs.write.array], off)
-					}
+			if inj == nil {
+				if err := budget.Spend(st.iters[bi]); err != nil {
+					return err
 				}
-			}
-			// Commit owned elements, then restore the private buffer to
-			// its initial state for the next block.
-			for a := range ws.dirty {
-				owner := st.owner[a]
-				init := prog.arrays[a].init
-				for _, off := range ws.dirty[a] {
-					if owner[off] == seq {
-						final[a][off] = ws.bufs[a][off]
-					}
-					ws.bufs[a][off] = init[off]
+				prog.execBlockPrivate(ws, blocks[bi], st.iters[bi], seq, scratch)
+				prog.commitAndReset(ws, st, seq, final)
+			} else {
+				err := chaosRetryBlock(inj, nd.ID, blocks[bi].ID, opts.maxRetries(), st.iters[bi], budget,
+					func(count int64, _ bool) { prog.execBlockPrivate(ws, blocks[bi], count, seq, scratch) },
+					func() { prog.commitAndReset(ws, st, seq, final) },
+					func() { prog.resetPrivate(ws) },
+				)
+				if err != nil {
+					return err
 				}
-				ws.dirty[a] = ws.dirty[a][:0]
+				if d := inj.NodeDelayS(nd.ID); d > 0 {
+					mach.AddComputeSeconds(d)
+				}
 			}
 			nd.AddIterations(st.iters[bi])
 			if bt != nil {

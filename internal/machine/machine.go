@@ -170,6 +170,28 @@ type Machine struct {
 	computeTime float64
 	trace       *Trace
 	chargeHook  ChargeHook
+	faults      FaultInjector
+}
+
+// FaultInjector perturbs the host's distribution charges — the
+// machine-level face of the chaos layer. It is consulted once per
+// host→node unicast (SendTo / ChargeSendWords): resends > 0 models
+// lost messages the host must retransmit (each retransmission costs a
+// full message at the original wire time), delayS adds link latency.
+// Injected faults only perturb the simulated clock and message
+// accounting, never node state, so a communication-free partition's
+// final state is unaffected by construction. Implementations must be
+// safe for concurrent calls.
+type FaultInjector interface {
+	DistFault(node int) (resends int, delayS float64)
+}
+
+// SetFaultInjector registers the distribution fault injector (nil
+// disables injection).
+func (m *Machine) SetFaultInjector(fi FaultInjector) {
+	m.mu.Lock()
+	m.faults = fi
+	m.mu.Unlock()
 }
 
 // ChargeHook observes every host-side distribution charge: the
@@ -214,7 +236,7 @@ func (m *Machine) SendTo(node int, data []Datum) {
 	for _, d := range data {
 		m.nodes[node].Preload(d.Key, d.Value)
 	}
-	m.charge(node, m.Cost.TStart+float64(len(data))*m.Cost.TComm, 1, len(data))
+	m.chargeUnicast(node, m.Cost.TStart+float64(len(data))*m.Cost.TComm, len(data))
 }
 
 // ChargeSendWords accounts a host→node unicast of the given word count
@@ -223,7 +245,29 @@ func (m *Machine) SendTo(node int, data []Datum) {
 // its own and only needs the message charged.
 func (m *Machine) ChargeSendWords(node, words int) {
 	_ = m.nodes[node] // bounds-check the node id like SendTo would
-	m.charge(node, m.Cost.TStart+float64(words)*m.Cost.TComm, 1, words)
+	m.chargeUnicast(node, m.Cost.TStart+float64(words)*m.Cost.TComm, words)
+}
+
+// chargeUnicast charges one host→node unicast of cost t carrying
+// `words` delivered words, then applies any injected distribution
+// faults: every lost message is retransmitted at full wire cost (extra
+// message, no new words delivered), and link delay stretches the host
+// lane without an extra message.
+func (m *Machine) chargeUnicast(node int, t float64, words int) {
+	m.charge(node, t, 1, words)
+	m.mu.Lock()
+	fi := m.faults
+	m.mu.Unlock()
+	if fi == nil {
+		return
+	}
+	resends, delayS := fi.DistFault(node)
+	if resends > 0 {
+		m.charge(node, float64(resends)*t, resends, 0)
+	}
+	if delayS > 0 {
+		m.charge(node, delayS, 0, 0)
+	}
 }
 
 // Multicast sends the same data to a set of nodes in a pipelined fashion:
@@ -388,6 +432,19 @@ func (m *Machine) ChargeComputeIterations(perNode []int64) {
 	}
 	m.mu.Lock()
 	m.computeTime += float64(max) * m.Cost.TComp
+	m.mu.Unlock()
+}
+
+// AddComputeSeconds charges extra simulated compute seconds — the
+// chaos layer's slow-node penalty. The charge is serialized onto the
+// compute clock (a conservative upper bound: real degraded nodes only
+// stretch their own lane).
+func (m *Machine) AddComputeSeconds(s float64) {
+	if s <= 0 {
+		return
+	}
+	m.mu.Lock()
+	m.computeTime += s
 	m.mu.Unlock()
 }
 

@@ -120,8 +120,10 @@ func TestBulkAssignsIDsAndSkipsEmpty(t *testing.T) {
 func TestExportJSONShape(t *testing.T) {
 	tr := New("execute")
 	sp := tr.Start(0, "exec_run")
-	time.Sleep(time.Millisecond)
 	sp.End()
+	// An explicit-duration span makes the dur_ns assertion exact without
+	// sleeping for wall-clock time.
+	tr.Bulk([]Span{{Name: "block", StartNS: 0, DurNS: int64(time.Millisecond)}})
 	data, err := json.Marshal(tr.Export())
 	if err != nil {
 		t.Fatal(err)

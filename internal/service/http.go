@@ -3,7 +3,8 @@ package service
 // HTTP front end: JSON in, JSON out.
 //
 //	POST /v1/compile     {source, strategy?, processors?} → CompileResponse
-//	POST /v1/execute     {source, strategy?, processors?} → ExecuteResponse
+//	POST /v1/execute     {source, strategy?, processors?, chaos_seed?}
+//	                     → ExecuteResponse
 //	GET  /v1/metrics     → metrics document (stages, counters, gauges, cache);
 //	                       ?format=prometheus renders text exposition 0.0.4
 //	GET  /v1/trace/{id}  → span tree of a recent request (JSON export;
@@ -12,7 +13,8 @@ package service
 //	GET  /healthz        → {"status":"ok"}
 //
 // Error responses are {"error": "..."} with 400 for malformed input,
-// 503 while draining, 504 on per-request timeout, and 500 otherwise.
+// 429 (plus Retry-After) when admission control sheds load, 503 while
+// draining, 504 on per-request timeout, and 500 otherwise.
 
 import (
 	"context"
@@ -29,12 +31,12 @@ import (
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/compile", func(w http.ResponseWriter, r *http.Request) {
-		s.handleJSON(w, r, func(ctx context.Context, req CompileRequest) (any, error) {
+		handleJSON(s, w, r, func(ctx context.Context, req CompileRequest) (any, error) {
 			return s.Compile(ctx, req)
 		})
 	})
 	mux.HandleFunc("/v1/execute", func(w http.ResponseWriter, r *http.Request) {
-		s.handleJSON(w, r, func(ctx context.Context, req ExecuteRequest) (any, error) {
+		handleJSON(s, w, r, func(ctx context.Context, req ExecuteRequest) (any, error) {
 			return s.Execute(ctx, req)
 		})
 	})
@@ -116,12 +118,15 @@ func (s *Service) MetricsDocument() MetricsDocument {
 	return MetricsDocument{Snapshot: s.metrics.Snapshot(), Cache: s.cache.stats()}
 }
 
-func (s *Service) handleJSON(w http.ResponseWriter, r *http.Request, serve func(context.Context, CompileRequest) (any, error)) {
+// handleJSON decodes the endpoint's request type, serves it, and maps
+// errors to statuses. A free generic function because methods cannot
+// have type parameters.
+func handleJSON[T any](s *Service, w http.ResponseWriter, r *http.Request, serve func(context.Context, T) (any, error)) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, errors.New("POST only"))
 		return
 	}
-	var req CompileRequest
+	var req T
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, int64(s.cfg.MaxSourceBytes)+4096))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
@@ -130,7 +135,11 @@ func (s *Service) handleJSON(w http.ResponseWriter, r *http.Request, serve func(
 	}
 	resp, err := serve(r.Context(), req)
 	if err != nil {
-		writeError(w, statusFor(err), err)
+		status := statusFor(err)
+		if status == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", "1")
+		}
+		writeError(w, status, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -142,6 +151,8 @@ func statusFor(err error) int {
 	switch {
 	case errors.As(err, &bad):
 		return http.StatusBadRequest
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusTooManyRequests
 	case errors.Is(err, ErrDraining):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, ErrQueueFull):

@@ -47,7 +47,7 @@ func TestHTTPCompileAndExecute(t *testing.T) {
 		t.Fatalf("bad plan: %s", body)
 	}
 
-	resp, body = postJSON(t, ts.URL+"/v1/execute", ExecuteRequest{Source: srcL1, Processors: 4})
+	resp, body = postJSON(t, ts.URL+"/v1/execute", execReq(CompileRequest{Source: srcL1, Processors: 4}))
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("execute status %d: %s", resp.StatusCode, body)
 	}

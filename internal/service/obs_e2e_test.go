@@ -34,9 +34,9 @@ func TestTraceEndpointCompleteSpanTree(t *testing.T) {
 	defer ts.Close()
 
 	srcL5 := lang.Format(loop.L5(4))
-	resp, body := postJSON(t, ts.URL+"/v1/execute", ExecuteRequest{
+	resp, body := postJSON(t, ts.URL+"/v1/execute", execReq(CompileRequest{
 		Source: srcL5, Strategy: "duplicate", Processors: 4,
-	})
+	}))
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("execute status %d: %s", resp.StatusCode, body)
 	}
@@ -169,7 +169,7 @@ func TestPrometheusExposition(t *testing.T) {
 	if _, err := s.Compile(context.Background(), CompileRequest{Source: srcL1}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Execute(context.Background(), ExecuteRequest{Source: srcL1}); err != nil {
+	if _, err := s.Execute(context.Background(), execReq(CompileRequest{Source: srcL1})); err != nil {
 		t.Fatal(err)
 	}
 
@@ -424,7 +424,7 @@ func TestConcurrentMetricsScrape(t *testing.T) {
 					t.Errorf("compile %d: %v", i, err)
 				}
 			} else {
-				if _, err := s.Execute(context.Background(), ExecuteRequest{Source: src, Strategy: "duplicate"}); err != nil {
+				if _, err := s.Execute(context.Background(), execReq(CompileRequest{Source: src, Strategy: "duplicate"})); err != nil {
 					t.Errorf("execute %d: %v", i, err)
 				}
 			}

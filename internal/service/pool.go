@@ -21,6 +21,12 @@ var ErrDraining = errors.New("service: draining, not accepting new requests")
 // the caller's context expires before a slot frees up.
 var ErrQueueFull = errors.New("service: request queue full")
 
+// ErrOverloaded is returned by admission control: the queue was at
+// capacity at submission time, so the request is rejected immediately
+// (HTTP 429 with Retry-After) instead of queueing behind a saturated
+// pool until its deadline.
+var ErrOverloaded = errors.New("service: overloaded, queue at capacity")
+
 type taskResult struct {
 	v   any
 	err error
@@ -113,6 +119,30 @@ func (p *pool) submit(ctx context.Context, fn func(ctx context.Context) (any, er
 			return nil, errors.Join(ErrQueueFull, ctx.Err())
 		}
 		return nil, ctx.Err()
+	}
+	r := <-t.res
+	return r.v, r.err
+}
+
+// trySubmit is submit with fail-fast admission control: a full queue
+// rejects with ErrOverloaded immediately rather than blocking the
+// caller until its deadline. The service front door uses this so a
+// saturated pool sheds load with 429s instead of stacking timeouts.
+func (p *pool) trySubmit(ctx context.Context, fn func(ctx context.Context) (any, error)) (any, error) {
+	t := &task{ctx: ctx, fn: fn, res: make(chan taskResult, 1)}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrDraining
+	}
+	p.pending.Add(1)
+	p.mu.Unlock()
+
+	select {
+	case p.queue <- t:
+	default:
+		p.pending.Done()
+		return nil, ErrOverloaded
 	}
 	r := <-t.res
 	return r.v, r.err

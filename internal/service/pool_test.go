@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"errors"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -33,15 +34,28 @@ func TestPoolRunsTasks(t *testing.T) {
 	}
 }
 
+// occupyWorkers blocks n workers of p until the returned release
+// function is called, returning only once all n are running.
+func occupyWorkers(p *pool, n int) (release func()) {
+	gate := make(chan struct{})
+	started := make(chan struct{}, n)
+	for i := 0; i < n; i++ {
+		go p.submit(context.Background(), func(context.Context) (any, error) {
+			started <- struct{}{}
+			<-gate
+			return nil, nil
+		})
+	}
+	for i := 0; i < n; i++ {
+		<-started
+	}
+	return func() { close(gate) }
+}
+
 func TestPoolCallerCancelWhileQueued(t *testing.T) {
 	p := newPool(1, 4)
 	defer p.close()
-	release := make(chan struct{})
-	go p.submit(context.Background(), func(context.Context) (any, error) {
-		<-release
-		return nil, nil
-	})
-	time.Sleep(10 * time.Millisecond) // occupy the only worker
+	release := occupyWorkers(p, 1)
 
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
@@ -49,9 +63,13 @@ func TestPoolCallerCancelWhileQueued(t *testing.T) {
 		_, err := p.submit(ctx, func(context.Context) (any, error) { return nil, nil })
 		done <- err
 	}()
-	time.Sleep(10 * time.Millisecond)
+	// The task is queued (not running: the only worker is occupied)
+	// once the queue is non-empty; cancel it there.
+	for p.queueDepth() == 0 {
+		runtime.Gosched()
+	}
 	cancel()
-	close(release)
+	release()
 	if err := <-done; !errors.Is(err, context.Canceled) {
 		t.Errorf("err = %v, want context.Canceled", err)
 	}
@@ -60,17 +78,20 @@ func TestPoolCallerCancelWhileQueued(t *testing.T) {
 func TestPoolQueueFullTimesOut(t *testing.T) {
 	p := newPool(1, 1)
 	defer p.close()
-	release := make(chan struct{})
-	block := func(context.Context) (any, error) { <-release; return nil, nil }
-	go p.submit(context.Background(), block) // worker
-	time.Sleep(5 * time.Millisecond)
-	go p.submit(context.Background(), block) // queue slot
-	time.Sleep(5 * time.Millisecond)
+	release := occupyWorkers(p, 1)
+	defer release()
+	gate := make(chan struct{})
+	go p.submit(context.Background(), func(context.Context) (any, error) { <-gate; return nil, nil })
+	for p.queueDepth() == 0 {
+		runtime.Gosched() // wait for the queue slot to fill
+	}
+	defer close(gate)
 
-	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	// With worker and queue both full, an already-expired deadline
+	// makes submit fail immediately — no waiting on wall-clock time.
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
 	defer cancel()
-	_, err := p.submit(ctx, block)
-	close(release)
+	_, err := p.submit(ctx, func(context.Context) (any, error) { return nil, nil })
 	if !errors.Is(err, ErrQueueFull) {
 		t.Errorf("err = %v, want ErrQueueFull", err)
 	}
@@ -80,35 +101,64 @@ func TestPoolCloseDrainsAcceptedTasks(t *testing.T) {
 	p := newPool(2, 32)
 	const n = 16
 	var completed atomic.Int64
+	gate := make(chan struct{})
+	started := make(chan struct{}, 2)
 	errs := make(chan error, n)
 	for i := 0; i < n; i++ {
 		go func() {
 			_, err := p.submit(context.Background(), func(context.Context) (any, error) {
-				time.Sleep(5 * time.Millisecond)
+				select {
+				case started <- struct{}{}:
+				default:
+				}
+				<-gate
 				completed.Add(1)
 				return nil, nil
 			})
 			errs <- err
 		}()
 	}
-	time.Sleep(10 * time.Millisecond)
-	p.close() // must block until every accepted task has finished
+	// Both workers are executing and the other 14 tasks are queued:
+	// every submission has been accepted before the drain begins.
+	<-started
+	<-started
+	for p.queueDepth() < n-2 {
+		runtime.Gosched()
+	}
 
-	accepted := 0
-	for i := 0; i < n; i++ {
-		if err := <-errs; err == nil {
-			accepted++
-		} else if !errors.Is(err, ErrDraining) {
-			t.Errorf("unexpected error: %v", err)
+	closed := make(chan struct{})
+	go func() {
+		p.close() // must block until every accepted task has finished
+		close(closed)
+	}()
+	// Wait for close to flip the accept flag, then prove rejection and
+	// that the drain is still blocked on the gated tasks.
+	for {
+		p.mu.Lock()
+		c := p.closed
+		p.mu.Unlock()
+		if c {
+			break
 		}
-	}
-	if int64(accepted) != completed.Load() {
-		t.Errorf("%d accepted but %d completed", accepted, completed.Load())
-	}
-	if accepted == 0 {
-		t.Error("close raced ahead of every submission")
+		runtime.Gosched()
 	}
 	if _, err := p.submit(context.Background(), func(context.Context) (any, error) { return nil, nil }); !errors.Is(err, ErrDraining) {
-		t.Errorf("post-close submit: %v", err)
+		t.Errorf("submit during drain: err = %v, want ErrDraining", err)
+	}
+	select {
+	case <-closed:
+		t.Fatal("close returned with accepted tasks still blocked")
+	default:
+	}
+
+	close(gate)
+	<-closed
+	for i := 0; i < n; i++ {
+		if err := <-errs; err != nil {
+			t.Errorf("accepted task dropped: %v", err)
+		}
+	}
+	if completed.Load() != n {
+		t.Errorf("%d/%d accepted tasks completed", completed.Load(), n)
 	}
 }

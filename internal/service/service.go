@@ -20,11 +20,13 @@ package service
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
 
 	"commfree/internal/assign"
+	"commfree/internal/chaos"
 	"commfree/internal/codegen"
 	"commfree/internal/exec"
 	"commfree/internal/lang"
@@ -67,6 +69,19 @@ type Config struct {
 	// TraceRing bounds the ring of recent request traces behind
 	// GET /v1/trace/{id} (default 256 traces).
 	TraceRing int
+	// ChaosSeed enables deterministic fault injection on /v1/execute
+	// when non-zero: every execution draws a failure schedule from this
+	// seed (a request's chaos_seed field overrides it per request).
+	// Chaos tunes the schedule mix; its zero value means
+	// chaos.DefaultConfig().
+	ChaosSeed int64
+	Chaos     chaos.Config
+	// MaxExecRetries bounds whole-run re-executions after an injected
+	// fault exhausts a block's retry budget (default 2, negative
+	// disables); RetryBackoff is the base of the exponential backoff
+	// between them (default 1ms).
+	MaxExecRetries int
+	RetryBackoff   time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -102,6 +117,18 @@ func (c Config) withDefaults() Config {
 	}
 	if c.TraceRing <= 0 {
 		c.TraceRing = 256
+	}
+	if c.Chaos == (chaos.Config{}) {
+		c.Chaos = chaos.DefaultConfig()
+	}
+	if c.MaxExecRetries == 0 {
+		c.MaxExecRetries = 2
+	}
+	if c.MaxExecRetries < 0 {
+		c.MaxExecRetries = 0
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = time.Millisecond
 	}
 	return c
 }
@@ -166,8 +193,15 @@ type CompileResponse struct {
 	TraceID string `json:"trace_id,omitempty"`
 }
 
-// ExecuteRequest is the input of POST /v1/execute.
-type ExecuteRequest = CompileRequest
+// ExecuteRequest is the input of POST /v1/execute: a compilation
+// request plus execution-only knobs.
+type ExecuteRequest struct {
+	CompileRequest
+	// ChaosSeed overrides the service's configured fault-injection seed
+	// for this request (0 keeps the service default; injection stays off
+	// unless one of the two is non-zero).
+	ChaosSeed int64 `json:"chaos_seed,omitempty"`
+}
 
 // ExecuteResponse is the output of POST /v1/execute: the plan is run on
 // the simulated multicomputer and validated against sequential
@@ -199,6 +233,15 @@ type ExecuteResponse struct {
 	// TraceID names this request's span tree; retrieve it with
 	// GET /v1/trace/{id} while it remains in the trace ring.
 	TraceID string `json:"trace_id,omitempty"`
+	// ChaosSeed echoes the failure-schedule seed when fault injection
+	// was active, and Chaos summarizes what the schedule injected.
+	// Retries counts whole-run re-executions after per-block recovery
+	// was exhausted; Degraded reports the final fallback to the
+	// sequential oracle once the retry budget ran out too.
+	ChaosSeed int64        `json:"chaos_seed,omitempty"`
+	Chaos     *chaos.Stats `json:"chaos,omitempty"`
+	Retries   int          `json:"retries,omitempty"`
+	Degraded  bool         `json:"degraded,omitempty"`
 }
 
 // compiled holds the live pipeline artifacts behind a cached plan,
@@ -260,6 +303,12 @@ func New(cfg Config) *Service {
 	s.metrics.Gauge("workers", func() int64 { return int64(cfg.Workers) })
 	s.metrics.Gauge("engine_compiled", func() int64 {
 		if cfg.Engine == "compiled" {
+			return 1
+		}
+		return 0
+	})
+	s.metrics.Gauge("chaos_enabled", func() int64 {
+		if cfg.ChaosSeed != 0 {
 			return 1
 		}
 		return 0
@@ -326,7 +375,7 @@ func (s *Service) Compile(ctx context.Context, req CompileRequest) (*CompileResp
 	}()
 	entry, cached, err := s.compileEntry(ctx, req, trc)
 	if err != nil {
-		s.metrics.Inc("errors", 1)
+		s.countError(err)
 		return nil, err
 	}
 	return &CompileResponse{
@@ -404,7 +453,7 @@ func (s *Service) compileEntry(ctx context.Context, req CompileRequest, trc *obs
 		return e, true, nil
 	}
 
-	v, err := s.pool.submit(ctx, func(ctx context.Context) (any, error) {
+	v, err := s.pool.trySubmit(ctx, func(ctx context.Context) (any, error) {
 		return s.compile(ctx, key, nest, strat, auto, req.Processors, trc)
 	})
 	if err == nil {
@@ -524,9 +573,27 @@ func (s *Service) compile(ctx context.Context, key string, nest *loop.Nest, stra
 	}, nil
 }
 
+// countError folds a request error into the counters (overload
+// rejections get their own series on top of the error count).
+func (s *Service) countError(err error) {
+	s.metrics.Inc("errors", 1)
+	if errors.Is(err, ErrOverloaded) {
+		s.metrics.Inc("overload_rejections", 1)
+	}
+}
+
 // Execute compiles (through the cache) and runs the plan on the
 // simulated multicomputer under the request budget, validating the
 // result against sequential execution.
+//
+// When fault injection is active (service ChaosSeed or request
+// chaos_seed), the run proceeds through a resilience state machine:
+// per-block retry inside the engines absorbs scheduled faults first;
+// a run that still dies with *chaos.FaultError is re-executed up to
+// MaxExecRetries times under exponential backoff with deterministic
+// jitter (each re-run advances the schedule epoch, so transient faults
+// decorrelate); and when the retry budget is exhausted the request
+// degrades to the sequential oracle, which cannot fault.
 func (s *Service) Execute(ctx context.Context, req ExecuteRequest) (*ExecuteResponse, error) {
 	start := time.Now()
 	s.metrics.Inc("execute_requests", 1)
@@ -535,104 +602,206 @@ func (s *Service) Execute(ctx context.Context, req ExecuteRequest) (*ExecuteResp
 		s.traces.Add(trc)
 		s.metrics.ObserveTrace(trc)
 	}()
-	entry, cached, err := s.compileEntry(ctx, req, trc)
+	entry, cached, err := s.compileEntry(ctx, req.CompileRequest, trc)
 	if err != nil {
-		s.metrics.Inc("errors", 1)
+		s.countError(err)
 		return nil, err
 	}
 	if req.Processors == 0 {
 		req.Processors = 16
 	}
 
+	seed := s.cfg.ChaosSeed
+	if req.ChaosSeed != 0 {
+		seed = req.ChaosSeed
+	}
+	var inj *chaos.Injector
+	if seed != 0 {
+		inj = chaos.NewInjector(chaos.NewSchedule(seed, s.cfg.Chaos))
+	}
+
 	ctx, cancel := context.WithTimeout(ctx, s.cfg.RequestTimeout)
 	defer cancel()
-	v, err := s.pool.submit(ctx, func(ctx context.Context) (any, error) {
-		t0 := time.Now()
-		defer func() { s.metrics.Observe("execution", time.Since(t0)) }()
-		var budget *machine.Budget
-		if s.cfg.MaxIterations > 0 {
-			budget = machine.NewBudget(ctx, s.cfg.MaxIterations)
-		} else {
-			budget = machine.NewBudget(ctx, 0)
-		}
 
-		// Stage: exec_compile — resolve the cached plan into the dense
-		// program (amortized: sync.Once per cache entry). Nests beyond
-		// the compile caps fall back to the map-based oracle.
-		engine := s.cfg.Engine
-		var prog *exec.Program
-		if engine == "compiled" {
-			csp := trc.Start(0, "exec_compile")
-			p, cerr := entry.comp.program()
-			csp.End()
-			if cerr != nil {
-				s.metrics.Inc("exec_compile_fallbacks", 1)
-				engine = "oracle"
-			} else {
-				prog = p
-			}
+	var resp *ExecuteResponse
+	retries := 0
+	for attempt := 0; ; attempt++ {
+		v, err := s.pool.trySubmit(ctx, func(ctx context.Context) (any, error) {
+			return s.executeOnce(ctx, entry, req, cached, trc, inj, seed, attempt)
+		})
+		if err == nil {
+			resp = v.(*ExecuteResponse)
+			break
 		}
-
-		// Stage: exec_run — the simulated parallel execution. The
-		// engine hangs per-block child spans (worker, block, words)
-		// plus a "distribute" span under this one.
-		rsp := trc.Start(0, "exec_run")
-		rsp.SetStr("engine", engine)
-		var rep *exec.Report
-		var err error
-		if prog != nil {
-			rep, err = prog.ParallelTraced(entry.comp.res, req.Processors, s.cfg.Cost, budget, trc, rsp.ID())
-		} else {
-			rep, err = exec.ParallelTraced(entry.comp.res, req.Processors, s.cfg.Cost, budget, trc, rsp.ID())
-		}
-		rsp.End()
-		if err != nil {
+		var fe *chaos.FaultError
+		if !errors.As(err, &fe) {
+			s.countError(err)
 			return nil, err
 		}
-		s.metrics.Inc("execute_engine_"+engine, 1)
-
-		// Stage: exec_validate — element-exact comparison against the
-		// sequential reference. The compiled program's pruned sequential
-		// path is the same final state by Section III.C (proven by the
-		// differential tests).
-		vsp := trc.Start(0, "exec_validate")
-		var want map[string]float64
-		if prog != nil {
-			want = prog.Sequential()
-		} else {
-			want = exec.Sequential(entry.comp.nest, nil)
-		}
-		mismatches := 0
-		for k, wv := range want {
-			if rep.Final[k] != wv {
-				mismatches++
+		if attempt >= s.cfg.MaxExecRetries {
+			// Retry budget exhausted: degrade to the sequential oracle.
+			v, err = s.pool.trySubmit(ctx, func(ctx context.Context) (any, error) {
+				return s.executeSequential(ctx, entry, req, cached, trc)
+			})
+			if err != nil {
+				s.countError(err)
+				return nil, err
 			}
+			s.metrics.Inc("execute_degraded", 1)
+			resp = v.(*ExecuteResponse)
+			resp.Degraded = true
+			break
 		}
-		vsp.SetInt("elements", int64(len(want)))
-		vsp.SetInt("mismatches", int64(mismatches))
-		vsp.End()
-		return &ExecuteResponse{
-			Strategy:          entry.plan.Strategy,
-			Processors:        req.Processors,
-			Cached:            cached,
-			DistributionS:     rep.Machine.DistributionTime(),
-			ComputeS:          rep.Machine.ComputeTime(),
-			SimElapsedS:       rep.Machine.Elapsed(),
-			HostMessages:      rep.Machine.Messages(),
-			InterNodeMessages: rep.Machine.InterNodeMessages(),
-			IterationsPerNode: rep.IterationsPerNode,
-			Engine:            engine,
-			Validated:         mismatches == 0,
-			Mismatches:        mismatches,
-			Elements:          len(want),
-		}, nil
-	})
-	if err != nil {
-		s.metrics.Inc("errors", 1)
-		return nil, err
+		retries++
+		s.metrics.Inc("execute_retries", 1)
+		inj.NextEpoch()
+		if err := sleepBackoff(ctx, s.cfg.RetryBackoff, attempt, inj); err != nil {
+			s.countError(err)
+			return nil, err
+		}
 	}
-	resp := v.(*ExecuteResponse)
+	resp.Retries = retries
+	if inj != nil {
+		st := inj.Stats()
+		resp.ChaosSeed = seed
+		resp.Chaos = &st
+		s.metrics.Inc("chaos_faults", st.Faults)
+		s.metrics.Inc("chaos_block_retries", st.Retries)
+	}
 	resp.ElapsedS = time.Since(start).Seconds()
 	resp.TraceID = trc.ID()
 	return resp, nil
+}
+
+// sleepBackoff waits base<<attempt plus deterministic jitter from the
+// schedule (no rand: replays of a seed back off identically), bailing
+// out early if the request context dies.
+func sleepBackoff(ctx context.Context, base time.Duration, attempt int, inj *chaos.Injector) error {
+	d := base << uint(attempt)
+	d += time.Duration(float64(d) * inj.Jitter(attempt))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// executeOnce is one parallel execution attempt on a pool worker.
+func (s *Service) executeOnce(ctx context.Context, entry *cacheEntry, req ExecuteRequest, cached bool, trc *obs.Trace, inj *chaos.Injector, seed int64, attempt int) (*ExecuteResponse, error) {
+	t0 := time.Now()
+	defer func() { s.metrics.Observe("execution", time.Since(t0)) }()
+	var budget *machine.Budget
+	if s.cfg.MaxIterations > 0 {
+		budget = machine.NewBudget(ctx, s.cfg.MaxIterations)
+	} else {
+		budget = machine.NewBudget(ctx, 0)
+	}
+
+	// Stage: exec_compile — resolve the cached plan into the dense
+	// program (amortized: sync.Once per cache entry). Nests beyond
+	// the compile caps fall back to the map-based oracle.
+	engine := s.cfg.Engine
+	var prog *exec.Program
+	if engine == "compiled" {
+		csp := trc.Start(0, "exec_compile")
+		p, cerr := entry.comp.program()
+		csp.End()
+		if cerr != nil {
+			s.metrics.Inc("exec_compile_fallbacks", 1)
+			engine = "oracle"
+		} else {
+			prog = p
+		}
+	}
+
+	// Stage: exec_run — the simulated parallel execution. The
+	// engine hangs per-block child spans (worker, block, words)
+	// plus a "distribute" span under this one.
+	rsp := trc.Start(0, "exec_run")
+	rsp.SetStr("engine", engine)
+	if inj != nil {
+		rsp.SetInt("chaos_seed", seed)
+		rsp.SetInt("attempt", int64(attempt))
+	}
+	opts := exec.Options{Budget: budget, Trace: trc, Parent: rsp.ID(), Chaos: inj}
+	var rep *exec.Report
+	var err error
+	if prog != nil {
+		rep, err = prog.ParallelOpts(entry.comp.res, req.Processors, s.cfg.Cost, opts)
+	} else {
+		rep, err = exec.ParallelOpts(entry.comp.res, req.Processors, s.cfg.Cost, opts)
+	}
+	if inj != nil {
+		st := inj.Stats()
+		rsp.SetInt("chaos_faults", st.Faults)
+		rsp.SetInt("chaos_block_retries", st.Retries)
+	}
+	rsp.End()
+	if err != nil {
+		return nil, err
+	}
+	s.metrics.Inc("execute_engine_"+engine, 1)
+
+	// Stage: exec_validate — element-exact comparison against the
+	// sequential reference. The compiled program's pruned sequential
+	// path is the same final state by Section III.C (proven by the
+	// differential tests).
+	vsp := trc.Start(0, "exec_validate")
+	var want map[string]float64
+	if prog != nil {
+		want = prog.Sequential()
+	} else {
+		want = exec.Sequential(entry.comp.nest, nil)
+	}
+	mismatches := 0
+	for k, wv := range want {
+		if rep.Final[k] != wv {
+			mismatches++
+		}
+	}
+	vsp.SetInt("elements", int64(len(want)))
+	vsp.SetInt("mismatches", int64(mismatches))
+	vsp.End()
+	return &ExecuteResponse{
+		Strategy:          entry.plan.Strategy,
+		Processors:        req.Processors,
+		Cached:            cached,
+		DistributionS:     rep.Machine.DistributionTime(),
+		ComputeS:          rep.Machine.ComputeTime(),
+		SimElapsedS:       rep.Machine.Elapsed(),
+		HostMessages:      rep.Machine.Messages(),
+		InterNodeMessages: rep.Machine.InterNodeMessages(),
+		IterationsPerNode: rep.IterationsPerNode,
+		Engine:            engine,
+		Validated:         mismatches == 0,
+		Mismatches:        mismatches,
+		Elements:          len(want),
+	}, nil
+}
+
+// executeSequential is the graceful-degradation path: the nest runs on
+// the sequential oracle — no simulated machine, no injection points —
+// so a request whose parallel run keeps faulting still returns its
+// (trivially validated) final state.
+func (s *Service) executeSequential(ctx context.Context, entry *cacheEntry, req ExecuteRequest, cached bool, trc *obs.Trace) (*ExecuteResponse, error) {
+	t0 := time.Now()
+	defer func() { s.metrics.Observe("execution", time.Since(t0)) }()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	dsp := trc.Start(0, "exec_degraded")
+	state := exec.Sequential(entry.comp.nest, nil)
+	dsp.SetInt("elements", int64(len(state)))
+	dsp.End()
+	return &ExecuteResponse{
+		Strategy:   entry.plan.Strategy,
+		Processors: req.Processors,
+		Cached:     cached,
+		Engine:     "sequential",
+		Validated:  true,
+		Elements:   len(state),
+	}, nil
 }

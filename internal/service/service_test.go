@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -42,6 +43,12 @@ func paperSources() map[string]string {
 		"L4": lang.Format(loop.L4()),
 		"L5": lang.Format(loop.L5(4)),
 	}
+}
+
+// execReq wraps a compile request for /v1/execute (no execution-only
+// knobs set).
+func execReq(req CompileRequest) ExecuteRequest {
+	return ExecuteRequest{CompileRequest: req}
 }
 
 func newTestService(t *testing.T, cfg Config) *Service {
@@ -153,7 +160,7 @@ func TestCompileBadInput(t *testing.T) {
 func TestExecuteValidatesAgainstSequential(t *testing.T) {
 	s := newTestService(t, Config{})
 	for name, src := range paperSources() {
-		resp, err := s.Execute(context.Background(), ExecuteRequest{Source: src, Strategy: "duplicate", Processors: 4})
+		resp, err := s.Execute(context.Background(), execReq(CompileRequest{Source: src, Strategy: "duplicate", Processors: 4}))
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -174,7 +181,7 @@ func TestExecuteReportsEngine(t *testing.T) {
 	// be reported and validate identically.
 	for _, engine := range []string{"compiled", "oracle"} {
 		s := newTestService(t, Config{Engine: engine})
-		resp, err := s.Execute(context.Background(), ExecuteRequest{Source: srcL1, Strategy: "duplicate", Processors: 4})
+		resp, err := s.Execute(context.Background(), execReq(CompileRequest{Source: srcL1, Strategy: "duplicate", Processors: 4}))
 		if err != nil {
 			t.Fatalf("%s: %v", engine, err)
 		}
@@ -189,13 +196,13 @@ func TestExecuteReportsEngine(t *testing.T) {
 
 func TestExecuteBudgetExhausted(t *testing.T) {
 	s := newTestService(t, Config{MaxIterations: 3})
-	_, err := s.Execute(context.Background(), ExecuteRequest{Source: srcL1, Processors: 4})
+	_, err := s.Execute(context.Background(), execReq(CompileRequest{Source: srcL1, Processors: 4}))
 	if !errors.Is(err, machine.ErrBudgetExhausted) {
 		t.Errorf("err = %v, want ErrBudgetExhausted", err)
 	}
 	// An unlimited budget executes the same request fine.
 	s2 := newTestService(t, Config{MaxIterations: -1})
-	if _, err := s2.Execute(context.Background(), ExecuteRequest{Source: srcL1, Processors: 4}); err != nil {
+	if _, err := s2.Execute(context.Background(), execReq(CompileRequest{Source: srcL1, Processors: 4})); err != nil {
 		t.Errorf("unlimited budget: %v", err)
 	}
 }
@@ -225,7 +232,7 @@ func TestStageMetricsRecorded(t *testing.T) {
 	if _, err := s.Compile(context.Background(), CompileRequest{Source: srcL1}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Execute(context.Background(), ExecuteRequest{Source: srcL1}); err != nil {
+	if _, err := s.Execute(context.Background(), execReq(CompileRequest{Source: srcL1})); err != nil {
 		t.Fatal(err)
 	}
 	snap := s.MetricsDocument()
@@ -267,7 +274,11 @@ func TestGracefulDrainDeliversAllResponses(t *testing.T) {
 			results <- result{resp, err}
 		}(src)
 	}
-	time.Sleep(20 * time.Millisecond) // let the requests reach the pool
+	// Wait until at least one compilation is executing on a worker: that
+	// task has been accepted, so the drain must deliver its response.
+	for s.pool.running() == 0 {
+		runtime.Gosched()
+	}
 	s.Close()
 
 	succeeded, rejected := 0, 0
