@@ -12,13 +12,24 @@
 // partition → transform → assign, plus per-block execution spans under
 // -exec) after the report.
 //
+// -remote URL submits the request to a running commfreed (or any node
+// of a commfreed cluster — the fleet routes it to the plan's home node)
+// instead of compiling in-process, and prints the service's JSON
+// response. -strategy, -p, -exec, and -chaos-seed apply; the other
+// local-pipeline flags do not.
+//
 // With no -file, the paper's loop L1 is used as a demonstration.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
+	"time"
 
 	"commfree"
 )
@@ -43,6 +54,7 @@ func main() {
 		auto      = flag.Bool("auto", false, "rank all allocation strategies by simulated cost and compile the best one (overrides -strategy)")
 		trace     = flag.Bool("trace", false, "print the pipeline span tree (stage timings, per-block execution spans under -exec)")
 		chaosSeed = flag.Int64("chaos-seed", 0, "with -exec: inject a deterministic fault schedule derived from this seed (block crashes, message loss, slow nodes) and prove recovery is bit-identical; 0 disables")
+		remote    = flag.String("remote", "", "submit to a running commfreed (or cluster node) at this base URL instead of compiling in-process")
 	)
 	flag.Parse()
 
@@ -58,6 +70,13 @@ func main() {
 			fatal(err)
 		}
 		src = string(data)
+	}
+
+	if *remote != "" {
+		if err := runRemote(*remote, src, *strategy, *procs, *execute, *chaosSeed); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	var strat commfree.Strategy
@@ -173,4 +192,44 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "commfree:", err)
 	os.Exit(1)
+}
+
+// runRemote submits the request to a commfreed service (any node of a
+// cluster works — the fleet routes to the plan's home node) and prints
+// the indented JSON response.
+func runRemote(base, src, strategy string, procs int, execute bool, chaosSeed int64) error {
+	path := "/v1/compile"
+	body := map[string]any{"source": src, "strategy": strategy, "processors": procs}
+	if execute {
+		path = "/v1/execute"
+		if chaosSeed != 0 {
+			body["chaos_seed"] = chaosSeed
+		}
+	}
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	client := &http.Client{Timeout: 2 * time.Minute}
+	res, err := client.Post(base+path, "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	defer res.Body.Close()
+	out, err := io.ReadAll(res.Body)
+	if err != nil {
+		return err
+	}
+	if res.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s: %s", base+path, res.Status, bytes.TrimSpace(out))
+	}
+	var pretty bytes.Buffer
+	if json.Indent(&pretty, out, "", "  ") == nil {
+		out = pretty.Bytes()
+	}
+	if by := res.Header.Get("X-Commfree-Served-By"); by != "" {
+		fmt.Printf("served by: %s\n", by)
+	}
+	fmt.Printf("%s\n", out)
+	return nil
 }

@@ -12,6 +12,18 @@
 //	commfreed [-addr :8377] [-workers 8] [-queue 128] [-cache 256]
 //	          [-timeout 30s] [-max-iterations 4194304] [-engine compiled]
 //	          [-trace-ring 256] [-chaos-seed 0] [-debug]
+//	          [-node NAME -peers NAME=URL,... [-replicas 2]
+//	           [-hedge-after 0] [-heartbeat 1s] [-suspect 3]]
+//
+// Cluster mode: -node and -peers make this process one member of a
+// static fleet. Requests are routed by consistent hashing over the
+// canonical source, so each plan has one home node (plus -replicas−1
+// replicas); non-home nodes transparently forward /v1/compile and
+// /v1/execute with trace-context propagation, hedging to a replica when
+// the home exceeds -hedge-after (0 disables hedging). A heartbeat
+// failure detector (-heartbeat interval, -suspect consecutive misses)
+// drops crashed peers from routing; GET /v1/cluster reports peer
+// health.
 //
 // -chaos-seed enables service-wide deterministic fault injection: every
 // execution runs under a seeded failure schedule (block crashes with
@@ -23,9 +35,11 @@
 // live profiling (off by default: the profile endpoints expose stack
 // traces and should not face untrusted networks).
 //
-// SIGINT/SIGTERM drain gracefully: the listener stops accepting, every
-// in-flight and queued request completes and receives its response,
-// then the process exits.
+// SIGINT/SIGTERM drain gracefully: the node first stops admitting new
+// work — local and forwarded requests get 503 + Retry-After so cluster
+// peers re-route immediately — then the listener stops accepting and
+// every in-flight and queued request completes and receives its
+// response before the process exits.
 package main
 
 import (
@@ -38,9 +52,11 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"commfree/internal/cluster"
 	"commfree/internal/service"
 )
 
@@ -49,6 +65,26 @@ func main() {
 		fmt.Fprintln(os.Stderr, "commfreed:", err)
 		os.Exit(1)
 	}
+}
+
+// parsePeers decodes -peers: comma-separated NAME=URL pairs.
+func parsePeers(s string) ([]cluster.Peer, error) {
+	var peers []cluster.Peer
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, url, ok := strings.Cut(part, "=")
+		if !ok || name == "" || url == "" {
+			return nil, fmt.Errorf("bad -peers entry %q (want NAME=URL)", part)
+		}
+		peers = append(peers, cluster.Peer{Name: name, URL: url})
+	}
+	if len(peers) == 0 {
+		return nil, errors.New("-peers is empty")
+	}
+	return peers, nil
 }
 
 func run() error {
@@ -64,6 +100,13 @@ func run() error {
 		traceRing = flag.Int("trace-ring", 256, "recent request traces kept for GET /v1/trace/{id}")
 		chaosSeed = flag.Int64("chaos-seed", 0, "inject deterministic faults into every execution from this seed (0 disables); requests may override with \"chaos_seed\"")
 		debug     = flag.Bool("debug", false, "mount net/http/pprof under /debug/pprof/")
+
+		nodeName   = flag.String("node", "", "cluster: this node's name (enables cluster mode; must appear in -peers)")
+		peersFlag  = flag.String("peers", "", "cluster: static peer set as NAME=URL,NAME=URL,...")
+		replicas   = flag.Int("replicas", 2, "cluster: replicas per plan (home + R-1)")
+		hedgeAfter = flag.Duration("hedge-after", 0, "cluster: hedge a forwarded request to the next replica after this long (0 disables)")
+		heartbeat  = flag.Duration("heartbeat", time.Second, "cluster: failure-detector heartbeat interval")
+		suspect    = flag.Int("suspect", 3, "cluster: consecutive missed heartbeats before a peer is marked down")
 	)
 	flag.Parse()
 
@@ -78,6 +121,43 @@ func run() error {
 		ChaosSeed:      *chaosSeed,
 	})
 	handler := svc.Handler()
+
+	var hbStop func()
+	if *nodeName != "" || *peersFlag != "" {
+		peers, err := parsePeers(*peersFlag)
+		if err != nil {
+			return err
+		}
+		node, err := cluster.NewNode(svc, cluster.Config{
+			Self:         *nodeName,
+			Peers:        peers,
+			Replicas:     *replicas,
+			HedgeAfter:   *hedgeAfter,
+			SuspectAfter: *suspect,
+			HeartbeatS:   heartbeat.Seconds(),
+		})
+		if err != nil {
+			return err
+		}
+		handler = node.Handler()
+		// Heartbeats: the detector itself never reads wall time; the
+		// daemon just ticks it on the configured interval.
+		tick := time.NewTicker(*heartbeat)
+		done := make(chan struct{})
+		go func() {
+			for {
+				select {
+				case <-tick.C:
+					node.Detector().Tick()
+				case <-done:
+					return
+				}
+			}
+		}()
+		hbStop = func() { tick.Stop(); close(done) }
+		log.Printf("commfreed: cluster mode, node %s of %d peers (replicas %d, hedge-after %s)",
+			*nodeName, len(peers), *replicas, *hedgeAfter)
+	}
 	if *debug {
 		mux := http.NewServeMux()
 		mux.Handle("/", handler)
@@ -112,10 +192,16 @@ func run() error {
 	}
 
 	log.Printf("commfreed: signal received, draining (limit %s)", *drainFor)
+	// Refuse new work first — cluster peers see 503 + Retry-After and
+	// re-route to a replica instead of queueing behind the drain — then
+	// stop accepting connections, wait for active handlers, and drain
+	// the worker pool so queued work finishes too.
+	svc.BeginDrain()
+	if hbStop != nil {
+		hbStop()
+	}
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainFor)
 	defer cancel()
-	// Stop accepting connections and wait for active handlers; then
-	// drain the worker pool so queued work finishes too.
 	err := srv.Shutdown(shutdownCtx)
 	svc.Close()
 	if err != nil && !errors.Is(err, http.ErrServerClosed) {

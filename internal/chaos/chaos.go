@@ -58,6 +58,19 @@ type Config struct {
 	// distribution charge without losing it.
 	MsgDelayProb float64
 	MaxMsgDelayS float64
+	// Cluster-membership faults (consumed by internal/cluster's failure
+	// detector and in-process transport, not by the block executors):
+	// NodeCrashProb is the per-(epoch,peer) probability that the peer
+	// suffers one crash window of heartbeat rounds, MaxCrashRounds
+	// bounds the window length, and CrashHorizon the round range in
+	// which the window may start (default 16 when windows are enabled).
+	NodeCrashProb  float64
+	MaxCrashRounds int
+	CrashHorizon   int
+	// HeartbeatLossProb drops individual heartbeat probes between a
+	// pair of live peers (asymmetric: a→b draws independently of b→a) —
+	// a transient partition the failure detector must ride out.
+	HeartbeatLossProb float64
 }
 
 // DefaultConfig is the conformance mix: every fault kind enabled, block
@@ -81,6 +94,19 @@ func DefaultConfig() Config {
 // service-level retry and graceful-degradation paths.
 func Persistent() Config {
 	return Config{BlockFailProb: 1, MaxBlockFails: 1 << 20}
+}
+
+// ClusterConfig is the membership-fault mix the cluster conformance
+// dimension runs under: every peer the schedule elects (see
+// PeerCrashVictim) crashes for a bounded window of heartbeat rounds,
+// and a twentieth of heartbeats are lost in transit.
+func ClusterConfig() Config {
+	return Config{
+		NodeCrashProb:     1,
+		MaxCrashRounds:    6,
+		CrashHorizon:      8,
+		HeartbeatLossProb: 0.05,
+	}
 }
 
 // Schedule is a failure plan: a pure function of (seed, config). It
@@ -107,6 +133,11 @@ const (
 	streamMsgLoss
 	streamMsgDelay
 	streamJitter
+	streamPeerCrash
+	streamCrashStart
+	streamCrashLen
+	streamHeartbeat
+	streamVictim
 )
 
 // mix is a splitmix64-style avalanche over the seed and identity words.
@@ -208,6 +239,67 @@ func (s *Schedule) MsgDelayS(epoch, node int) float64 {
 		return 0
 	}
 	return unit(mix(h)) * s.Cfg.MaxMsgDelayS
+}
+
+// PeerCrashWindow returns the heartbeat-round window [start, start+n)
+// during which the peer is down in the epoch (n = 0 means the peer
+// stays up). Pure in (seed, epoch, peer): every router and detector in
+// a cluster derives the same window, so a crash replays identically
+// regardless of which node observes it first.
+func (s *Schedule) PeerCrashWindow(epoch, peer int) (start, n int) {
+	if s == nil || s.Cfg.MaxCrashRounds <= 0 {
+		return 0, 0
+	}
+	if unit(s.draw(streamPeerCrash, int64(epoch), int64(peer))) >= s.Cfg.NodeCrashProb {
+		return 0, 0
+	}
+	horizon := s.Cfg.CrashHorizon
+	if horizon <= 0 {
+		horizon = 16
+	}
+	start = int(s.draw(streamCrashStart, int64(epoch), int64(peer)) % uint64(horizon))
+	n = 1 + int(s.draw(streamCrashLen, int64(epoch), int64(peer))%uint64(s.Cfg.MaxCrashRounds))
+	return start, n
+}
+
+// PeerDown reports whether the peer is inside its crash window at the
+// given heartbeat round.
+func (s *Schedule) PeerDown(epoch, peer, round int) bool {
+	start, n := s.PeerCrashWindow(epoch, peer)
+	return n > 0 && round >= start && round < start+n
+}
+
+// PeerCrashVictim elects which of n peers crashes in the epoch — the
+// single-victim schedules the cluster conformance dimension replays.
+func (s *Schedule) PeerCrashVictim(epoch, n int) int {
+	if s == nil || n <= 0 {
+		return 0
+	}
+	return int(s.draw(streamVictim, int64(epoch)) % uint64(n))
+}
+
+// PeerCrashed is the single-victim crash predicate the cluster layer
+// replays: peer (one of n) is down at the round iff it is the epoch's
+// elected victim AND the round lies inside the victim's crash window.
+// Every node of a fleet derives the same answer from the seed alone,
+// so detector belief and injected reality cannot diverge.
+func (s *Schedule) PeerCrashed(epoch, n, peer, round int) bool {
+	if s == nil || n <= 0 {
+		return false
+	}
+	if s.PeerCrashVictim(epoch, n) != peer {
+		return false
+	}
+	return s.PeerDown(epoch, peer, round)
+}
+
+// HeartbeatDrop reports whether the from→to heartbeat probe of the
+// given round is lost in transit (a transient one-way partition).
+func (s *Schedule) HeartbeatDrop(epoch, round, from, to int) bool {
+	if s == nil || s.Cfg.HeartbeatLossProb <= 0 {
+		return false
+	}
+	return unit(s.draw(streamHeartbeat, int64(epoch), int64(round), int64(from), int64(to))) < s.Cfg.HeartbeatLossProb
 }
 
 // Jitter returns a deterministic backoff jitter fraction in [0,1) for a

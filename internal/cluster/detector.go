@@ -1,0 +1,245 @@
+package cluster
+
+// Seed-pure failure detector. Peers are probed in discrete heartbeat
+// rounds; the clock is the same accumulated-simulated-seconds model
+// internal/machine charges distribution and compute on, advanced by a
+// fixed interval per round, so detector state is a function of the
+// round number — never of wall time. A chaos.Schedule injects crashed
+// peers and dropped heartbeats as pure functions of (seed, round,
+// peer), so a membership incident replays exactly from its seed: same
+// seed ⇒ same miss sequence ⇒ same down/up transitions at the same
+// rounds, on every node of the fleet.
+//
+// Tests and the conformance harness drive Tick directly; the daemon
+// drives it from a wall ticker (the only wall-clock coupling, and one
+// the detector itself never observes).
+
+import (
+	"context"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"commfree/internal/chaos"
+	"commfree/internal/machine"
+)
+
+// Detector tracks peer health for one node.
+type Detector struct {
+	self         string
+	peers        []string // sorted, self excluded
+	index        map[string]int
+	suspectAfter int
+	intervalS    float64
+	sched        *chaos.Schedule
+	probe        func(ctx context.Context, peer string) error
+
+	clock machine.SimClock
+
+	mu       sync.Mutex
+	round    int
+	missed   map[string]int
+	down     map[string]bool
+	onChange func(alive []string)
+}
+
+// newDetector builds a detector over the full peer list (self is
+// skipped). probe performs one real health check; sched may be nil
+// (no injected membership faults). suspectAfter is the number of
+// consecutive missed heartbeats before a peer is marked down.
+func newDetector(self string, peers []string, suspectAfter int, intervalS float64, sched *chaos.Schedule, probe func(ctx context.Context, peer string) error) *Detector {
+	if suspectAfter <= 0 {
+		suspectAfter = 3
+	}
+	if intervalS <= 0 {
+		intervalS = 1
+	}
+	var others []string
+	index := map[string]int{}
+	sorted := append([]string(nil), peers...)
+	sort.Strings(sorted)
+	for i, p := range sorted {
+		index[p] = i
+		if p != self {
+			others = append(others, p)
+		}
+	}
+	return &Detector{
+		self:         self,
+		peers:        others,
+		index:        index,
+		suspectAfter: suspectAfter,
+		intervalS:    intervalS,
+		sched:        sched,
+		probe:        probe,
+		missed:       map[string]int{},
+		down:         map[string]bool{},
+	}
+}
+
+// setOnChange registers the membership callback, invoked (outside the
+// detector lock) with the new alive set whenever a peer transitions.
+func (d *Detector) setOnChange(fn func(alive []string)) {
+	d.mu.Lock()
+	d.onChange = fn
+	d.mu.Unlock()
+}
+
+// Tick runs one heartbeat round: every peer is probed (unless the
+// chaos schedule drops the heartbeat or has the peer inside its crash
+// window), misses accumulate toward suspectAfter, and any transition
+// rebuilds the alive set. Returns whether membership changed.
+func (d *Detector) Tick() bool {
+	d.mu.Lock()
+	d.round++
+	round := d.round
+	d.mu.Unlock()
+	d.clock.Advance(d.intervalS)
+
+	changed := false
+	for _, p := range d.peers {
+		ok := d.probeOnce(round, p)
+		if d.record(p, ok) {
+			changed = true
+		}
+	}
+	if changed {
+		d.notify()
+	}
+	return changed
+}
+
+// probeOnce decides one heartbeat: chaos first (pure in seed and
+// round), then the real probe.
+func (d *Detector) probeOnce(round int, peer string) bool {
+	pi := d.index[peer]
+	si := d.index[d.self]
+	if d.sched != nil {
+		if d.sched.PeerCrashed(0, len(d.index), pi, round) {
+			return false
+		}
+		if d.sched.HeartbeatDrop(0, round, si, pi) {
+			return false
+		}
+	}
+	if d.probe == nil {
+		return true
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	return d.probe(ctx, peer) == nil
+}
+
+// record folds one probe result in; reports whether the peer's up/down
+// state flipped.
+func (d *Detector) record(peer string, ok bool) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if ok {
+		d.missed[peer] = 0
+		if d.down[peer] {
+			delete(d.down, peer)
+			return true
+		}
+		return false
+	}
+	d.missed[peer]++
+	if d.missed[peer] >= d.suspectAfter && !d.down[peer] {
+		d.down[peer] = true
+		return true
+	}
+	return false
+}
+
+// ReportFailure feeds a forwarding failure into the detector — the
+// fast path: a peer that refuses a forward counts as one missed
+// heartbeat immediately, so routing reacts before the next round.
+func (d *Detector) ReportFailure(peer string) {
+	if _, ok := d.index[peer]; !ok || peer == d.self {
+		return
+	}
+	if d.record(peer, false) {
+		d.notify()
+	}
+}
+
+// ReportSuccess is the symmetric fast path: a peer that answered a
+// forward is alive, whatever the heartbeats say.
+func (d *Detector) ReportSuccess(peer string) {
+	if _, ok := d.index[peer]; !ok || peer == d.self {
+		return
+	}
+	if d.record(peer, true) {
+		d.notify()
+	}
+}
+
+func (d *Detector) notify() {
+	d.mu.Lock()
+	fn := d.onChange
+	d.mu.Unlock()
+	if fn != nil {
+		fn(d.Alive())
+	}
+}
+
+// Alive returns the current alive set (self included), sorted.
+func (d *Detector) Alive() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	alive := []string{d.self}
+	for _, p := range d.peers {
+		if !d.down[p] {
+			alive = append(alive, p)
+		}
+	}
+	sort.Strings(alive)
+	return alive
+}
+
+// Up reports whether the peer is currently considered alive (self is
+// always up).
+func (d *Detector) Up(peer string) bool {
+	if peer == d.self {
+		return true
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return !d.down[peer]
+}
+
+// Round returns the heartbeat round counter, and SimClock the
+// simulated seconds the rounds have consumed.
+func (d *Detector) Round() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.round
+}
+
+// SimClock returns the detector's simulated clock in seconds.
+func (d *Detector) SimClock() float64 { return d.clock.Seconds() }
+
+// healthProbe returns a probe that GETs {url}/healthz through the
+// given client.
+func healthProbe(client *http.Client, urls map[string]string) func(ctx context.Context, peer string) error {
+	return func(ctx context.Context, peer string) error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, urls[peer]+"/healthz", nil)
+		if err != nil {
+			return err
+		}
+		res, err := client.Do(req)
+		if err != nil {
+			return err
+		}
+		res.Body.Close()
+		if res.StatusCode != http.StatusOK {
+			return &statusError{code: res.StatusCode}
+		}
+		return nil
+	}
+}
+
+type statusError struct{ code int }
+
+func (e *statusError) Error() string { return http.StatusText(e.code) }

@@ -1,0 +1,87 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"commfree/internal/chaos"
+)
+
+// TestDetectorSeedPure: two detectors built from the same seed replay
+// identical down/up transitions round by round — membership incidents
+// are reproducible from (seed, round, peer) alone.
+func TestDetectorSeedPure(t *testing.T) {
+	const seed, n, rounds = 1, 3, 25
+	peers := []string{"n0", "n1", "n2"}
+	sched := chaos.NewSchedule(seed, chaos.ClusterConfig())
+	victim := peers[sched.PeerCrashVictim(0, n)]
+	self := "n0"
+	if victim == self {
+		self = "n1"
+	}
+
+	mk := func() *Detector {
+		return newDetector(self, peers, 3, 1,
+			chaos.NewSchedule(seed, chaos.ClusterConfig()), nil)
+	}
+	d1, d2 := mk(), mk()
+	var h1, h2 []string
+	sawDown := false
+	for r := 0; r < rounds; r++ {
+		d1.Tick()
+		d2.Tick()
+		h1 = append(h1, fmt.Sprint(d1.Alive()))
+		h2 = append(h2, fmt.Sprint(d2.Alive()))
+		if !d1.Up(victim) {
+			sawDown = true
+		}
+	}
+	for r := range h1 {
+		if h1[r] != h2[r] {
+			t.Fatalf("round %d: detectors diverged: %s vs %s", r+1, h1[r], h2[r])
+		}
+	}
+	if !sawDown {
+		t.Fatalf("victim %s never went down over %d rounds (seed %d)", victim, rounds, seed)
+	}
+	if !d1.Up(victim) {
+		t.Fatalf("victim %s still down after the crash window + recovery tail", victim)
+	}
+	if got := d1.SimClock(); math.Abs(got-rounds) > 1e-9 {
+		t.Fatalf("sim clock = %v after %d rounds of 1s; want %d", got, rounds, rounds)
+	}
+	if d1.Round() != rounds {
+		t.Fatalf("round counter = %d; want %d", d1.Round(), rounds)
+	}
+}
+
+// TestDetectorFastPaths: forward failures count as missed heartbeats
+// immediately; one success revives the peer.
+func TestDetectorFastPaths(t *testing.T) {
+	d := newDetector("n0", []string{"n0", "n1", "n2"}, 3, 1, nil, nil)
+	changes := 0
+	d.setOnChange(func([]string) { changes++ })
+	for i := 0; i < 3; i++ {
+		d.ReportFailure("n1")
+	}
+	if d.Up("n1") {
+		t.Fatal("n1 still up after suspectAfter consecutive reported failures")
+	}
+	if changes != 1 {
+		t.Fatalf("onChange fired %d times for the down transition; want 1", changes)
+	}
+	d.ReportSuccess("n1")
+	if !d.Up("n1") {
+		t.Fatal("n1 still down after a reported success")
+	}
+	if changes != 2 {
+		t.Fatalf("onChange fired %d times in total; want 2", changes)
+	}
+	// Self and unknown peers are ignored.
+	d.ReportFailure("n0")
+	d.ReportFailure("ghost")
+	if !d.Up("n0") || changes != 2 {
+		t.Fatal("self/unknown reports must not affect membership")
+	}
+}

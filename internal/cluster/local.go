@@ -1,0 +1,107 @@
+package cluster
+
+// Local is an n-node in-process cluster: n services, n routing nodes,
+// one MapTransport wiring them together. Conformance's cluster
+// dimension and the cluster tests run whole fleets through it with no
+// sockets, so a 5-node crash schedule replays deterministically inside
+// one `go test` process.
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	"commfree/internal/service"
+)
+
+// Local is an in-process fleet.
+type Local struct {
+	Transport *MapTransport
+	Names     []string
+	Nodes     []*Node
+	Services  []*service.Service
+}
+
+// LocalOption tweaks every node's Config before construction.
+type LocalOption func(cfg *Config)
+
+// WithReplicas sets R for the fleet.
+func WithReplicas(r int) LocalOption { return func(c *Config) { c.Replicas = r } }
+
+// WithHedgeAfter sets the hedging latency budget.
+func WithHedgeAfter(d time.Duration) LocalOption { return func(c *Config) { c.HedgeAfter = d } }
+
+// WithSeed enables seed-pure membership chaos in every detector.
+func WithSeed(seed int64) LocalOption { return func(c *Config) { c.Seed = seed } }
+
+// WithNodeConfig applies an arbitrary mutation to every node config.
+func WithNodeConfig(fn func(cfg *Config)) LocalOption { return func(c *Config) { fn(c) } }
+
+// NewLocal builds an n-node fleet named "n0".."n{n-1}" (URLs
+// "http://nN"), each node running its own service built from base (the
+// base config is copied per node). Close the fleet when done.
+func NewLocal(n int, base service.Config, opts ...LocalOption) (*Local, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("cluster: fleet size %d", n)
+	}
+	l := &Local{Transport: NewMapTransport()}
+	var peers []Peer
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("n%d", i)
+		l.Names = append(l.Names, name)
+		peers = append(peers, Peer{Name: name, URL: "http://" + name})
+	}
+	for i := 0; i < n; i++ {
+		svc := service.New(base)
+		cfg := Config{
+			Self:      l.Names[i],
+			Peers:     peers,
+			Transport: l.Transport,
+		}
+		for _, opt := range opts {
+			opt(&cfg)
+		}
+		node, err := NewNode(svc, cfg)
+		if err != nil {
+			svc.Close()
+			l.Close()
+			return nil, err
+		}
+		l.Services = append(l.Services, svc)
+		l.Nodes = append(l.Nodes, node)
+		l.Transport.Register(l.Names[i], node.Handler())
+	}
+	return l, nil
+}
+
+// Node returns the node with the given name (nil if absent).
+func (l *Local) Node(name string) *Node {
+	for i, n := range l.Names {
+		if n == name {
+			return l.Nodes[i]
+		}
+	}
+	return nil
+}
+
+// Client returns an http.Client that resolves fleet URLs in-process.
+func (l *Local) Client() *http.Client {
+	return &http.Client{Transport: l.Transport}
+}
+
+// URL returns the i-th node's base URL.
+func (l *Local) URL(i int) string { return "http://" + l.Names[i] }
+
+// Tick advances every node's failure detector one heartbeat round.
+func (l *Local) Tick() {
+	for _, n := range l.Nodes {
+		n.det.Tick()
+	}
+}
+
+// Close shuts every service down.
+func (l *Local) Close() {
+	for _, s := range l.Services {
+		s.Close()
+	}
+}

@@ -1,0 +1,711 @@
+package cluster
+
+// Node is the cluster routing front end wrapped around one
+// service.Service. POST /v1/compile and /v1/execute are routed by the
+// consistent-hash ring over the canonical source hash: the home node
+// serves locally (its plan cache is the shard authority), every other
+// node transparently forwards, with
+//
+//   - bounded failover: a refused forward feeds the failure detector
+//     and falls through to the next replica, ending at local service
+//     as the last resort — a routed request is never lost;
+//   - hedged requests: when the home node has not answered within
+//     HedgeAfter, the same request is fired at the next replica and
+//     the first response wins (the loser is canceled);
+//   - trace propagation: forwards carry X-Commfree-Trace, and the
+//     remote span tree is grafted under the local "forward" span, so
+//     GET /v1/trace/{id}?format=tree on the entry node shows the whole
+//     cross-node request;
+//   - drain awareness: a draining node answers 503 + Retry-After
+//     before any routing or queueing, so peers re-route immediately
+//     instead of piling requests behind the worker-pool drain.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"commfree/internal/chaos"
+	"commfree/internal/lang"
+	"commfree/internal/obs"
+	"commfree/internal/service"
+)
+
+// HeaderForwarded marks a peer-forwarded request (value: the sender's
+// node name); a node never re-forwards such a request.
+const HeaderForwarded = "X-Commfree-Forwarded"
+
+// HeaderTrace propagates trace context on forwarded and hedged
+// requests: "<trace_id>:<parent_span_id>".
+const HeaderTrace = "X-Commfree-Trace"
+
+// maxForwardRespBytes bounds a forwarded response body (plans carry
+// generated source, so allow plenty).
+const maxForwardRespBytes = 16 << 20
+
+// Peer names one cluster member.
+type Peer struct {
+	Name string `json:"name"`
+	URL  string `json:"url"`
+}
+
+// Config tunes a Node. Zero values select the documented defaults.
+type Config struct {
+	// Self is this node's name; it must appear in Peers.
+	Self string
+	// Peers is the static peer set (self included).
+	Peers []Peer
+	// Replicas is R: one home plus R−1 replicas per plan (default 2,
+	// capped at the peer count).
+	Replicas int
+	// VNodes is the virtual-node count per peer (default DefaultVNodes).
+	VNodes int
+	// HedgeAfter is the latency budget after which a forwarded request
+	// is hedged to the next replica (0 disables hedging).
+	HedgeAfter time.Duration
+	// LoadBound is the bounded-load factor c: a candidate whose
+	// in-flight forwards exceed c × mean is demoted behind its
+	// under-loaded replicas (default 1.25; negative disables).
+	LoadBound float64
+	// SuspectAfter is the consecutive missed heartbeats before a peer
+	// is marked down (default 3).
+	SuspectAfter int
+	// HeartbeatS is the simulated seconds one heartbeat round advances
+	// the detector clock (default 1).
+	HeartbeatS float64
+	// Seed enables seed-pure membership chaos in the failure detector
+	// (crashed peers, dropped heartbeats) — tests and conformance only.
+	// Chaos tunes the mix; its zero value means chaos.ClusterConfig().
+	Seed  int64
+	Chaos chaos.Config
+	// Transport reaches peers (default http.DefaultTransport); the
+	// in-process fleets use a MapTransport.
+	Transport http.RoundTripper
+	// DisableTraceGraft skips fetching remote traces after forwards
+	// (the spans stay on the serving node).
+	DisableTraceGraft bool
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Self == "" {
+		return c, errors.New("cluster: Self is required")
+	}
+	found := false
+	seen := map[string]bool{}
+	for _, p := range c.Peers {
+		if p.Name == "" {
+			return c, errors.New("cluster: peer with empty name")
+		}
+		if seen[p.Name] {
+			return c, fmt.Errorf("cluster: duplicate peer %q", p.Name)
+		}
+		seen[p.Name] = true
+		if p.Name == c.Self {
+			found = true
+		}
+	}
+	if !found {
+		return c, fmt.Errorf("cluster: Self %q not in peer set", c.Self)
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 2
+	}
+	if c.Replicas > len(c.Peers) {
+		c.Replicas = len(c.Peers)
+	}
+	if c.VNodes <= 0 {
+		c.VNodes = DefaultVNodes
+	}
+	if c.LoadBound == 0 {
+		c.LoadBound = 1.25
+	}
+	if c.SuspectAfter <= 0 {
+		c.SuspectAfter = 3
+	}
+	if c.HeartbeatS <= 0 {
+		c.HeartbeatS = 1
+	}
+	if c.Seed != 0 && c.Chaos == (chaos.Config{}) {
+		c.Chaos = chaos.ClusterConfig()
+	}
+	if c.Transport == nil {
+		c.Transport = http.DefaultTransport
+	}
+	return c, nil
+}
+
+// ownedCap bounds the routed-key ownership map used for rebalance
+// accounting.
+const ownedCap = 4096
+
+// Node wraps a service with cluster routing.
+type Node struct {
+	cfg   Config
+	svc   *service.Service
+	local http.Handler
+	urls  map[string]string
+	names []string
+	det   *Detector
+
+	client *http.Client
+
+	ringMu      sync.RWMutex
+	ring        *Ring
+	ringVersion atomic.Int64
+
+	loadMu   sync.Mutex
+	inflight map[string]*atomic.Int64
+
+	ownedMu sync.Mutex
+	owned   map[uint64]string
+}
+
+// NewNode builds the routing node around the service. The service's
+// metrics registry gains the per-peer cluster series.
+func NewNode(svc *service.Service, cfg Config) (*Node, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{
+		cfg:      cfg,
+		svc:      svc,
+		local:    svc.Handler(),
+		urls:     map[string]string{},
+		inflight: map[string]*atomic.Int64{},
+		owned:    map[uint64]string{},
+	}
+	for _, p := range cfg.Peers {
+		n.urls[p.Name] = strings.TrimSuffix(p.URL, "/")
+		n.names = append(n.names, p.Name)
+		n.inflight[p.Name] = &atomic.Int64{}
+	}
+	n.client = &http.Client{Transport: cfg.Transport}
+	var sched *chaos.Schedule
+	if cfg.Seed != 0 {
+		sched = chaos.NewSchedule(cfg.Seed, cfg.Chaos)
+	}
+	n.det = newDetector(cfg.Self, n.names, cfg.SuspectAfter, cfg.HeartbeatS, sched,
+		healthProbe(n.client, n.urls))
+	n.ring = NewRing(n.names, cfg.VNodes)
+	n.det.setOnChange(n.rebalance)
+	n.registerMetrics()
+	return n, nil
+}
+
+// Detector exposes the failure detector (the daemon ticks it from a
+// wall ticker; tests tick it directly).
+func (n *Node) Detector() *Detector { return n.det }
+
+// Ring returns the current (alive-membership) ring.
+func (n *Node) Ring() *Ring {
+	n.ringMu.RLock()
+	defer n.ringMu.RUnlock()
+	return n.ring
+}
+
+// Self returns the node's name.
+func (n *Node) Self() string { return n.cfg.Self }
+
+func (n *Node) registerMetrics() {
+	m := n.svc.Metrics()
+	m.Gauge("cluster_peers", func() int64 { return int64(len(n.names)) })
+	m.Gauge("cluster_peers_alive", func() int64 { return int64(len(n.det.Alive())) })
+	m.Gauge("cluster_replicas", func() int64 { return int64(n.cfg.Replicas) })
+	m.Gauge("cluster_ring_version", func() int64 { return n.ringVersion.Load() })
+	m.Gauge("cluster_owned_keys", func() int64 {
+		n.ownedMu.Lock()
+		defer n.ownedMu.Unlock()
+		var c int64
+		for _, owner := range n.owned {
+			if owner == n.cfg.Self {
+				c++
+			}
+		}
+		return c
+	})
+	for shard := 0; shard < service.NumCacheShards; shard++ {
+		shard := shard
+		m.Gauge(fmt.Sprintf("cluster_shard_owned_keys_%d", shard), func() int64 {
+			n.ownedMu.Lock()
+			defer n.ownedMu.Unlock()
+			var c int64
+			for k, owner := range n.owned {
+				if owner == n.cfg.Self && int(k%service.NumCacheShards) == shard {
+					c++
+				}
+			}
+			return c
+		})
+	}
+	for _, p := range n.names {
+		p := p
+		if p == n.cfg.Self {
+			continue
+		}
+		m.Gauge("cluster_peer_up_"+p, func() int64 {
+			if n.det.Up(p) {
+				return 1
+			}
+			return 0
+		})
+		m.Gauge("cluster_peer_inflight_"+p, func() int64 { return n.loadOf(p).Load() })
+	}
+}
+
+func (n *Node) loadOf(peer string) *atomic.Int64 {
+	n.loadMu.Lock()
+	defer n.loadMu.Unlock()
+	l, ok := n.inflight[peer]
+	if !ok {
+		l = &atomic.Int64{}
+		n.inflight[peer] = l
+	}
+	return l
+}
+
+// rebalance rebuilds the ring over the new alive set and re-derives
+// ownership of every tracked key, counting the moves.
+func (n *Node) rebalance(alive []string) {
+	ring := NewRing(alive, n.cfg.VNodes)
+	n.ringMu.Lock()
+	n.ring = ring
+	n.ringMu.Unlock()
+	n.ringVersion.Add(1)
+	moves := int64(0)
+	n.ownedMu.Lock()
+	for k, prev := range n.owned {
+		if now, ok := ring.Owner(k); ok && now != prev {
+			n.owned[k] = now
+			moves++
+		}
+	}
+	n.ownedMu.Unlock()
+	n.svc.Metrics().Inc("cluster_rebalances", 1)
+	if moves > 0 {
+		n.svc.Metrics().Inc("cluster_rebalance_moves", moves)
+	}
+}
+
+// trackOwner records the key's current home for rebalance accounting.
+func (n *Node) trackOwner(key uint64, owner string) {
+	n.ownedMu.Lock()
+	if _, ok := n.owned[key]; !ok && len(n.owned) >= ownedCap {
+		for k := range n.owned { // drop an arbitrary entry; accounting is best-effort
+			delete(n.owned, k)
+			break
+		}
+	}
+	n.owned[key] = owner
+	n.ownedMu.Unlock()
+}
+
+// Handler returns the cluster-aware HTTP handler: the two routed
+// endpoints, GET /v1/cluster status, and everything else served by the
+// local service (metrics, traces, healthz).
+func (n *Node) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/compile", func(w http.ResponseWriter, r *http.Request) { n.route(w, r) })
+	mux.HandleFunc("/v1/execute", func(w http.ResponseWriter, r *http.Request) { n.route(w, r) })
+	mux.HandleFunc("/v1/cluster", func(w http.ResponseWriter, r *http.Request) { n.handleStatus(w, r) })
+	mux.Handle("/", n.local)
+	return mux
+}
+
+// writeDraining is the cluster-aware drain response: 503 with
+// Retry-After so peers (and clients) re-route immediately rather than
+// queueing behind the worker-pool drain.
+func writeDraining(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Retry-After", "1")
+	w.WriteHeader(http.StatusServiceUnavailable)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": "draining, re-route to a replica"})
+}
+
+// route is the shared /v1/compile + /v1/execute front door.
+func (n *Node) route(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		n.local.ServeHTTP(w, r)
+		return
+	}
+	if n.svc.Draining() {
+		n.svc.Metrics().Inc("cluster_drain_rejects", 1)
+		writeDraining(w)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, int64(n.svc.MaxSourceBytes())+4096))
+	if err != nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusBadRequest)
+		_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+		return
+	}
+	if from := r.Header.Get(HeaderForwarded); from != "" {
+		// Terminal hop: a forwarded request is always served here.
+		n.svc.Metrics().Inc("cluster_forwarded_in", 1)
+		n.serveLocal(w, r, body, true)
+		return
+	}
+
+	// Routing key: the canonical rendering of the submitted nest. A
+	// request that does not parse is served locally — the service
+	// produces the authoritative 400.
+	var probe struct {
+		Source string `json:"source"`
+	}
+	if json.Unmarshal(body, &probe) != nil || probe.Source == "" {
+		n.serveLocal(w, r, body, false)
+		return
+	}
+	nest, perr := lang.Parse(probe.Source)
+	if perr != nil {
+		n.serveLocal(w, r, body, false)
+		return
+	}
+	key := KeyHash(lang.Canonical(nest))
+
+	ring := n.Ring()
+	if owner, ok := ring.Owner(key); ok {
+		n.trackOwner(key, owner)
+	}
+	loadFn := func(p string) int64 { return n.loadOf(p).Load() }
+	cands := ring.Route(key, n.cfg.Replicas, n.det.Up, loadFn, n.cfg.LoadBound)
+	if len(cands) == 0 || cands[0] == n.cfg.Self {
+		n.svc.Metrics().Inc("cluster_served_local", 1)
+		n.serveLocal(w, r, body, false)
+		return
+	}
+	n.forward(w, r, body, key, cands)
+}
+
+// serveLocal replays the buffered body into the local service handler.
+// For forwarded-in requests the local trace is tagged with the remote
+// caller's trace context, so both halves of the cross-node tree can be
+// joined from either side.
+func (n *Node) serveLocal(w http.ResponseWriter, r *http.Request, body []byte, forwarded bool) {
+	r2 := r.Clone(r.Context())
+	r2.Body = io.NopCloser(bytes.NewReader(body))
+	r2.ContentLength = int64(len(body))
+	remote := r.Header.Get(HeaderTrace)
+	if !forwarded || remote == "" {
+		n.local.ServeHTTP(w, r2)
+		return
+	}
+	cw := &captureWriter{ResponseWriter: w}
+	n.local.ServeHTTP(cw, r2)
+	remoteTrace, remoteSpan := splitTraceHeader(remote)
+	if remoteTrace == "" {
+		return
+	}
+	var resp struct {
+		TraceID string `json:"trace_id"`
+	}
+	if json.Unmarshal(cw.buf.Bytes(), &resp) != nil || resp.TraceID == "" {
+		return
+	}
+	if trc := n.svc.Traces().Get(resp.TraceID); trc != nil {
+		trc.Bulk([]obs.Span{{
+			Name: "remote_parent",
+			Attrs: []obs.Attr{
+				{Key: "trace", Str: remoteTrace},
+				{Key: "span", Int: remoteSpan},
+				{Key: "from", Str: r.Header.Get(HeaderForwarded)},
+			},
+		}})
+	}
+}
+
+// captureWriter tees the response body (bounded) while passing it
+// through, so serveLocal can read the trace_id it just served.
+type captureWriter struct {
+	http.ResponseWriter
+	buf bytes.Buffer
+}
+
+func (c *captureWriter) Write(p []byte) (int, error) {
+	if c.buf.Len() < maxForwardRespBytes {
+		c.buf.Write(p)
+	}
+	return c.ResponseWriter.Write(p)
+}
+
+func splitTraceHeader(h string) (trace string, span int64) {
+	trace = h
+	if i := strings.LastIndexByte(h, ':'); i >= 0 {
+		trace = h[:i]
+		span, _ = strconv.ParseInt(h[i+1:], 10, 64)
+	}
+	return trace, span
+}
+
+// retryableStatus reports whether a forwarded response means "try the
+// next replica": 429 (admission shed), 502, and 503 (draining or
+// proxy-dead) re-route; everything else — including client errors —
+// is a real answer.
+func retryableStatus(status int) bool {
+	return status == http.StatusTooManyRequests ||
+		status == http.StatusBadGateway ||
+		status == http.StatusServiceUnavailable
+}
+
+// forward relays the request across the candidate list (home first),
+// hedging each remote attempt to the next remote replica after
+// HedgeAfter, falling back to local service when every remote refuses.
+func (n *Node) forward(w http.ResponseWriter, r *http.Request, body []byte, key uint64, cands []string) {
+	m := n.svc.Metrics()
+	trc := obs.New("route")
+	defer func() {
+		n.svc.Traces().Add(trc)
+		m.ObserveTrace(trc)
+	}()
+	root := trc.Start(0, "route")
+	root.SetStr("home", cands[0])
+	root.SetInt("key", int64(key))
+	defer root.End()
+
+	remaining := cands
+	for len(remaining) > 0 {
+		target := remaining[0]
+		if target == n.cfg.Self {
+			root.SetStr("served_by", n.cfg.Self)
+			m.Inc("cluster_served_local", 1)
+			n.serveLocal(w, r, body, false)
+			return
+		}
+		hedgePeer := ""
+		for _, c := range remaining[1:] {
+			if c != n.cfg.Self {
+				hedgePeer = c
+				break
+			}
+		}
+		res, ok := n.forwardHedged(r, trc, root.ID(), target, hedgePeer, body)
+		if ok {
+			root.SetStr("served_by", res.peer)
+			n.writeForwarded(w, trc, res)
+			return
+		}
+		remaining = remaining[1:]
+	}
+	// Every remote replica refused: serve locally so no routed request
+	// is ever lost (bounded by Replicas attempts above).
+	root.SetStr("served_by", n.cfg.Self)
+	m.Inc("cluster_forward_fallback_local", 1)
+	n.serveLocal(w, r, body, false)
+}
+
+// fwdResult is one forwarded response.
+type fwdResult struct {
+	peer   string
+	status int
+	body   []byte
+	err    error
+	hedge  bool
+	span   obs.SpanID
+}
+
+// forwardHedged sends the request to primary, hedging to hedgePeer
+// after the latency budget. ok=false means every attempt failed with a
+// transport error or a retryable status.
+func (n *Node) forwardHedged(r *http.Request, trc *obs.Trace, parent obs.SpanID, primary, hedgePeer string, body []byte) (fwdResult, bool) {
+	m := n.svc.Metrics()
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	resc := make(chan fwdResult, 2)
+	send := func(peer string, hedge bool) {
+		name := "forward"
+		if hedge {
+			name = "hedge"
+		}
+		sp := trc.Start(parent, name)
+		sp.SetStr("peer", peer)
+		go func() {
+			load := n.loadOf(peer)
+			load.Add(1)
+			status, respBody, err := n.doRequest(ctx, peer, r.URL.Path, body, trc.ID(), parent)
+			load.Add(-1)
+			sp.SetInt("status", int64(status))
+			if err != nil {
+				sp.SetStr("error", err.Error())
+			}
+			sp.End()
+			resc <- fwdResult{peer: peer, status: status, body: respBody, err: err, hedge: hedge, span: sp.ID()}
+		}()
+	}
+
+	m.Inc("cluster_forwards", 1)
+	m.Inc("cluster_forwards_to_"+primary, 1)
+	send(primary, false)
+	inflight := 1
+	hedged := false
+	var hedgeC <-chan time.Time
+	if hedgePeer != "" && n.cfg.HedgeAfter > 0 {
+		t := time.NewTimer(n.cfg.HedgeAfter)
+		defer t.Stop()
+		hedgeC = t.C
+	}
+	var failed fwdResult
+	for inflight > 0 {
+		select {
+		case res := <-resc:
+			if res.err == nil && !retryableStatus(res.status) {
+				n.det.ReportSuccess(res.peer)
+				if hedged {
+					if res.hedge {
+						m.Inc("cluster_hedges_won", 1)
+					} else {
+						m.Inc("cluster_hedges_lost", 1)
+					}
+				}
+				cancel() // release the loser
+				return res, true
+			}
+			inflight--
+			failed = res
+			m.Inc("cluster_forward_errors", 1)
+			m.Inc("cluster_forward_errors_"+res.peer, 1)
+			if res.err != nil || res.status == http.StatusServiceUnavailable || res.status == http.StatusBadGateway {
+				n.det.ReportFailure(res.peer)
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			hedged = true
+			m.Inc("cluster_hedges", 1)
+			m.Inc("cluster_forwards_to_"+hedgePeer, 1)
+			send(hedgePeer, true)
+			inflight++
+		}
+	}
+	return failed, false
+}
+
+// doRequest performs one forwarded POST with trace-context headers.
+func (n *Node) doRequest(ctx context.Context, peer, path string, body []byte, traceID string, parent obs.SpanID) (int, []byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, n.urls[peer]+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(HeaderForwarded, n.cfg.Self)
+	req.Header.Set(HeaderTrace, fmt.Sprintf("%s:%d", traceID, parent))
+	res, err := n.client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer res.Body.Close()
+	b, err := io.ReadAll(io.LimitReader(res.Body, maxForwardRespBytes))
+	if err != nil {
+		return res.StatusCode, nil, err
+	}
+	return res.StatusCode, b, nil
+}
+
+// writeForwarded relays the winning response to the client. On
+// success the remote trace is grafted under the winning forward span
+// and the response's trace_id is rewritten to the local route trace,
+// so the client's one trace ID resolves to the full cross-node tree
+// on the node it actually talked to.
+func (n *Node) writeForwarded(w http.ResponseWriter, trc *obs.Trace, res fwdResult) {
+	out := res.body
+	var doc map[string]json.RawMessage
+	if res.status == http.StatusOK && json.Unmarshal(res.body, &doc) == nil {
+		var remoteID string
+		if raw, ok := doc["trace_id"]; ok {
+			_ = json.Unmarshal(raw, &remoteID)
+		}
+		if remoteID != "" {
+			if !n.cfg.DisableTraceGraft {
+				n.graftRemote(trc, res.span, res.peer, remoteID)
+			}
+			if idRaw, err := json.Marshal(trc.ID()); err == nil {
+				doc["trace_id"] = idRaw
+				if b, err := json.Marshal(doc); err == nil {
+					out = b
+				}
+			}
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Commfree-Served-By", res.peer)
+	if retryAfter := res.status == http.StatusTooManyRequests || res.status == http.StatusServiceUnavailable; retryAfter {
+		w.Header().Set("Retry-After", "1")
+	}
+	w.WriteHeader(res.status)
+	_, _ = w.Write(out)
+}
+
+// graftRemote fetches the remote trace export and grafts its span tree
+// under the forward span.
+func (n *Node) graftRemote(trc *obs.Trace, under obs.SpanID, peer, remoteID string) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, n.urls[peer]+"/v1/trace/"+remoteID, nil)
+	if err != nil {
+		return
+	}
+	res, err := n.client.Do(req)
+	if err != nil {
+		return
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		return
+	}
+	var export obs.Export
+	if json.NewDecoder(io.LimitReader(res.Body, maxForwardRespBytes)).Decode(&export) != nil {
+		return
+	}
+	trc.Graft(under, export.Spans)
+	n.svc.Metrics().Inc("cluster_trace_grafts", 1)
+}
+
+// Status is the GET /v1/cluster document.
+type Status struct {
+	Self        string       `json:"self"`
+	Replicas    int          `json:"replicas"`
+	RingVersion int64        `json:"ring_version"`
+	Round       int          `json:"heartbeat_round"`
+	SimClockS   float64      `json:"sim_clock_s"`
+	Peers       []PeerStatus `json:"peers"`
+}
+
+// PeerStatus is one peer's health row.
+type PeerStatus struct {
+	Name     string `json:"name"`
+	URL      string `json:"url"`
+	Up       bool   `json:"up"`
+	InFlight int64  `json:"in_flight"`
+}
+
+func (n *Node) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.WriteHeader(http.StatusMethodNotAllowed)
+		return
+	}
+	st := Status{
+		Self:        n.cfg.Self,
+		Replicas:    n.cfg.Replicas,
+		RingVersion: n.ringVersion.Load(),
+		Round:       n.det.Round(),
+		SimClockS:   n.det.SimClock(),
+	}
+	for _, p := range n.names {
+		st.Peers = append(st.Peers, PeerStatus{
+			Name:     p,
+			URL:      n.urls[p],
+			Up:       n.det.Up(p),
+			InFlight: n.loadOf(p).Load(),
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(st)
+}

@@ -1,0 +1,123 @@
+package cluster
+
+// MapTransport: an in-process http.RoundTripper that resolves request
+// hosts to http.Handlers. Whole fleets run wire-free inside one
+// process — the conformance cluster dimension and the cluster tests
+// build 3–5 node clusters on it — while production nodes use a real
+// network transport against the same Node code.
+//
+// Fault hooks make membership chaos replayable: SetFail rejects
+// requests to "crashed" hosts (connection-refused analogue) and
+// SetDelay stretches a host's responses (slow peer), both typically
+// driven by a chaos.Schedule so the same seed yields the same fleet
+// behavior.
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"time"
+)
+
+// MapTransport routes requests to registered in-process handlers by
+// URL host. Safe for concurrent use.
+type MapTransport struct {
+	mu       sync.RWMutex
+	handlers map[string]http.Handler
+	fail     func(host string) error
+	delay    func(host string) time.Duration
+}
+
+// NewMapTransport builds an empty transport.
+func NewMapTransport() *MapTransport {
+	return &MapTransport{handlers: map[string]http.Handler{}}
+}
+
+// Register binds a host name (the URL authority, e.g. "n0") to a
+// handler.
+func (t *MapTransport) Register(host string, h http.Handler) {
+	t.mu.Lock()
+	t.handlers[host] = h
+	t.mu.Unlock()
+}
+
+// SetFail installs the crash hook: a non-nil error for a host makes
+// every request to it fail without reaching its handler (nil hook or
+// nil error = deliver normally).
+func (t *MapTransport) SetFail(fn func(host string) error) {
+	t.mu.Lock()
+	t.fail = fn
+	t.mu.Unlock()
+}
+
+// SetDelay installs the slow-peer hook: requests to the host block for
+// the returned duration (honoring request-context cancellation) before
+// the handler runs.
+func (t *MapTransport) SetDelay(fn func(host string) time.Duration) {
+	t.mu.Lock()
+	t.delay = fn
+	t.mu.Unlock()
+}
+
+// RoundTrip dispatches the request to the registered handler,
+// honoring context cancellation: a canceled request returns the
+// context error even while the handler is still running (the handler
+// sees the same cancellation through the request context).
+func (t *MapTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	host := req.URL.Host
+	t.mu.RLock()
+	h := t.handlers[host]
+	fail := t.fail
+	delay := t.delay
+	t.mu.RUnlock()
+	if fail != nil {
+		if err := fail(host); err != nil {
+			return nil, err
+		}
+	}
+	if h == nil {
+		return nil, fmt.Errorf("cluster: no in-process handler for host %q", host)
+	}
+	if delay != nil {
+		if d := delay(host); d > 0 {
+			timer := time.NewTimer(d)
+			select {
+			case <-timer.C:
+			case <-req.Context().Done():
+				timer.Stop()
+				return nil, req.Context().Err()
+			}
+		}
+	}
+
+	// Buffer the body so the in-process handler owns its copy.
+	var body []byte
+	if req.Body != nil {
+		b, err := io.ReadAll(req.Body)
+		req.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		body = b
+	}
+	done := make(chan *httptest.ResponseRecorder, 1)
+	go func() {
+		inner := req.Clone(req.Context())
+		inner.Body = io.NopCloser(bytes.NewReader(body))
+		inner.RequestURI = "" // server-side requests carry the path in URL
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, inner)
+		done <- rec
+	}()
+	select {
+	case rec := <-done:
+		res := rec.Result()
+		res.Request = req
+		return res, nil
+	case <-req.Context().Done():
+		return nil, req.Context().Err()
+	}
+}

@@ -1,0 +1,287 @@
+package conformance
+
+// Cluster dimension of the conformance suite: an n-node in-process
+// fleet must be observationally identical to a single service. For the
+// corpus × all four strategies, POST /v1/execute through a (rotating)
+// cluster entry node must return a bit-identical execution document —
+// same simulated timings, message counts, per-node workloads, and
+// validation verdict — as the single-node reference, because routing
+// and forwarding may move *where* a plan compiles but never *what* it
+// computes. Under a seeded single-node-crash schedule the same must
+// hold with zero lost requests: forwards to the crashed node fail fast,
+// feed the failure detector, and fall through to a replica.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+
+	"commfree/internal/chaos"
+	"commfree/internal/cluster"
+	"commfree/internal/lang"
+	"commfree/internal/service"
+)
+
+// strategyNames are the wire names of the four theorem strategies.
+var strategyNames = []string{
+	"non-duplicate", "duplicate", "minimal-non-duplicate", "minimal-duplicate",
+}
+
+// clusterProcs is the simulated machine size used by the cluster
+// dimension (matches the chaos dimension).
+const clusterProcs = 4
+
+// execDoc is the deterministic projection of an ExecuteResponse: every
+// field that is a pure function of (program, strategy, processors,
+// engine). Wall-clock time, cache state, and trace IDs legitimately
+// differ between nodes and are excluded; everything here must be
+// bit-identical across the fleet.
+type execDoc struct {
+	Strategy          string
+	Processors        int
+	DistributionS     float64
+	ComputeS          float64
+	SimElapsedS       float64
+	HostMessages      int64
+	InterNodeMessages int64
+	Iterations        string
+	Engine            string
+	Validated         bool
+	Mismatches        int
+	Elements          int
+}
+
+func docOf(r *service.ExecuteResponse) execDoc {
+	return execDoc{
+		Strategy:          r.Strategy,
+		Processors:        r.Processors,
+		DistributionS:     r.DistributionS,
+		ComputeS:          r.ComputeS,
+		SimElapsedS:       r.SimElapsedS,
+		HostMessages:      r.HostMessages,
+		InterNodeMessages: r.InterNodeMessages,
+		Iterations:        fmt.Sprint(r.IterationsPerNode),
+		Engine:            r.Engine,
+		Validated:         r.Validated,
+		Mismatches:        r.Mismatches,
+		Elements:          r.Elements,
+	}
+}
+
+// clusterCorpus filters lang.Corpus down to valid nests small enough
+// for the execution properties.
+func clusterCorpus() []string {
+	var out []string
+	for _, src := range lang.Corpus() {
+		nest, err := lang.Parse(src)
+		if err != nil || nest.Validate() != nil {
+			continue
+		}
+		if nest.NumIterations() > maxExecIterations {
+			continue
+		}
+		out = append(out, src)
+	}
+	return out
+}
+
+// CheckCluster runs the cluster dimension: an n-node in-process fleet
+// against a single-node reference, corpus × four strategies on the
+// given engine. seed != 0 additionally replays a seeded membership
+// fault schedule (a crashed node, dropped heartbeats) during the sweep;
+// every request must still succeed with a bit-identical document.
+func CheckCluster(nodes int, engine string, seed int64) error {
+	base := service.Config{
+		Workers:    4,
+		QueueDepth: 64,
+		Engine:     engine,
+	}
+	ref := service.New(base)
+	defer ref.Close()
+
+	fleet, err := cluster.NewLocal(nodes, base,
+		cluster.WithReplicas(2),
+		cluster.WithSeed(seed))
+	if err != nil {
+		return fmt.Errorf("conformance: cluster: %w", err)
+	}
+	defer fleet.Close()
+
+	// The crash schedule the detectors consult also gates the transport:
+	// requests to a peer inside its crash window fail like a refused
+	// connection, keyed to the same shared heartbeat round the detectors
+	// tick through — belief and reality replay from one seed.
+	var round atomic.Int64
+	var sched *chaos.Schedule
+	if seed != 0 {
+		sched = chaos.NewSchedule(seed, chaos.ClusterConfig())
+		fleet.Transport.SetFail(func(host string) error {
+			idx, err := strconv.Atoi(host[1:]) // hosts are n0..n{k}
+			if err != nil {
+				return nil
+			}
+			if sched.PeerCrashed(0, nodes, idx, int(round.Load())) {
+				return fmt.Errorf("conformance: peer %s crashed (round %d)", host, round.Load())
+			}
+			return nil
+		})
+	}
+	tick := func() {
+		round.Add(1)
+		fleet.Tick()
+	}
+
+	client := fleet.Client()
+	corpus := clusterCorpus()
+	if len(corpus) == 0 {
+		return fmt.Errorf("conformance: cluster corpus is empty")
+	}
+
+	entry := 0
+	nextEntry := func() int {
+		// Rotate over nodes a live client could actually reach (a real
+		// client cannot connect to a crashed node).
+		for i := 0; i < nodes; i++ {
+			entry = (entry + 1) % nodes
+			if sched == nil || !sched.PeerCrashed(0, nodes, entry, int(round.Load())) {
+				return entry
+			}
+		}
+		return entry
+	}
+
+	// check compares one fleet request against the single-node reference.
+	check := func(ci int, src, strat string) error {
+		req := service.ExecuteRequest{CompileRequest: service.CompileRequest{
+			Source: src, Strategy: strat, Processors: clusterProcs,
+		}}
+		want, err := ref.Execute(context.Background(), req)
+		if err != nil {
+			return fmt.Errorf("conformance: cluster: reference execute failed (corpus[%d], %s): %w", ci, strat, err)
+		}
+		got, servedBy, err := clusterExecute(client, fleet.URL(nextEntry()), req)
+		if err != nil {
+			return fmt.Errorf("conformance: cluster: lost request (corpus[%d], %s, round %d): %w", ci, strat, round.Load(), err)
+		}
+		if d1, d2 := docOf(want), docOf(got); d1 != d2 {
+			return fmt.Errorf("conformance: cluster: corpus[%d] %s: fleet (via %s) diverges from single node:\n single: %+v\n fleet:  %+v",
+				ci, strat, servedBy, d1, d2)
+		}
+		if got.InterNodeMessages != 0 {
+			return fmt.Errorf("conformance: cluster: corpus[%d] %s: %d inter-node messages", ci, strat, got.InterNodeMessages)
+		}
+		if !got.Validated {
+			return fmt.Errorf("conformance: cluster: corpus[%d] %s: fleet result failed validation (%d mismatches)", ci, strat, got.Mismatches)
+		}
+		return nil
+	}
+
+	if seed != 0 {
+		// Crash replay: march the heartbeat rounds through the victim's
+		// whole crash window (plus the detection/recovery tail), each
+		// round re-requesting the corpus nests whose plans are homed on
+		// the victim — those requests MUST hit the crash, fail over to a
+		// replica, and still return the reference document.
+		victim := sched.PeerCrashVictim(0, nodes)
+		start, wlen := sched.PeerCrashWindow(0, victim)
+		fullRing := cluster.NewRing(fleet.Names, 0)
+		var probes []int
+		for ci, src := range corpus {
+			nest, _ := lang.Parse(src)
+			owner, _ := fullRing.Owner(cluster.KeyHash(lang.Canonical(nest)))
+			if owner == fleet.Names[victim] {
+				probes = append(probes, ci)
+			}
+		}
+		if len(probes) == 0 {
+			return fmt.Errorf("conformance: cluster: seed %d elects victim %s but no corpus key is homed there — pick another seed", seed, fleet.Names[victim])
+		}
+		for r := 0; r < start+wlen+5; r++ {
+			tick()
+			for _, ci := range probes {
+				if err := check(ci, corpus[ci], strategyNames[r%len(strategyNames)]); err != nil {
+					return err
+				}
+			}
+		}
+		var fwdErrs int64
+		for _, svc := range fleet.Services {
+			fwdErrs += svc.Metrics().Counter("cluster_forward_errors")
+		}
+		if fwdErrs == 0 {
+			return fmt.Errorf("conformance: cluster: crash schedule (seed %d, victim %s, window [%d,%d)) was vacuous — no forward ever failed over", seed, fleet.Names[victim], start, start+wlen)
+		}
+	}
+
+	for ci, src := range corpus {
+		nest, _ := lang.Parse(src)
+		key := cluster.KeyHash(lang.Canonical(nest))
+		if seed == 0 {
+			// Routing purity: with stable membership every node derives
+			// the same home for the key from (peer set, hash) alone.
+			if err := checkPlacementAgreement(fleet, key); err != nil {
+				return err
+			}
+		}
+		for _, strat := range strategyNames {
+			tick()
+			if err := check(ci, src, strat); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// checkPlacementAgreement asserts every node's ring maps the key to
+// the same home — routing is a pure function of (peer set, hash).
+func checkPlacementAgreement(fleet *cluster.Local, key uint64) error {
+	var home string
+	for i, n := range fleet.Nodes {
+		owner, ok := n.Ring().Owner(key)
+		if !ok {
+			return fmt.Errorf("conformance: cluster: node %s has an empty ring", fleet.Names[i])
+		}
+		if i == 0 {
+			home = owner
+		} else if owner != home {
+			return fmt.Errorf("conformance: cluster: placement disagreement for key %#x: %s says %s, %s says %s",
+				key, fleet.Names[0], home, fleet.Names[i], owner)
+		}
+	}
+	return nil
+}
+
+// clusterExecute POSTs the request to the entry node and decodes the
+// response, reporting which node served it.
+func clusterExecute(client *http.Client, baseURL string, req service.ExecuteRequest) (*service.ExecuteResponse, string, error) {
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return nil, "", err
+	}
+	res, err := client.Post(baseURL+"/v1/execute", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return nil, "", err
+	}
+	defer res.Body.Close()
+	servedBy := res.Header.Get("X-Commfree-Served-By")
+	if servedBy == "" {
+		servedBy = "entry"
+	}
+	if res.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(res.Body).Decode(&e)
+		return nil, servedBy, fmt.Errorf("status %d: %s", res.StatusCode, e.Error)
+	}
+	var out service.ExecuteResponse
+	if err := json.NewDecoder(res.Body).Decode(&out); err != nil {
+		return nil, servedBy, err
+	}
+	return &out, servedBy, nil
+}

@@ -1,0 +1,32 @@
+package machine
+
+import "sync"
+
+// SimClock is an accumulated-simulated-seconds clock — the same time
+// model the simulator's cost accounting uses (distribution and compute
+// charges advance a float-seconds accumulator, never wall time). Other
+// components that must replay deterministically build on it too: the
+// cluster failure detector advances one fixed interval per heartbeat
+// round, so its state is a pure function of the round number.
+type SimClock struct {
+	mu sync.Mutex
+	s  float64
+}
+
+// Advance charges the given simulated seconds and returns the new
+// reading. Non-positive charges are ignored.
+func (c *SimClock) Advance(seconds float64) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if seconds > 0 {
+		c.s += seconds
+	}
+	return c.s
+}
+
+// Seconds returns the current reading.
+func (c *SimClock) Seconds() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.s
+}

@@ -219,6 +219,37 @@ func (t *Trace) Bulk(spans []Span) {
 	t.mu.Unlock()
 }
 
+// Graft appends another trace's exported spans under parent — the
+// cluster router uses it to hang the remote subtree of a forwarded
+// request off its local "forward" span, so one tree covers the whole
+// cross-node request. Remote span IDs are remapped into this trace's
+// ID space with the internal parent links preserved; remote top-level
+// spans (or spans whose parent is missing from the export) hang from
+// parent. Start offsets stay relative to the *remote* trace start, so
+// durations are exact while absolute positions are the remote clock's.
+func (t *Trace) Graft(parent SpanID, spans []Span) {
+	if t == nil || len(spans) == 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	idmap := make(map[SpanID]SpanID, len(spans))
+	for _, sp := range spans {
+		if sp.Name == "" {
+			continue
+		}
+		id := SpanID(len(t.spans) + 1)
+		idmap[sp.ID] = id
+		np := parent
+		if p, ok := idmap[sp.Parent]; ok && sp.Parent != 0 {
+			np = p
+		}
+		sp.ID, sp.Parent = id, np
+		sp.Attrs = append([]Attr(nil), sp.Attrs...)
+		t.spans = append(t.spans, sp)
+	}
+}
+
 // BulkCompact publishes a set of homogeneous child spans recorded as
 // raw int64 rows: stride 2+len(keys) per span, laid out as
 // [startNS, durNS, attrValues...]. Rows with durNS < 0 are skipped

@@ -9,8 +9,22 @@ package service
 
 import (
 	"container/list"
+	"hash/fnv"
 	"sync"
 )
+
+// NumCacheShards is the fixed shard count used to attribute cache
+// traffic (and, in the cluster layer, key ownership) to keyspace
+// shards in metrics. It does not partition the LRU itself — eviction
+// stays global — it only buckets the counters.
+const NumCacheShards = 8
+
+// cacheShard buckets a cache key.
+func cacheShard(key string) int {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(key))
+	return int(h.Sum32() % NumCacheShards)
+}
 
 // cacheEntry is one cached compilation: the wire-form plan plus the
 // live pipeline artifacts /v1/execute needs (all read-only after
@@ -34,6 +48,9 @@ type planCache struct {
 	hits       int64
 	misses     int64
 	evictions  int64
+
+	shardHits   [NumCacheShards]int64
+	shardMisses [NumCacheShards]int64
 }
 
 func newPlanCache(maxEntries int, maxBytes int64) *planCache {
@@ -58,9 +75,11 @@ func (c *planCache) get(key string) (*cacheEntry, bool) {
 	el, ok := c.items[key]
 	if !ok {
 		c.misses++
+		c.shardMisses[cacheShard(key)]++
 		return nil, false
 	}
 	c.hits++
+	c.shardHits[cacheShard(key)]++
 	c.ll.MoveToFront(el)
 	return el.Value.(*cacheEntry), true
 }
@@ -116,6 +135,17 @@ type CacheStats struct {
 	MaxEntries int     `json:"max_entries"`
 	MaxBytes   int64   `json:"max_bytes"`
 	HitRate    float64 `json:"hit_rate"`
+	// Shards buckets hits/misses/entries by keyspace shard
+	// (NumCacheShards fixed buckets over the cache-key hash).
+	Shards []CacheShardStats `json:"shards,omitempty"`
+}
+
+// CacheShardStats is one keyspace shard's slice of the cache traffic.
+type CacheShardStats struct {
+	Shard   int   `json:"shard"`
+	Hits    int64 `json:"hits"`
+	Misses  int64 `json:"misses"`
+	Entries int   `json:"entries"`
 }
 
 func (c *planCache) stats() CacheStats {
@@ -128,6 +158,16 @@ func (c *planCache) stats() CacheStats {
 	}
 	if total := c.hits + c.misses; total > 0 {
 		s.HitRate = float64(c.hits) / float64(total)
+	}
+	var entries [NumCacheShards]int
+	for key := range c.items {
+		entries[cacheShard(key)]++
+	}
+	s.Shards = make([]CacheShardStats, NumCacheShards)
+	for i := range s.Shards {
+		s.Shards[i] = CacheShardStats{
+			Shard: i, Hits: c.shardHits[i], Misses: c.shardMisses[i], Entries: entries[i],
+		}
 	}
 	return s
 }

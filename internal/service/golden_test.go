@@ -7,6 +7,7 @@ package service
 // -run Golden and review the diff like any other code change.
 
 import (
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -132,4 +133,27 @@ func TestGoldenPrometheusExposition(t *testing.T) {
 	body := get(t, ts.URL+"/v1/metrics?format=prometheus")
 	normalized := uptimeRe.ReplaceAll(body, []byte("commfree_uptime_seconds UPTIME"))
 	goldenCompare(t, "metrics_prom.golden", normalized)
+}
+
+// TestGoldenCacheShardMetrics pins the per-shard cache series. The
+// cache is driven directly with fixed keys (no compiles), so the
+// exposition carries no wall-time-dependent stage histograms and the
+// shard attribution — a pure function of the key hashes — renders
+// identically on every run.
+func TestGoldenCacheShardMetrics(t *testing.T) {
+	s := newTestService(t, Config{Workers: 2, QueueDepth: 4})
+	for i := 0; i < 12; i++ {
+		s.cache.get(fmt.Sprintf("k%02d", i)) // 12 misses spread over the shards
+	}
+	for i := 0; i < 6; i++ {
+		key := fmt.Sprintf("k%02d", i)
+		s.cache.add(&cacheEntry{key: key, bytes: 100})
+		s.cache.get(key) // 6 hits on resident keys
+	}
+
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	body := get(t, ts.URL+"/v1/metrics?format=prometheus")
+	normalized := uptimeRe.ReplaceAll(body, []byte("commfree_uptime_seconds UPTIME"))
+	goldenCompare(t, "metrics_shards_prom.golden", normalized)
 }

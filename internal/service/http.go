@@ -136,7 +136,10 @@ func handleJSON[T any](s *Service, w http.ResponseWriter, r *http.Request, serve
 	resp, err := serve(r.Context(), req)
 	if err != nil {
 		status := statusFor(err)
-		if status == http.StatusTooManyRequests {
+		// 429 (shed) and 503 (draining) both mean "this node, right now":
+		// Retry-After tells clients — and cluster peers, which re-route on
+		// these statuses — that the condition is short-lived.
+		if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
 			w.Header().Set("Retry-After", "1")
 		}
 		writeError(w, status, err)

@@ -148,6 +148,13 @@ func (p *pool) trySubmit(ctx context.Context, fn func(ctx context.Context) (any,
 	return r.v, r.err
 }
 
+// draining reports whether close has begun.
+func (p *pool) draining() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.closed
+}
+
 // queueDepth reports the number of queued-but-not-started tasks.
 func (p *pool) queueDepth() int { return len(p.queue) }
 

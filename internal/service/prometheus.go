@@ -8,6 +8,8 @@ package service
 //	commfree_<gauge>                             gauge
 //	commfree_cache_{hits,misses,evictions}_total counter
 //	commfree_cache_{entries,bytes}               gauge
+//	commfree_cache_shard_{hits,misses}_total{shard=N} counter
+//	commfree_cache_shard_entries{shard=N}        gauge
 //	commfree_stage_duration_seconds{stage=...}   histogram
 //
 // Histogram buckets are rendered cumulatively over the full bound list
@@ -56,6 +58,21 @@ func (s *Service) WritePrometheus(w io.Writer) {
 		mn := "commfree_" + kv.name
 		fmt.Fprintf(w, "# TYPE %s %s\n", mn, kv.kind)
 		fmt.Fprintf(w, "%s %d\n", mn, kv.v)
+	}
+
+	if len(doc.Cache.Shards) > 0 {
+		fmt.Fprintf(w, "# TYPE commfree_cache_shard_hits_total counter\n")
+		for _, sh := range doc.Cache.Shards {
+			fmt.Fprintf(w, "commfree_cache_shard_hits_total{shard=\"%d\"} %d\n", sh.Shard, sh.Hits)
+		}
+		fmt.Fprintf(w, "# TYPE commfree_cache_shard_misses_total counter\n")
+		for _, sh := range doc.Cache.Shards {
+			fmt.Fprintf(w, "commfree_cache_shard_misses_total{shard=\"%d\"} %d\n", sh.Shard, sh.Misses)
+		}
+		fmt.Fprintf(w, "# TYPE commfree_cache_shard_entries gauge\n")
+		for _, sh := range doc.Cache.Shards {
+			fmt.Fprintf(w, "commfree_cache_shard_entries{shard=\"%d\"} %d\n", sh.Shard, sh.Entries)
+		}
 	}
 
 	if len(doc.Stages) == 0 {

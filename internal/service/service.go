@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"commfree/internal/assign"
@@ -284,6 +285,11 @@ type Service struct {
 
 	flightMu sync.Mutex
 	flights  map[string]*flight
+
+	// drain is set by BeginDrain before the pool itself closes, so the
+	// front door (and the cluster routing layer) can refuse new work —
+	// 503 + Retry-After — while already-accepted requests finish.
+	drain atomic.Bool
 }
 
 // New builds a Service from the config.
@@ -325,9 +331,26 @@ func (s *Service) Traces() *obs.Ring { return s.traces }
 // CacheStats exposes the cache counters.
 func (s *Service) CacheStats() CacheStats { return s.cache.stats() }
 
+// MaxSourceBytes exposes the configured source-size bound (the cluster
+// router sizes its body reader from it).
+func (s *Service) MaxSourceBytes() int { return s.cfg.MaxSourceBytes }
+
+// BeginDrain flips the service into drain mode without waiting: new
+// requests (local or forwarded) fail immediately with ErrDraining so
+// cluster peers re-route, while everything already accepted keeps
+// running. Close() still performs the blocking drain.
+func (s *Service) BeginDrain() { s.drain.Store(true) }
+
+// Draining reports whether the service is refusing new work — either
+// BeginDrain was called or the pool has started closing.
+func (s *Service) Draining() bool { return s.drain.Load() || s.pool.draining() }
+
 // Close drains the service: in-flight and queued requests complete and
 // receive their responses; new requests fail with ErrDraining.
-func (s *Service) Close() { s.pool.close() }
+func (s *Service) Close() {
+	s.drain.Store(true)
+	s.pool.close()
+}
 
 // parseStrategy maps the wire strategy name.
 func parseStrategy(name string) (strat partition.Strategy, auto bool, err error) {
@@ -366,6 +389,10 @@ func (s *Service) validate(req *CompileRequest) error {
 
 // Compile serves one compilation request through the cache and pool.
 func (s *Service) Compile(ctx context.Context, req CompileRequest) (*CompileResponse, error) {
+	if s.Draining() {
+		s.metrics.Inc("drain_rejects", 1)
+		return nil, ErrDraining
+	}
 	start := time.Now()
 	s.metrics.Inc("compile_requests", 1)
 	trc := obs.New("compile")
@@ -595,6 +622,10 @@ func (s *Service) countError(err error) {
 // decorrelate); and when the retry budget is exhausted the request
 // degrades to the sequential oracle, which cannot fault.
 func (s *Service) Execute(ctx context.Context, req ExecuteRequest) (*ExecuteResponse, error) {
+	if s.Draining() {
+		s.metrics.Inc("drain_rejects", 1)
+		return nil, ErrDraining
+	}
 	start := time.Now()
 	s.metrics.Inc("execute_requests", 1)
 	trc := obs.New("execute")
