@@ -1,0 +1,96 @@
+package main
+
+// Cluster administration: -cluster URL selects admin mode against any
+// member of a running commfreed fleet.
+//
+//	commfree -cluster http://host:8377                       # status
+//	commfree -cluster http://host:8377 -op join -peer n3=http://host3:8377
+//	commfree -cluster http://host:8377 -op leave -peer n3
+//
+// Join and leave bump the fleet's membership epoch: the ring is
+// recomputed and every plan whose home moved migrates as a record
+// (old home → new home), never as a recompilation. Status reports the
+// epoch, per-peer health, and per-peer plan counts so a rebalance can
+// be watched converging.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// runClusterAdmin dispatches one admin operation against the fleet
+// member at base.
+func runClusterAdmin(base, op, peer string) error {
+	base = strings.TrimSuffix(base, "/")
+	switch op {
+	case "", "status":
+		return clusterStatus(base)
+	case "join":
+		name, url, ok := strings.Cut(peer, "=")
+		if !ok || name == "" || url == "" {
+			return fmt.Errorf("-op join requires -peer NAME=URL")
+		}
+		return clusterMembership(base, map[string]any{
+			"op":   "join",
+			"peer": map[string]string{"name": name, "url": url},
+		})
+	case "leave":
+		if peer == "" || strings.Contains(peer, "=") {
+			return fmt.Errorf("-op leave requires -peer NAME")
+		}
+		return clusterMembership(base, map[string]any{
+			"op":   "leave",
+			"peer": map[string]string{"name": peer},
+		})
+	default:
+		return fmt.Errorf("unknown -op %q (want status, join, or leave)", op)
+	}
+}
+
+// clusterStatus prints GET /v1/cluster as indented JSON.
+func clusterStatus(base string) error {
+	client := &http.Client{Timeout: 30 * time.Second}
+	res, err := client.Get(base + "/v1/cluster")
+	if err != nil {
+		return err
+	}
+	defer res.Body.Close()
+	return printJSONResponse(res)
+}
+
+// clusterMembership POSTs one membership update and prints the
+// resulting membership document.
+func clusterMembership(base string, update map[string]any) error {
+	payload, err := json.Marshal(update)
+	if err != nil {
+		return err
+	}
+	client := &http.Client{Timeout: 2 * time.Minute} // migration may move many plans
+	res, err := client.Post(base+"/v1/cluster/membership", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	defer res.Body.Close()
+	return printJSONResponse(res)
+}
+
+func printJSONResponse(res *http.Response) error {
+	out, err := io.ReadAll(res.Body)
+	if err != nil {
+		return err
+	}
+	if res.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s", res.Status, bytes.TrimSpace(out))
+	}
+	var pretty bytes.Buffer
+	if json.Indent(&pretty, out, "", "  ") == nil {
+		out = pretty.Bytes()
+	}
+	fmt.Printf("%s\n", out)
+	return nil
+}

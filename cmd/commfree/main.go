@@ -18,6 +18,11 @@
 // response. -strategy, -p, -exec, and -chaos-seed apply; the other
 // local-pipeline flags do not.
 //
+// -cluster URL administers a running fleet through any member: -op
+// status (default) prints membership epoch, peer health, and per-peer
+// plan counts; -op join -peer NAME=URL and -op leave -peer NAME change
+// the membership, migrating affected plans to their new homes.
+//
 // With no -file, the paper's loop L1 is used as a demonstration.
 package main
 
@@ -55,8 +60,19 @@ func main() {
 		trace     = flag.Bool("trace", false, "print the pipeline span tree (stage timings, per-block execution spans under -exec)")
 		chaosSeed = flag.Int64("chaos-seed", 0, "with -exec: inject a deterministic fault schedule derived from this seed (block crashes, message loss, slow nodes) and prove recovery is bit-identical; 0 disables")
 		remote    = flag.String("remote", "", "submit to a running commfreed (or cluster node) at this base URL instead of compiling in-process")
+
+		clusterURL = flag.String("cluster", "", "cluster admin: base URL of any fleet member (use with -op and -peer)")
+		clusterOp  = flag.String("op", "status", "cluster admin: status | join | leave")
+		clusterPr  = flag.String("peer", "", "cluster admin: NAME=URL for -op join, NAME for -op leave")
 	)
 	flag.Parse()
+
+	if *clusterURL != "" {
+		if err := runClusterAdmin(*clusterURL, *clusterOp, *clusterPr); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	var trc *commfree.Trace
 	if *trace {

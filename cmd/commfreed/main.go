@@ -12,8 +12,16 @@
 //	commfreed [-addr :8377] [-workers 8] [-queue 128] [-cache 256]
 //	          [-timeout 30s] [-max-iterations 4194304] [-engine compiled]
 //	          [-trace-ring 256] [-chaos-seed 0] [-debug]
+//	          [-store-dir DIR [-store-warm]]
 //	          [-node NAME -peers NAME=URL,... [-replicas 2]
 //	           [-hedge-after 0] [-heartbeat 1s] [-suspect 3]]
+//	          [-node NAME -advertise URL -join URL [-leave-on-drain]]
+//
+// -store-dir persists every compiled plan as a content-addressed,
+// CRC-checked record under DIR; a restart against the same directory
+// serves its whole pre-restart corpus without recompiling (records
+// rehydrate on demand, or all at boot with -store-warm). Corrupted or
+// torn records are detected by checksum and silently recompiled.
 //
 // Cluster mode: -node and -peers make this process one member of a
 // static fleet. Requests are routed by consistent hashing over the
@@ -23,7 +31,17 @@
 // the home exceeds -hedge-after (0 disables hedging). A heartbeat
 // failure detector (-heartbeat interval, -suspect consecutive misses)
 // drops crashed peers from routing; GET /v1/cluster reports peer
-// health.
+// health and the membership epoch.
+//
+// Dynamic membership: -join URL (with -node and -advertise) starts this
+// node alone and announces it to the running fleet member at URL; the
+// fleet bumps its membership epoch, teaches the newcomer the full
+// member list, and migrates every plan whose ring home moved onto this
+// node — rebalancing moves records, not recompilations. -leave-on-drain
+// announces the symmetric leave on SIGTERM: this node's plans migrate
+// to the survivors before the drain, so a scale-down loses no warm
+// state. POST /v1/cluster/membership performs the same join/leave
+// administratively.
 //
 // -chaos-seed enables service-wide deterministic fault injection: every
 // execution runs under a seeded failure schedule (block crashes with
@@ -43,10 +61,13 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"net/http/pprof"
@@ -101,16 +122,22 @@ func run() error {
 		chaosSeed = flag.Int64("chaos-seed", 0, "inject deterministic faults into every execution from this seed (0 disables); requests may override with \"chaos_seed\"")
 		debug     = flag.Bool("debug", false, "mount net/http/pprof under /debug/pprof/")
 
-		nodeName   = flag.String("node", "", "cluster: this node's name (enables cluster mode; must appear in -peers)")
-		peersFlag  = flag.String("peers", "", "cluster: static peer set as NAME=URL,NAME=URL,...")
-		replicas   = flag.Int("replicas", 2, "cluster: replicas per plan (home + R-1)")
-		hedgeAfter = flag.Duration("hedge-after", 0, "cluster: hedge a forwarded request to the next replica after this long (0 disables)")
-		heartbeat  = flag.Duration("heartbeat", time.Second, "cluster: failure-detector heartbeat interval")
-		suspect    = flag.Int("suspect", 3, "cluster: consecutive missed heartbeats before a peer is marked down")
+		storeDir  = flag.String("store-dir", "", "persist compiled plans as content-addressed records under this directory (restart-warm)")
+		storeWarm = flag.Bool("store-warm", false, "with -store-dir: rehydrate every stored plan into the cache at boot")
+
+		nodeName     = flag.String("node", "", "cluster: this node's name (enables cluster mode; must appear in -peers, or be new with -join)")
+		peersFlag    = flag.String("peers", "", "cluster: static peer set as NAME=URL,NAME=URL,...")
+		replicas     = flag.Int("replicas", 2, "cluster: replicas per plan (home + R-1)")
+		hedgeAfter   = flag.Duration("hedge-after", 0, "cluster: hedge a forwarded request to the next replica after this long (0 disables)")
+		heartbeat    = flag.Duration("heartbeat", time.Second, "cluster: failure-detector heartbeat interval")
+		suspect      = flag.Int("suspect", 3, "cluster: consecutive missed heartbeats before a peer is marked down")
+		joinVia      = flag.String("join", "", "cluster: join the running fleet member at this base URL (requires -node and -advertise)")
+		advertise    = flag.String("advertise", "", "cluster: base URL peers reach this node at (with -join)")
+		leaveOnDrain = flag.Bool("leave-on-drain", false, "cluster: announce leave on shutdown, migrating this node's plans to the survivors before draining")
 	)
 	flag.Parse()
 
-	svc := service.New(service.Config{
+	svc, err := service.NewWithStore(service.Config{
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		CacheEntries:   *cacheN,
@@ -119,16 +146,45 @@ func run() error {
 		Engine:         *engine,
 		TraceRing:      *traceRing,
 		ChaosSeed:      *chaosSeed,
+		StoreDir:       *storeDir,
 	})
+	if err != nil {
+		return err
+	}
+	if *storeDir != "" {
+		log.Printf("commfreed: plan store at %s (%d records)", *storeDir, storeRecords(svc))
+		if *storeWarm {
+			n, err := svc.WarmStart(context.Background())
+			if err != nil {
+				return fmt.Errorf("warm start: %w", err)
+			}
+			log.Printf("commfreed: warm start rehydrated %d plans", n)
+		}
+	}
 	handler := svc.Handler()
 
+	var node *cluster.Node
 	var hbStop func()
-	if *nodeName != "" || *peersFlag != "" {
-		peers, err := parsePeers(*peersFlag)
-		if err != nil {
-			return err
+	if *nodeName != "" || *peersFlag != "" || *joinVia != "" {
+		var peers []cluster.Peer
+		switch {
+		case *joinVia != "":
+			if *nodeName == "" || *advertise == "" {
+				return errors.New("-join requires -node and -advertise")
+			}
+			if *peersFlag != "" {
+				return errors.New("-join and -peers are mutually exclusive (the fleet teaches the joiner its members)")
+			}
+			peers = []cluster.Peer{{Name: *nodeName, URL: *advertise}}
+		default:
+			var err error
+			peers, err = parsePeers(*peersFlag)
+			if err != nil {
+				return err
+			}
 		}
-		node, err := cluster.NewNode(svc, cluster.Config{
+		var err error
+		node, err = cluster.NewNode(svc, cluster.Config{
 			Self:         *nodeName,
 			Peers:        peers,
 			Replicas:     *replicas,
@@ -185,6 +241,19 @@ func run() error {
 		errc <- srv.ListenAndServe()
 	}()
 
+	if *joinVia != "" {
+		// Announce the join once the listener is up: the fleet's sync
+		// broadcast and plan migrations arrive over our own HTTP surface.
+		go func() {
+			if err := announceJoin(*joinVia, *nodeName, *advertise); err != nil {
+				log.Printf("commfreed: join via %s FAILED: %v (still serving standalone)", *joinVia, err)
+				return
+			}
+			log.Printf("commfreed: joined fleet via %s as %s (epoch %d, %d members)",
+				*joinVia, *nodeName, node.Epoch(), len(node.Members()))
+		}()
+	}
+
 	select {
 	case err := <-errc:
 		return err // listener failed to start or died
@@ -192,6 +261,18 @@ func run() error {
 	}
 
 	log.Printf("commfreed: signal received, draining (limit %s)", *drainFor)
+	if *leaveOnDrain && node != nil {
+		// Leave the membership before refusing work: the leave epoch
+		// migrates every plan this node holds to the survivors, so the
+		// warm state outlives the process.
+		if via, ok := leaveTarget(node); !ok {
+			log.Printf("commfreed: leave-on-drain: no surviving peer to leave through")
+		} else if err := announceLeave(via, *nodeName); err != nil {
+			log.Printf("commfreed: leave via %s FAILED: %v (plans recompile at their new homes)", via, err)
+		} else {
+			log.Printf("commfreed: left fleet via %s, plans migrated", via)
+		}
+	}
 	// Refuse new work first — cluster peers see 503 + Retry-After and
 	// re-route to a replica instead of queueing behind the drain — then
 	// stop accepting connections, wait for active handlers, and drain
@@ -202,11 +283,76 @@ func run() error {
 	}
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainFor)
 	defer cancel()
-	err := srv.Shutdown(shutdownCtx)
+	err = srv.Shutdown(shutdownCtx)
 	svc.Close()
 	if err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return fmt.Errorf("shutdown: %w", err)
 	}
 	log.Printf("commfreed: drained, bye")
+	return nil
+}
+
+// storeRecords reports the plan store's record count (0 without one).
+func storeRecords(svc *service.Service) int64 {
+	if st := svc.StoreStats(); st != nil {
+		return st.Records
+	}
+	return 0
+}
+
+// announceJoin posts this node's join to a running fleet member,
+// retrying briefly (the via node may itself still be booting).
+func announceJoin(via, name, advertise string) error {
+	var err error
+	for attempt := 0; attempt < 10; attempt++ {
+		if attempt > 0 {
+			time.Sleep(500 * time.Millisecond)
+		}
+		err = postMembership(via, cluster.MembershipUpdate{
+			Op:   "join",
+			Peer: &cluster.Peer{Name: name, URL: advertise},
+		})
+		if err == nil {
+			return nil
+		}
+	}
+	return err
+}
+
+// announceLeave posts this node's leave to a surviving member.
+func announceLeave(via, name string) error {
+	return postMembership(via, cluster.MembershipUpdate{
+		Op:   "leave",
+		Peer: &cluster.Peer{Name: name},
+	})
+}
+
+// leaveTarget picks a member other than self to route the leave through.
+func leaveTarget(node *cluster.Node) (string, bool) {
+	for _, p := range node.Members() {
+		if p.Name != node.Self() {
+			return p.URL, true
+		}
+	}
+	return "", false
+}
+
+// postMembership POSTs one membership update and checks for 200.
+func postMembership(base string, up cluster.MembershipUpdate) error {
+	body, err := json.Marshal(up)
+	if err != nil {
+		return err
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+	res, err := client.Post(strings.TrimSuffix(base, "/")+"/v1/cluster/membership",
+		"application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(res.Body, 4096))
+		return fmt.Errorf("status %d: %s", res.StatusCode, strings.TrimSpace(string(msg)))
+	}
 	return nil
 }

@@ -71,6 +71,16 @@ type Config struct {
 	// pair of live peers (asymmetric: a→b draws independently of b→a) —
 	// a transient partition the failure detector must ride out.
 	HeartbeatLossProb float64
+	// Plan-store and migration faults (consumed by internal/store's
+	// torn-write hook and internal/cluster's migration sender):
+	// TornWriteProb is the per-write probability that a store Put is
+	// torn — the file is truncated mid-record, so the CRC check fails on
+	// the next read and the plan recompiles. MigrationDropProb is the
+	// per-(epoch,record) probability that a rebalance migration send is
+	// dropped — the new home must then recompile that plan on first
+	// demand instead of serving the migrated copy.
+	TornWriteProb     float64
+	MigrationDropProb float64
 }
 
 // DefaultConfig is the conformance mix: every fault kind enabled, block
@@ -109,6 +119,17 @@ func ClusterConfig() Config {
 	}
 }
 
+// StoreConfig is the persistence-fault mix the restart/membership
+// conformance dimensions run under: a fifth of store writes are torn
+// and a fifth of migration sends are dropped — both must degrade to
+// "recompile on demand", never to a wrong plan.
+func StoreConfig() Config {
+	return Config{
+		TornWriteProb:     0.2,
+		MigrationDropProb: 0.2,
+	}
+}
+
 // Schedule is a failure plan: a pure function of (seed, config). It
 // holds no mutable state and is safe for concurrent use.
 type Schedule struct {
@@ -138,6 +159,9 @@ const (
 	streamCrashLen
 	streamHeartbeat
 	streamVictim
+	streamTornWrite
+	streamTornCut
+	streamMigration
 )
 
 // mix is a splitmix64-style avalanche over the seed and identity words.
@@ -300,6 +324,33 @@ func (s *Schedule) HeartbeatDrop(epoch, round, from, to int) bool {
 		return false
 	}
 	return unit(s.draw(streamHeartbeat, int64(epoch), int64(round), int64(from), int64(to))) < s.Cfg.HeartbeatLossProb
+}
+
+// TornWrite decides whether the seq-th store write (of size bytes) is
+// torn, and if so how many bytes land on disk before the tear (always a
+// strict prefix, so the CRC check catches it). Pure in (seed, seq):
+// the store's write sequence is deterministic for a deterministic
+// workload, so a torn-write replay is exact. Shaped to plug directly
+// into store.Options.TornWrite.
+func (s *Schedule) TornWrite(seq int64, size int) (n int, torn bool) {
+	if s == nil || s.Cfg.TornWriteProb <= 0 || size <= 0 {
+		return size, false
+	}
+	if unit(s.draw(streamTornWrite, seq)) >= s.Cfg.TornWriteProb {
+		return size, false
+	}
+	return int(s.draw(streamTornCut, seq) % uint64(size)), true
+}
+
+// MigrationDrop reports whether the migration send of the record (by
+// its content-address hash) during the given membership epoch is lost.
+// Pure in (seed, epoch, keyHash): both the old home deciding to skip
+// the send and any test predicting the loss derive the same answer.
+func (s *Schedule) MigrationDrop(membershipEpoch int64, keyHash uint64) bool {
+	if s == nil || s.Cfg.MigrationDropProb <= 0 {
+		return false
+	}
+	return unit(mix(uint64(s.Seed), uint64(streamMigration), uint64(membershipEpoch), keyHash)) < s.Cfg.MigrationDropProb
 }
 
 // Jitter returns a deterministic backoff jitter fraction in [0,1) for a

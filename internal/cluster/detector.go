@@ -86,6 +86,39 @@ func (d *Detector) setOnChange(fn func(alive []string)) {
 	d.mu.Unlock()
 }
 
+// SetPeers replaces the monitored peer set (a membership epoch change).
+// Health state — missed counts and down marks — is preserved for
+// retained peers, so a join or leave never resets suspicion of an
+// unrelated flaky node; state for departed peers is dropped. The
+// change callback is NOT invoked here: the caller (the node's
+// membership layer) rebuilds the ring itself, in epoch order.
+func (d *Detector) SetPeers(peers []string) {
+	var others []string
+	index := map[string]int{}
+	sorted := append([]string(nil), peers...)
+	sort.Strings(sorted)
+	for i, p := range sorted {
+		index[p] = i
+		if p != d.self {
+			others = append(others, p)
+		}
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.peers = others
+	d.index = index
+	for p := range d.missed {
+		if _, ok := index[p]; !ok {
+			delete(d.missed, p)
+		}
+	}
+	for p := range d.down {
+		if _, ok := index[p]; !ok {
+			delete(d.down, p)
+		}
+	}
+}
+
 // Tick runs one heartbeat round: every peer is probed (unless the
 // chaos schedule drops the heartbeat or has the peer inside its crash
 // window), misses accumulate toward suspectAfter, and any transition
@@ -94,11 +127,12 @@ func (d *Detector) Tick() bool {
 	d.mu.Lock()
 	d.round++
 	round := d.round
+	peers := append([]string(nil), d.peers...)
 	d.mu.Unlock()
 	d.clock.Advance(d.intervalS)
 
 	changed := false
-	for _, p := range d.peers {
+	for _, p := range peers {
 		ok := d.probeOnce(round, p)
 		if d.record(p, ok) {
 			changed = true
@@ -113,10 +147,18 @@ func (d *Detector) Tick() bool {
 // probeOnce decides one heartbeat: chaos first (pure in seed and
 // round), then the real probe.
 func (d *Detector) probeOnce(round int, peer string) bool {
-	pi := d.index[peer]
+	d.mu.Lock()
+	pi, member := d.index[peer]
 	si := d.index[d.self]
+	size := len(d.index)
+	d.mu.Unlock()
+	if !member {
+		// The peer left the membership mid-round; treat the probe as
+		// missed so the stale entry cannot keep it alive.
+		return false
+	}
 	if d.sched != nil {
-		if d.sched.PeerCrashed(0, len(d.index), pi, round) {
+		if d.sched.PeerCrashed(0, size, pi, round) {
 			return false
 		}
 		if d.sched.HeartbeatDrop(0, round, si, pi) {
@@ -156,7 +198,7 @@ func (d *Detector) record(peer string, ok bool) bool {
 // fast path: a peer that refuses a forward counts as one missed
 // heartbeat immediately, so routing reacts before the next round.
 func (d *Detector) ReportFailure(peer string) {
-	if _, ok := d.index[peer]; !ok || peer == d.self {
+	if !d.monitors(peer) {
 		return
 	}
 	if d.record(peer, false) {
@@ -167,12 +209,23 @@ func (d *Detector) ReportFailure(peer string) {
 // ReportSuccess is the symmetric fast path: a peer that answered a
 // forward is alive, whatever the heartbeats say.
 func (d *Detector) ReportSuccess(peer string) {
-	if _, ok := d.index[peer]; !ok || peer == d.self {
+	if !d.monitors(peer) {
 		return
 	}
 	if d.record(peer, true) {
 		d.notify()
 	}
+}
+
+// monitors reports whether the peer is a monitored member (not self).
+func (d *Detector) monitors(peer string) bool {
+	if peer == d.self {
+		return false
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	_, ok := d.index[peer]
+	return ok
 }
 
 func (d *Detector) notify() {
@@ -221,10 +274,10 @@ func (d *Detector) Round() int {
 func (d *Detector) SimClock() float64 { return d.clock.Seconds() }
 
 // healthProbe returns a probe that GETs {url}/healthz through the
-// given client.
-func healthProbe(client *http.Client, urls map[string]string) func(ctx context.Context, peer string) error {
+// given client; url resolves a peer under the current membership.
+func healthProbe(client *http.Client, url func(peer string) string) func(ctx context.Context, peer string) error {
 	return func(ctx context.Context, peer string) error {
-		req, err := http.NewRequestWithContext(ctx, http.MethodGet, urls[peer]+"/healthz", nil)
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url(peer)+"/healthz", nil)
 		if err != nil {
 			return err
 		}

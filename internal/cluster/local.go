@@ -7,7 +7,10 @@ package cluster
 // one `go test` process.
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"time"
 
@@ -97,6 +100,71 @@ func (l *Local) Tick() {
 	for _, n := range l.Nodes {
 		n.det.Tick()
 	}
+}
+
+// Join grows the fleet by one node: a fresh service + node named
+// "n{len}" is built (epoch-0 membership = itself alone), registered on
+// the transport, and announced with a join op to the via node — whose
+// sync broadcast then teaches the newcomer the full membership. Returns
+// the new node.
+func (l *Local) Join(via string, base service.Config, opts ...LocalOption) (*Node, error) {
+	name := fmt.Sprintf("n%d", len(l.Names))
+	url := "http://" + name
+	svc := service.New(base)
+	cfg := Config{
+		Self:      name,
+		Peers:     []Peer{{Name: name, URL: url}},
+		Transport: l.Transport,
+	}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	node, err := NewNode(svc, cfg)
+	if err != nil {
+		svc.Close()
+		return nil, err
+	}
+	l.Transport.Register(name, node.Handler())
+	l.Names = append(l.Names, name)
+	l.Nodes = append(l.Nodes, node)
+	l.Services = append(l.Services, svc)
+	if _, err := l.membershipOp(via, MembershipUpdate{Op: "join", Peer: &Peer{Name: name, URL: url}}); err != nil {
+		return nil, err
+	}
+	return node, nil
+}
+
+// Leave removes the named node from the membership via the via node
+// (which must be a current member other than the leaver for the
+// common case). The departed node keeps running — terminal hops and
+// migrations may still reach it — it just owns nothing.
+func (l *Local) Leave(via, name string) (*MembershipDoc, error) {
+	return l.membershipOp(via, MembershipUpdate{Op: "leave", Peer: &Peer{Name: name}})
+}
+
+// membershipOp POSTs one membership update to the named node.
+func (l *Local) membershipOp(via string, up MembershipUpdate) (*MembershipDoc, error) {
+	body, err := json.Marshal(up)
+	if err != nil {
+		return nil, err
+	}
+	res, err := l.Client().Post("http://"+via+"/v1/cluster/membership", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer res.Body.Close()
+	respBody, err := io.ReadAll(io.LimitReader(res.Body, 1<<20))
+	if err != nil {
+		return nil, err
+	}
+	if res.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("cluster: membership %s via %s: status %d: %s", up.Op, via, res.StatusCode, respBody)
+	}
+	var doc MembershipDoc
+	if err := json.Unmarshal(respBody, &doc); err != nil {
+		return nil, err
+	}
+	return &doc, nil
 }
 
 // Close shuts every service down.

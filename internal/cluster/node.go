@@ -116,11 +116,11 @@ func (c Config) withDefaults() (Config, error) {
 	if !found {
 		return c, fmt.Errorf("cluster: Self %q not in peer set", c.Self)
 	}
+	// Replicas is deliberately not capped at the *initial* peer count:
+	// membership is dynamic, and Ring.Replicas clamps per call against
+	// the live member set.
 	if c.Replicas <= 0 {
 		c.Replicas = 2
-	}
-	if c.Replicas > len(c.Peers) {
-		c.Replicas = len(c.Peers)
 	}
 	if c.VNodes <= 0 {
 		c.VNodes = DefaultVNodes
@@ -152,9 +152,17 @@ type Node struct {
 	cfg   Config
 	svc   *service.Service
 	local http.Handler
-	urls  map[string]string
-	names []string
 	det   *Detector
+	sched *chaos.Schedule
+
+	// Membership state: the current epoch's member set. cfg.Peers is
+	// only the epoch-0 seed; joins and leaves replace members/urls/names
+	// under memberMu and bump epoch (see membership.go).
+	memberMu sync.RWMutex
+	epoch    int64
+	members  []Peer
+	urls     map[string]string
+	names    []string
 
 	client *http.Client
 
@@ -185,21 +193,62 @@ func NewNode(svc *service.Service, cfg Config) (*Node, error) {
 		owned:    map[uint64]string{},
 	}
 	for _, p := range cfg.Peers {
+		n.members = append(n.members, Peer{Name: p.Name, URL: strings.TrimSuffix(p.URL, "/")})
 		n.urls[p.Name] = strings.TrimSuffix(p.URL, "/")
 		n.names = append(n.names, p.Name)
 		n.inflight[p.Name] = &atomic.Int64{}
 	}
+	sortPeers(n.members)
 	n.client = &http.Client{Transport: cfg.Transport}
-	var sched *chaos.Schedule
 	if cfg.Seed != 0 {
-		sched = chaos.NewSchedule(cfg.Seed, cfg.Chaos)
+		n.sched = chaos.NewSchedule(cfg.Seed, cfg.Chaos)
 	}
-	n.det = newDetector(cfg.Self, n.names, cfg.SuspectAfter, cfg.HeartbeatS, sched,
-		healthProbe(n.client, n.urls))
+	n.det = newDetector(cfg.Self, n.names, cfg.SuspectAfter, cfg.HeartbeatS, n.sched,
+		healthProbe(n.client, n.urlOf))
 	n.ring = NewRing(n.names, cfg.VNodes)
 	n.det.setOnChange(n.rebalance)
 	n.registerMetrics()
+	for _, p := range cfg.Peers {
+		n.registerPeerMetrics(p.Name)
+	}
 	return n, nil
+}
+
+// urlOf resolves a member's base URL under the current epoch ("" for a
+// non-member).
+func (n *Node) urlOf(peer string) string {
+	n.memberMu.RLock()
+	defer n.memberMu.RUnlock()
+	return n.urls[peer]
+}
+
+// isMember reports whether the peer belongs to the current epoch.
+func (n *Node) isMember(peer string) bool {
+	n.memberMu.RLock()
+	defer n.memberMu.RUnlock()
+	_, ok := n.urls[peer]
+	return ok
+}
+
+// memberNames snapshots the current member names, sorted.
+func (n *Node) memberNames() []string {
+	n.memberMu.RLock()
+	defer n.memberMu.RUnlock()
+	return append([]string(nil), n.names...)
+}
+
+// Members snapshots the current membership, sorted by name.
+func (n *Node) Members() []Peer {
+	n.memberMu.RLock()
+	defer n.memberMu.RUnlock()
+	return append([]Peer(nil), n.members...)
+}
+
+// Epoch returns the current membership epoch.
+func (n *Node) Epoch() int64 {
+	n.memberMu.RLock()
+	defer n.memberMu.RUnlock()
+	return n.epoch
 }
 
 // Detector exposes the failure detector (the daemon ticks it from a
@@ -218,9 +267,10 @@ func (n *Node) Self() string { return n.cfg.Self }
 
 func (n *Node) registerMetrics() {
 	m := n.svc.Metrics()
-	m.Gauge("cluster_peers", func() int64 { return int64(len(n.names)) })
+	m.Gauge("cluster_peers", func() int64 { return int64(len(n.memberNames())) })
 	m.Gauge("cluster_peers_alive", func() int64 { return int64(len(n.det.Alive())) })
 	m.Gauge("cluster_replicas", func() int64 { return int64(n.cfg.Replicas) })
+	m.Gauge("cluster_epoch", func() int64 { return n.Epoch() })
 	m.Gauge("cluster_ring_version", func() int64 { return n.ringVersion.Load() })
 	m.Gauge("cluster_owned_keys", func() int64 {
 		n.ownedMu.Lock()
@@ -247,19 +297,24 @@ func (n *Node) registerMetrics() {
 			return c
 		})
 	}
-	for _, p := range n.names {
-		p := p
-		if p == n.cfg.Self {
-			continue
-		}
-		m.Gauge("cluster_peer_up_"+p, func() int64 {
-			if n.det.Up(p) {
-				return 1
-			}
-			return 0
-		})
-		m.Gauge("cluster_peer_inflight_"+p, func() int64 { return n.loadOf(p).Load() })
+}
+
+// registerPeerMetrics adds (or re-arms) the per-peer gauge series.
+// Called at construction for the seed peers and again on every join;
+// the closures are membership-guarded so a departed peer's series reads
+// 0 instead of a stale health bit.
+func (n *Node) registerPeerMetrics(p string) {
+	if p == n.cfg.Self {
+		return
 	}
+	m := n.svc.Metrics()
+	m.Gauge("cluster_peer_up_"+p, func() int64 {
+		if n.isMember(p) && n.det.Up(p) {
+			return 1
+		}
+		return 0
+	})
+	m.Gauge("cluster_peer_inflight_"+p, func() int64 { return n.loadOf(p).Load() })
 }
 
 func (n *Node) loadOf(peer string) *atomic.Int64 {
@@ -317,6 +372,9 @@ func (n *Node) Handler() http.Handler {
 	mux.HandleFunc("/v1/compile", func(w http.ResponseWriter, r *http.Request) { n.route(w, r) })
 	mux.HandleFunc("/v1/execute", func(w http.ResponseWriter, r *http.Request) { n.route(w, r) })
 	mux.HandleFunc("/v1/cluster", func(w http.ResponseWriter, r *http.Request) { n.handleStatus(w, r) })
+	mux.HandleFunc("/v1/cluster/membership", func(w http.ResponseWriter, r *http.Request) { n.handleMembership(w, r) })
+	mux.HandleFunc("/v1/cluster/migrate", func(w http.ResponseWriter, r *http.Request) { n.handleMigrate(w, r) })
+	mux.HandleFunc("/v1/cluster/plans", func(w http.ResponseWriter, r *http.Request) { n.handlePlans(w, r) })
 	mux.Handle("/", n.local)
 	return mux
 }
@@ -590,7 +648,7 @@ func (n *Node) forwardHedged(r *http.Request, trc *obs.Trace, parent obs.SpanID,
 
 // doRequest performs one forwarded POST with trace-context headers.
 func (n *Node) doRequest(ctx context.Context, peer, path string, body []byte, traceID string, parent obs.SpanID) (int, []byte, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, n.urls[peer]+path, bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, n.urlOf(peer)+path, bytes.NewReader(body))
 	if err != nil {
 		return 0, nil, err
 	}
@@ -628,8 +686,14 @@ func (n *Node) writeForwarded(w http.ResponseWriter, trc *obs.Trace, res fwdResu
 			}
 			if idRaw, err := json.Marshal(trc.ID()); err == nil {
 				doc["trace_id"] = idRaw
-				if b, err := json.Marshal(doc); err == nil {
-					out = b
+				// Re-encode without HTML escaping, matching the service's
+				// own encoder: a forwarded plan must stay byte-identical
+				// to the same plan served by a terminal hop.
+				var buf bytes.Buffer
+				enc := json.NewEncoder(&buf)
+				enc.SetEscapeHTML(false)
+				if enc.Encode(doc) == nil {
+					out = bytes.TrimRight(buf.Bytes(), "\n")
 				}
 			}
 		}
@@ -648,7 +712,7 @@ func (n *Node) writeForwarded(w http.ResponseWriter, trc *obs.Trace, res fwdResu
 func (n *Node) graftRemote(trc *obs.Trace, under obs.SpanID, peer, remoteID string) {
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, n.urls[peer]+"/v1/trace/"+remoteID, nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, n.urlOf(peer)+"/v1/trace/"+remoteID, nil)
 	if err != nil {
 		return
 	}
@@ -672,18 +736,23 @@ func (n *Node) graftRemote(trc *obs.Trace, under obs.SpanID, peer, remoteID stri
 type Status struct {
 	Self        string       `json:"self"`
 	Replicas    int          `json:"replicas"`
+	Epoch       int64        `json:"epoch"`
 	RingVersion int64        `json:"ring_version"`
 	Round       int          `json:"heartbeat_round"`
 	SimClockS   float64      `json:"sim_clock_s"`
 	Peers       []PeerStatus `json:"peers"`
 }
 
-// PeerStatus is one peer's health row.
+// PeerStatus is one peer's health row. Plans is the peer's held plan
+// count (cache ∪ store) — the convergence signal during a rebalance;
+// -1 when the peer could not be asked.
 type PeerStatus struct {
 	Name     string `json:"name"`
 	URL      string `json:"url"`
 	Up       bool   `json:"up"`
 	InFlight int64  `json:"in_flight"`
+	Epoch    int64  `json:"epoch"`
+	Plans    int    `json:"plans"`
 }
 
 func (n *Node) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -694,18 +763,67 @@ func (n *Node) handleStatus(w http.ResponseWriter, r *http.Request) {
 	st := Status{
 		Self:        n.cfg.Self,
 		Replicas:    n.cfg.Replicas,
+		Epoch:       n.Epoch(),
 		RingVersion: n.ringVersion.Load(),
 		Round:       n.det.Round(),
 		SimClockS:   n.det.SimClock(),
 	}
-	for _, p := range n.names {
-		st.Peers = append(st.Peers, PeerStatus{
-			Name:     p,
-			URL:      n.urls[p],
-			Up:       n.det.Up(p),
-			InFlight: n.loadOf(p).Load(),
-		})
+	for _, p := range n.Members() {
+		row := PeerStatus{
+			Name:     p.Name,
+			URL:      p.URL,
+			Up:       n.det.Up(p.Name),
+			InFlight: n.loadOf(p.Name).Load(),
+		}
+		if p.Name == n.cfg.Self {
+			row.Epoch = n.Epoch()
+			row.Plans = n.svc.PlanCount()
+		} else {
+			row.Epoch, row.Plans = n.peerPlans(r.Context(), p.Name)
+		}
+		st.Peers = append(st.Peers, row)
 	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(st)
+}
+
+// peerPlans asks a peer for its epoch and plan count, best effort with
+// a short budget: the status page must render even mid-incident.
+func (n *Node) peerPlans(ctx context.Context, peer string) (epoch int64, plans int) {
+	ctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, n.urlOf(peer)+"/v1/cluster/plans", nil)
+	if err != nil {
+		return 0, -1
+	}
+	res, err := n.client.Do(req)
+	if err != nil {
+		return 0, -1
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		return 0, -1
+	}
+	var doc PlansDoc
+	if json.NewDecoder(io.LimitReader(res.Body, 1<<20)).Decode(&doc) != nil {
+		return 0, -1
+	}
+	return doc.Epoch, doc.Plans
+}
+
+// PlansDoc is the GET /v1/cluster/plans document: the tiny per-node
+// answer the status page aggregates.
+type PlansDoc struct {
+	Self  string `json:"self"`
+	Epoch int64  `json:"epoch"`
+	Plans int    `json:"plans"`
+}
+
+func (n *Node) handlePlans(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.WriteHeader(http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(PlansDoc{Self: n.cfg.Self, Epoch: n.Epoch(), Plans: n.svc.PlanCount()})
 }

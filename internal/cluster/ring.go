@@ -196,6 +196,22 @@ func (r *Ring) Route(key uint64, n int, alive func(string) bool, load func(strin
 	return append(under, over...)
 }
 
+// MovedKeys returns the subset of keys whose home differs between the
+// two rings — the exact migration set of a membership epoch. Both the
+// migrating node and the conformance suite derive it from the rings
+// alone, so "only the ring-computed key set moved" is checkable.
+func MovedKeys(oldRing, newRing *Ring, keys []uint64) []uint64 {
+	var moved []uint64
+	for _, k := range keys {
+		before, ok1 := oldRing.Owner(k)
+		after, ok2 := newRing.Owner(k)
+		if ok1 && ok2 && before != after {
+			moved = append(moved, k)
+		}
+	}
+	return moved
+}
+
 // Shares returns each peer's owned fraction of the keyspace (arc length
 // of the hash circle), for balance diagnostics and tests.
 func (r *Ring) Shares() map[string]float64 {

@@ -11,6 +11,8 @@ import (
 	"container/list"
 	"hash/fnv"
 	"sync"
+
+	"commfree/internal/store"
 )
 
 // NumCacheShards is the fixed shard count used to attribute cache
@@ -35,6 +37,11 @@ type cacheEntry struct {
 	plan  *Plan
 	comp  *compiled
 	bytes int64
+	// rec is the entry's persistent record (nil only for entries built
+	// before the store layer, e.g. synthetic test entries). Kept on the
+	// entry so eviction can demote to disk and migration can export
+	// plans that only ever lived in memory.
+	rec *store.Record
 }
 
 // planCache is a mutex-guarded LRU with entry-count and byte bounds.
@@ -99,8 +106,9 @@ func (c *planCache) peek(key string) (*cacheEntry, bool) {
 }
 
 // add inserts (or refreshes) an entry and evicts from the LRU tail
-// until both bounds hold again.
-func (c *planCache) add(e *cacheEntry) {
+// until both bounds hold again. The evicted entries are returned so the
+// caller can demote them to the plan store outside the cache lock.
+func (c *planCache) add(e *cacheEntry) []*cacheEntry {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[e.key]; ok {
@@ -112,6 +120,7 @@ func (c *planCache) add(e *cacheEntry) {
 		c.items[e.key] = c.ll.PushFront(e)
 		c.bytes += e.bytes
 	}
+	var evicted []*cacheEntry
 	for c.ll.Len() > c.maxEntries || (c.bytes > c.maxBytes && c.ll.Len() > 1) {
 		tail := c.ll.Back()
 		if tail == nil {
@@ -122,7 +131,20 @@ func (c *planCache) add(e *cacheEntry) {
 		delete(c.items, old.key)
 		c.bytes -= old.bytes
 		c.evictions++
+		evicted = append(evicted, old)
 	}
+	return evicted
+}
+
+// entries snapshots the cached entries, most recently used first.
+func (c *planCache) entries() []*cacheEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*cacheEntry, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*cacheEntry))
+	}
+	return out
 }
 
 // CacheStats is the cache section of the metrics document.

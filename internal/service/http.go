@@ -25,6 +25,7 @@ import (
 	"strings"
 
 	"commfree/internal/machine"
+	"commfree/internal/store"
 )
 
 // Handler returns the service's HTTP handler.
@@ -107,15 +108,17 @@ func (s *Service) handleTrace(w http.ResponseWriter, r *http.Request) {
 }
 
 // MetricsDocument is the full /v1/metrics payload: the generic registry
-// snapshot plus the cache section.
+// snapshot plus the cache section, and — on store-backed services —
+// the plan-store section.
 type MetricsDocument struct {
 	Snapshot
-	Cache CacheStats `json:"cache"`
+	Cache CacheStats   `json:"cache"`
+	Store *store.Stats `json:"store,omitempty"`
 }
 
 // MetricsDocument assembles the /v1/metrics payload.
 func (s *Service) MetricsDocument() MetricsDocument {
-	return MetricsDocument{Snapshot: s.metrics.Snapshot(), Cache: s.cache.stats()}
+	return MetricsDocument{Snapshot: s.metrics.Snapshot(), Cache: s.cache.stats(), Store: s.StoreStats()}
 }
 
 // handleJSON decodes the endpoint's request type, serves it, and maps

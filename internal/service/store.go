@@ -1,0 +1,364 @@
+package service
+
+// Plan-store integration: the read-through layer under the LRU cache.
+//
+// The pipeline is a pure function of (canonical nest, strategy,
+// processors), so a compiled plan is a content-addressable artifact.
+// With a store configured the cache becomes a two-level hierarchy:
+//
+//	memory hit   → serve the live cacheEntry (as before);
+//	store hit    → rehydrate: re-derive the live pipeline artifacts
+//	               (partition, verify, transform, assign) from the
+//	               record's canonical source and carry the wire plan
+//	               (ranking, SPMD source) verbatim — the selector and
+//	               codegen, the expensive stages, never re-run;
+//	miss         → full compile, then write the record through.
+//
+// Eviction therefore means "demote to disk" (the record is re-Put if
+// the store lost it), not "recompile"; a restart against the same
+// store directory is warm. The `compiles` counter counts full pipeline
+// runs and `rehydrates` counts store revivals, so tests can prove a
+// plan was served without recompilation rather than assume it.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"commfree/internal/assign"
+	"commfree/internal/chaos"
+	"commfree/internal/lang"
+	"commfree/internal/obs"
+	"commfree/internal/partition"
+	"commfree/internal/store"
+	"commfree/internal/transform"
+)
+
+// NewWithStore builds a Service whose plan store is opened from
+// cfg.StoreDir (when cfg.Store is nil). When chaos is configured with a
+// torn-write probability, the store's write path is wired to the
+// seed-pure schedule, so persistence faults replay deterministically.
+func NewWithStore(cfg Config) (*Service, error) {
+	owns := false
+	if cfg.Store == nil && cfg.StoreDir != "" {
+		var opts store.Options
+		if cfg.ChaosSeed != 0 && cfg.Chaos.TornWriteProb > 0 {
+			opts.TornWrite = chaos.NewSchedule(cfg.ChaosSeed, cfg.Chaos).TornWrite
+		}
+		st, err := store.Open(cfg.StoreDir, opts)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Store = st
+		owns = true
+	}
+	s := New(cfg)
+	s.ownsStore = owns
+	return s, nil
+}
+
+// store returns the service's plan store, nil when none is configured.
+func (s *Service) store() store.Store {
+	s.storeMu.Lock()
+	defer s.storeMu.Unlock()
+	return s.st
+}
+
+// ensureStore returns the plan store, lazily creating a bounded
+// in-memory one the first time a service without persistence needs
+// somewhere to keep records (e.g. a cluster node receiving migrated
+// plans).
+func (s *Service) ensureStore() store.Store {
+	s.storeMu.Lock()
+	defer s.storeMu.Unlock()
+	if s.st == nil {
+		s.st = store.NewMem(0)
+	}
+	return s.st
+}
+
+// StoreStats snapshots the plan-store counters (nil when no store has
+// been configured or created).
+func (s *Service) StoreStats() *store.Stats {
+	st := s.store()
+	if st == nil {
+		return nil
+	}
+	stats := st.Stats()
+	return &stats
+}
+
+// wireStrategy maps a partition strategy back to its wire name (the
+// inverse of parseStrategy, plus "selective" which has no request
+// spelling — it is only reached through "auto").
+func wireStrategy(st partition.Strategy) string {
+	switch st {
+	case partition.Duplicate:
+		return "duplicate"
+	case partition.MinimalNonDuplicate:
+		return "minimal-non-duplicate"
+	case partition.MinimalDuplicate:
+		return "minimal-duplicate"
+	case partition.Selective:
+		return "selective"
+	default:
+		return "non-duplicate"
+	}
+}
+
+// recordFor builds the persistent record of one compilation.
+func recordFor(key string, plan *Plan, res *partition.Result, duplicated []string) (*store.Record, error) {
+	payload, err := json.Marshal(plan)
+	if err != nil {
+		return nil, fmt.Errorf("service: plan does not marshal: %w", err)
+	}
+	rec := &store.Record{
+		Key:             key,
+		CanonicalSource: plan.CanonicalSource,
+		Strategy:        wireStrategy(res.Strategy),
+		Processors:      plan.Processors,
+		Plan:            payload,
+		CreatedUnixNS:   time.Now().UnixNano(),
+	}
+	if res.Strategy == partition.Selective {
+		rec.Duplicated = append([]string(nil), duplicated...)
+	}
+	return rec, nil
+}
+
+// persist writes the entry's record through to the store (when one is
+// configured), counting rather than failing on write faults: the plan
+// is already live in memory and a lost record just recompiles later.
+func (s *Service) persist(e *cacheEntry) {
+	st := s.store()
+	if st == nil || e.rec == nil {
+		return
+	}
+	if err := st.Put(e.rec); err != nil {
+		var te *store.TornWriteError
+		if errors.As(err, &te) {
+			s.metrics.Inc("store_torn_writes", 1)
+		} else {
+			s.metrics.Inc("store_put_errors", 1)
+		}
+		return
+	}
+	s.metrics.Inc("store_puts", 1)
+}
+
+// cacheAdd inserts the entry and demotes evicted entries to the store:
+// any evicted plan whose record the store no longer holds (bounded Mem
+// store, earlier torn write) is re-Put, so eviction never destroys the
+// only copy while a store exists.
+func (s *Service) cacheAdd(e *cacheEntry) {
+	evicted := s.cache.add(e)
+	if len(evicted) == 0 {
+		return
+	}
+	st := s.store()
+	if st == nil {
+		return
+	}
+	for _, old := range evicted {
+		if old.rec == nil || st.Has(old.key) {
+			continue
+		}
+		if err := st.Put(old.rec); err != nil {
+			var te *store.TornWriteError
+			if errors.As(err, &te) {
+				s.metrics.Inc("store_torn_writes", 1)
+			} else {
+				s.metrics.Inc("store_put_errors", 1)
+			}
+			continue
+		}
+		s.metrics.Inc("store_demotes", 1)
+	}
+}
+
+// rehydrateFromStore serves a cache miss from the plan store: nil when
+// there is no store, no record, or the record does not revive (fall
+// through to a full compile — always correct, the pipeline is pure).
+func (s *Service) rehydrateFromStore(key string, trc *obs.Trace) *cacheEntry {
+	st := s.store()
+	if st == nil {
+		return nil
+	}
+	rec, ok, err := st.Get(key)
+	if err != nil {
+		var ce *store.CorruptError
+		if errors.As(err, &ce) {
+			s.metrics.Inc("store_corrupt_records", 1)
+		}
+		s.metrics.Inc("store_misses", 1)
+		return nil
+	}
+	if !ok {
+		s.metrics.Inc("store_misses", 1)
+		return nil
+	}
+	s.metrics.Inc("store_hits", 1)
+	e, err := s.rehydrate(rec, trc)
+	if err != nil {
+		s.metrics.Inc("store_rehydrate_errors", 1)
+		return nil
+	}
+	s.metrics.Inc("rehydrates", 1)
+	return e
+}
+
+// rehydrate revives a persisted record into a live cache entry: the
+// partition is re-derived deterministically from the canonical source
+// (cheap, and it rebuilds the in-memory analysis the executors need),
+// while the wire plan — including the selector's ranking and the
+// generated SPMD program — is carried verbatim from the record. No
+// selection, no codegen: this is not a compile and is not counted as
+// one.
+func (s *Service) rehydrate(rec *store.Record, trc *obs.Trace) (*cacheEntry, error) {
+	rsp := trc.Start(0, "rehydrate")
+	defer rsp.End()
+	cn, err := lang.Parse(rec.CanonicalSource)
+	if err != nil {
+		return nil, fmt.Errorf("service: record %q canonical source does not parse: %w", rec.Key, err)
+	}
+	var res *partition.Result
+	if rec.Strategy == "selective" {
+		dup := map[string]bool{}
+		for _, a := range rec.Duplicated {
+			dup[a] = true
+		}
+		res, err = partition.ComputeSelectiveWithTrace(cn, dup, trc, rsp.ID())
+	} else {
+		strat, _, perr := parseStrategy(rec.Strategy)
+		if perr != nil {
+			return nil, fmt.Errorf("service: record %q: %w", rec.Key, perr)
+		}
+		res, err = partition.ComputeWithTrace(cn, strat, trc, rsp.ID())
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := res.Verify(); err != nil {
+		return nil, err
+	}
+	tr, err := transform.Transform(cn, res.Psi)
+	if err != nil {
+		return nil, err
+	}
+	asg := assign.Assign(tr, rec.Processors)
+	var plan Plan
+	if err := json.Unmarshal(rec.Plan, &plan); err != nil {
+		return nil, fmt.Errorf("service: record %q plan does not parse: %w", rec.Key, err)
+	}
+	if plan.Processors != rec.Processors {
+		return nil, fmt.Errorf("service: record %q plan/record processor mismatch (%d vs %d)", rec.Key, plan.Processors, rec.Processors)
+	}
+	return &cacheEntry{
+		key:  rec.Key,
+		plan: &plan,
+		comp: &compiled{nest: cn, res: res, tr: tr, asg: asg},
+		rec:  rec,
+		bytes: int64(len(rec.Key) + len(rec.CanonicalSource) + len(plan.SPMDGo) + len(plan.Transform.Program) +
+			4096), // struct overhead estimate, matching compile
+	}, nil
+}
+
+// WarmStart eagerly rehydrates every stored plan into the cache, so a
+// restarted node serves its whole pre-restart working set as memory
+// hits from the first request. Returns how many plans were revived;
+// records that fail to revive are skipped (they recompile on demand).
+func (s *Service) WarmStart(ctx context.Context) (int, error) {
+	st := s.store()
+	if st == nil {
+		return 0, nil
+	}
+	n := 0
+	for _, key := range st.Keys() {
+		if err := ctx.Err(); err != nil {
+			return n, err
+		}
+		if _, ok := s.cache.peek(key); ok {
+			continue
+		}
+		rec, ok, err := st.Get(key)
+		if err != nil || !ok {
+			continue
+		}
+		trc := obs.New("warm_start")
+		e, err := s.rehydrate(rec, trc)
+		s.traces.Add(trc)
+		if err != nil {
+			s.metrics.Inc("store_rehydrate_errors", 1)
+			continue
+		}
+		s.metrics.Inc("rehydrates", 1)
+		s.cacheAdd(e)
+		n++
+	}
+	return n, nil
+}
+
+// ImportRecord accepts a plan record from a peer (cluster rebalance
+// migration): it lands in the store — created in memory on demand —
+// and revives lazily on first request for its key.
+func (s *Service) ImportRecord(rec *store.Record) error {
+	if rec == nil {
+		return fmt.Errorf("service: nil record")
+	}
+	if err := rec.Validate(); err != nil {
+		return err
+	}
+	if err := s.ensureStore().Put(rec); err != nil {
+		var te *store.TornWriteError
+		if errors.As(err, &te) {
+			// Torn import: the record is unreadable but the plan will
+			// recompile on demand; count it, keep the migration moving.
+			s.metrics.Inc("store_torn_writes", 1)
+			return nil
+		}
+		return err
+	}
+	s.metrics.Inc("store_imports", 1)
+	return nil
+}
+
+// ExportRecords snapshots every plan record this node holds — cached
+// entries plus store-resident records — deduplicated by key and sorted,
+// for cluster rebalance migration.
+func (s *Service) ExportRecords() []*store.Record {
+	seen := map[string]*store.Record{}
+	for _, e := range s.cache.entries() {
+		if e.rec != nil {
+			seen[e.key] = e.rec
+		}
+	}
+	if st := s.store(); st != nil {
+		for _, key := range st.Keys() {
+			if _, ok := seen[key]; ok {
+				continue
+			}
+			if rec, ok, err := st.Get(key); ok && err == nil {
+				seen[key] = rec
+			}
+		}
+	}
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*store.Record, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, seen[k])
+	}
+	return out
+}
+
+// PlanCount reports how many distinct plans the node holds (cache ∪
+// store) — the convergence signal operators watch during a rebalance.
+func (s *Service) PlanCount() int {
+	return len(s.ExportRecords())
+}

@@ -1,0 +1,119 @@
+package store
+
+// Mem is the in-memory Store: the same contract as FileStore with no
+// disk. It backs two places a durable directory is wrong or overkill:
+// in-process cluster fleets (conformance and tests migrate plans
+// between nodes through it) and services that never configured a store
+// but receive migrated records anyway. Bounded FIFO so an unbounded
+// migration stream cannot grow it without limit — dropped records just
+// recompile on demand.
+
+import (
+	"sort"
+	"sync"
+)
+
+// DefaultMemRecords bounds a Mem store when the caller passes 0.
+const DefaultMemRecords = 4096
+
+// Mem is a bounded in-memory Store.
+type Mem struct {
+	mu    sync.Mutex
+	max   int
+	recs  map[string]*Record
+	order []string // insertion order for FIFO bound
+	stats Stats
+}
+
+// NewMem builds an in-memory store bounded to max records (0 =
+// DefaultMemRecords).
+func NewMem(max int) *Mem {
+	if max <= 0 {
+		max = DefaultMemRecords
+	}
+	return &Mem{max: max, recs: map[string]*Record{}}
+}
+
+// Put stores the record, dropping the oldest once the bound is hit.
+func (m *Mem) Put(r *Record) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stats.Puts++
+	if _, ok := m.recs[r.Key]; !ok {
+		m.order = append(m.order, r.Key)
+		m.stats.Records++
+		for len(m.order) > m.max {
+			oldest := m.order[0]
+			m.order = m.order[1:]
+			delete(m.recs, oldest)
+			m.stats.Records--
+		}
+	}
+	m.recs[r.Key] = r
+	return nil
+}
+
+// Get returns the record for the key.
+func (m *Mem) Get(key string) (*Record, bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stats.Gets++
+	r, ok := m.recs[key]
+	if !ok {
+		m.stats.Misses++
+		return nil, false, nil
+	}
+	m.stats.Hits++
+	return r, true, nil
+}
+
+// Has reports presence.
+func (m *Mem) Has(key string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.recs[key]
+	return ok
+}
+
+// Keys returns the stored keys, sorted.
+func (m *Mem) Keys() []string {
+	m.mu.Lock()
+	keys := make([]string, 0, len(m.recs))
+	for k := range m.recs {
+		keys = append(keys, k)
+	}
+	m.mu.Unlock()
+	sort.Strings(keys)
+	return keys
+}
+
+// Delete removes the record.
+func (m *Mem) Delete(key string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.recs[key]; ok {
+		delete(m.recs, key)
+		m.stats.Records--
+		m.stats.Deletes++
+		for i, k := range m.order {
+			if k == key {
+				m.order = append(m.order[:i], m.order[i+1:]...)
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// Stats snapshots the counters.
+func (m *Mem) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// Close is a no-op.
+func (m *Mem) Close() error { return nil }

@@ -1,0 +1,161 @@
+package store
+
+// Record framing. A plan record is a small JSON payload (the wire-form
+// plan plus everything needed to rehydrate the live pipeline artifacts
+// deterministically) wrapped in a fixed binary envelope:
+//
+//	offset  size  field
+//	0       4     magic "CFPS" (commfree plan store)
+//	4       4     format version (little endian)
+//	8       4     payload length in bytes
+//	12      4     CRC-32 (IEEE) of the payload
+//	16      n     payload (JSON)
+//
+// The envelope makes corruption detectable rather than survivable: a
+// torn write, a truncated file, or a flipped bit fails the length or
+// CRC check and the record is treated as absent — the plan recompiles
+// from source, which is always correct because compilation is a pure
+// function of the canonical nest. Decode never trusts the length field
+// beyond the actual file size, so a corrupt header cannot force a large
+// allocation.
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"hash/fnv"
+)
+
+// FormatVersion is the current record format. Readers accept only this
+// version; unknown versions are treated as corrupt records (skip, then
+// recompile) rather than errors, so a rollback after an upgrade leaves
+// the store usable.
+const FormatVersion = 1
+
+// magic identifies a plan-store record file.
+var magic = [4]byte{'C', 'F', 'P', 'S'}
+
+// headerSize is the fixed envelope prefix length.
+const headerSize = 16
+
+// maxPayloadBytes bounds one record's payload (plans carry generated
+// SPMD source, so allow plenty; anything larger is corruption).
+const maxPayloadBytes = 32 << 20
+
+// Record is one persisted compilation: the content-addressed artifact
+// of the pure pipeline. CanonicalSource + Strategy (+ Duplicated) +
+// Processors deterministically re-derive the live pipeline artifacts
+// (partition result, forall program, assignment) without re-running the
+// selector or codegen — the expensive stages whose outputs are carried
+// verbatim in Plan.
+type Record struct {
+	// Key is the cache key ("s=<strategy>|p=<procs>|<canonical>"); the
+	// store verifies it on read so a hash collision cannot alias plans.
+	Key string `json:"key"`
+	// CanonicalSource is the α-normalized program the plan was compiled
+	// from; KeyHash(CanonicalSource) is the cluster routing key.
+	CanonicalSource string `json:"canonical_source"`
+	// Strategy is the partition strategy to re-run on rehydration: one
+	// of the four wire names, or "selective" with Duplicated naming the
+	// replicated arrays.
+	Strategy   string   `json:"strategy"`
+	Duplicated []string `json:"duplicated,omitempty"`
+	Processors int      `json:"processors"`
+	// Plan is the wire-form service plan (ranking, SPMD source, …),
+	// carried verbatim so rehydration skips selection and codegen.
+	Plan json.RawMessage `json:"plan"`
+	// CreatedUnixNS stamps the original compilation.
+	CreatedUnixNS int64 `json:"created_unix_ns,omitempty"`
+}
+
+// Validate checks the fields a reader depends on.
+func (r *Record) Validate() error {
+	if r.Key == "" {
+		return fmt.Errorf("store: record has empty key")
+	}
+	if r.CanonicalSource == "" {
+		return fmt.Errorf("store: record %q has empty canonical source", r.Key)
+	}
+	if len(r.Plan) == 0 {
+		return fmt.Errorf("store: record %q has empty plan", r.Key)
+	}
+	return nil
+}
+
+// KeyHash is the content address of a record key: FNV-1a 64, rendered
+// by filenameFor as the record's file name.
+func KeyHash(key string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key))
+	return h.Sum64()
+}
+
+// Encode renders the record into its framed binary form.
+func Encode(r *Record) ([]byte, error) {
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	payload, err := json.Marshal(r)
+	if err != nil {
+		return nil, fmt.Errorf("store: encode %q: %w", r.Key, err)
+	}
+	if len(payload) > maxPayloadBytes {
+		return nil, fmt.Errorf("store: record %q payload %d bytes exceeds %d", r.Key, len(payload), maxPayloadBytes)
+	}
+	buf := make([]byte, headerSize+len(payload))
+	copy(buf[0:4], magic[:])
+	binary.LittleEndian.PutUint32(buf[4:8], FormatVersion)
+	binary.LittleEndian.PutUint32(buf[8:12], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[12:16], crc32.ChecksumIEEE(payload))
+	copy(buf[headerSize:], payload)
+	return buf, nil
+}
+
+// CorruptError reports an unreadable record; callers treat it as a
+// miss (skip + recompile), never as fatal.
+type CorruptError struct {
+	File   string
+	Reason string
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("store: corrupt record %s: %s", e.File, e.Reason)
+}
+
+func corrupt(file, format string, args ...any) error {
+	return &CorruptError{File: file, Reason: fmt.Sprintf(format, args...)}
+}
+
+// Decode parses a framed record, verifying magic, version, length, and
+// CRC. file names the source for error messages only.
+func Decode(file string, data []byte) (*Record, error) {
+	if len(data) < headerSize {
+		return nil, corrupt(file, "truncated header (%d bytes)", len(data))
+	}
+	if [4]byte(data[0:4]) != magic {
+		return nil, corrupt(file, "bad magic %q", data[0:4])
+	}
+	if v := binary.LittleEndian.Uint32(data[4:8]); v != FormatVersion {
+		return nil, corrupt(file, "unsupported format version %d", v)
+	}
+	n := binary.LittleEndian.Uint32(data[8:12])
+	if n > maxPayloadBytes {
+		return nil, corrupt(file, "payload length %d exceeds cap", n)
+	}
+	if int64(len(data)) != int64(headerSize)+int64(n) {
+		return nil, corrupt(file, "payload truncated: header says %d bytes, file has %d", n, len(data)-headerSize)
+	}
+	payload := data[headerSize:]
+	if got, want := crc32.ChecksumIEEE(payload), binary.LittleEndian.Uint32(data[12:16]); got != want {
+		return nil, corrupt(file, "CRC mismatch (got %08x, want %08x)", got, want)
+	}
+	var r Record
+	if err := json.Unmarshal(payload, &r); err != nil {
+		return nil, corrupt(file, "payload does not parse: %v", err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, corrupt(file, "invalid record: %v", err)
+	}
+	return &r, nil
+}

@@ -1,0 +1,459 @@
+// Package store is the persistent, content-addressed plan store: the
+// durable home of compiled allocation plans. The paper's pipeline is a
+// pure function — a canonical nest deterministically yields its
+// communication-free allocation — so a compiled plan is an immutable
+// artifact addressed by the FNV-1a hash of its cache key, and the store
+// is a write-once object store rather than a mutable database:
+//
+//   - one file per record under <dir>/objects/, named by the key hash
+//     (collisions get a numeric suffix; the key inside the record is
+//     authoritative);
+//   - records are CRC-framed (record.go): torn writes, truncation, and
+//     bit rot are detected on read and treated as a miss — the plan
+//     recompiles from source, which is always correct;
+//   - writes are temp-then-rename atomic, so a crash mid-Put leaves
+//     either the old state or the new state, never a half record;
+//   - <dir>/index.json maps keys to files for O(1) lookup; a missing,
+//     stale, or corrupt index is rebuilt by scanning the objects
+//     directory, skipping (and counting) unreadable records.
+//
+// The service layers this under its in-memory LRU as a read-through
+// tier: cache eviction demotes a plan to disk instead of discarding it,
+// and a restarted node finds its whole compiled corpus warm. The
+// cluster layer ships the same records between nodes when a membership
+// epoch moves a key's home, so a rebalance migrates plans instead of
+// recompiling them.
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Store is the plan-store contract shared by the file-backed
+// implementation and the in-memory one (Mem). All methods are safe for
+// concurrent use.
+type Store interface {
+	// Put persists the record (overwriting any previous record with the
+	// same key).
+	Put(r *Record) error
+	// Get returns the record for the key. ok=false with a nil error is
+	// a plain miss; a non-nil error means the record existed but could
+	// not be read (corruption — also reported as a miss, ok=false).
+	Get(key string) (rec *Record, ok bool, err error)
+	// Has reports whether the key is present without reading the body.
+	Has(key string) bool
+	// Keys returns the stored keys, sorted.
+	Keys() []string
+	// Delete removes the record (absent keys are a no-op).
+	Delete(key string) error
+	// Stats snapshots the counters.
+	Stats() Stats
+	// Close flushes and releases the store.
+	Close() error
+}
+
+// Stats is the observable state of a store.
+type Stats struct {
+	Records int64 `json:"records"`
+	Bytes   int64 `json:"bytes"`
+	Puts    int64 `json:"puts"`
+	Gets    int64 `json:"gets"`
+	Hits    int64 `json:"hits"`
+	Misses  int64 `json:"misses"`
+	Deletes int64 `json:"deletes"`
+	// CorruptSkipped counts records dropped for failing the frame
+	// checks (at open-scan or read time); IndexRebuilds counts full
+	// directory scans forced by a missing or unreadable index.
+	CorruptSkipped int64 `json:"corrupt_skipped"`
+	IndexRebuilds  int64 `json:"index_rebuilds"`
+	// TornWrites counts writes the fault hook truncated (tests and
+	// chaos schedules only).
+	TornWrites int64 `json:"torn_writes"`
+}
+
+// Options tunes a FileStore.
+type Options struct {
+	// TornWrite is the deterministic fault hook (chaos schedules wire
+	// Schedule.TornWrite here): given the write sequence number and the
+	// encoded size, it returns how many bytes actually reach the file
+	// and whether the write is torn. Nil means writes are whole.
+	TornWrite func(seq int64, size int) (n int, torn bool)
+}
+
+// indexVersion is the index.json format version.
+const indexVersion = 1
+
+// indexEntry locates one record.
+type indexEntry struct {
+	Key   string `json:"key"`
+	File  string `json:"file"`
+	Bytes int64  `json:"bytes"`
+}
+
+// indexDoc is the on-disk index shape.
+type indexDoc struct {
+	Version int          `json:"version"`
+	Records []indexEntry `json:"records"`
+}
+
+// TornWriteError is returned by Put when the fault hook tore the
+// write: the record on disk is truncated (and will fail its CRC), the
+// in-memory index does not trust it, and the caller should treat the
+// plan as not persisted.
+type TornWriteError struct {
+	Key  string
+	File string
+}
+
+func (e *TornWriteError) Error() string {
+	return fmt.Sprintf("store: torn write of %q (%s)", e.Key, e.File)
+}
+
+// FileStore is the disk-backed Store.
+type FileStore struct {
+	dir     string
+	objects string
+	opts    Options
+
+	mu       sync.Mutex
+	index    map[string]indexEntry
+	writeSeq int64
+	stats    Stats
+}
+
+// Open opens (creating if needed) the store rooted at dir. A missing or
+// unreadable index triggers a full objects scan; corrupt records found
+// by the scan are skipped and counted, never fatal.
+func Open(dir string, opts Options) (*FileStore, error) {
+	s := &FileStore{
+		dir:     dir,
+		objects: filepath.Join(dir, "objects"),
+		opts:    opts,
+		index:   map[string]indexEntry{},
+	}
+	if err := os.MkdirAll(s.objects, 0o755); err != nil {
+		return nil, fmt.Errorf("store: open %s: %w", dir, err)
+	}
+	if err := s.loadIndex(); err != nil {
+		// The index is a cache of the objects directory: rebuild it
+		// rather than failing the open.
+		s.rebuildIndex()
+	}
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *FileStore) Dir() string { return s.dir }
+
+func (s *FileStore) indexPath() string { return filepath.Join(s.dir, "index.json") }
+
+// loadIndex reads index.json and verifies every listed file exists with
+// the recorded size (a cheap staleness check; content is CRC-verified
+// lazily on Get). Any inconsistency returns an error so the caller
+// falls back to a scan.
+func (s *FileStore) loadIndex() error {
+	data, err := os.ReadFile(s.indexPath())
+	if err != nil {
+		return err
+	}
+	var doc indexDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("store: index does not parse: %w", err)
+	}
+	if doc.Version != indexVersion {
+		return fmt.Errorf("store: index version %d, want %d", doc.Version, indexVersion)
+	}
+	idx := make(map[string]indexEntry, len(doc.Records))
+	var bytes int64
+	for _, e := range doc.Records {
+		if e.Key == "" || e.File == "" || strings.Contains(e.File, string(os.PathSeparator)) {
+			return fmt.Errorf("store: index entry %+v is malformed", e)
+		}
+		fi, err := os.Stat(filepath.Join(s.objects, e.File))
+		if err != nil || fi.Size() != e.Bytes {
+			return fmt.Errorf("store: index entry %q is stale", e.Key)
+		}
+		idx[e.Key] = e
+		bytes += e.Bytes
+	}
+	s.mu.Lock()
+	s.index = idx
+	s.stats.Records = int64(len(idx))
+	s.stats.Bytes = bytes
+	s.mu.Unlock()
+	return nil
+}
+
+// rebuildIndex scans the objects directory and rebuilds the index
+// from the records themselves (the in-file key is authoritative),
+// skipping and counting corrupt records. Called with s.mu NOT held.
+func (s *FileStore) rebuildIndex() {
+	entries, err := os.ReadDir(s.objects)
+	idx := map[string]indexEntry{}
+	var bytes, skipped int64
+	if err == nil {
+		for _, de := range entries {
+			name := de.Name()
+			if de.IsDir() || !strings.HasSuffix(name, recSuffix) {
+				continue
+			}
+			data, err := os.ReadFile(filepath.Join(s.objects, name))
+			if err != nil {
+				skipped++
+				continue
+			}
+			rec, err := Decode(name, data)
+			if err != nil {
+				skipped++
+				continue
+			}
+			idx[rec.Key] = indexEntry{Key: rec.Key, File: name, Bytes: int64(len(data))}
+			bytes += int64(len(data))
+		}
+	}
+	s.mu.Lock()
+	s.index = idx
+	s.stats.Records = int64(len(idx))
+	s.stats.Bytes = bytes
+	s.stats.CorruptSkipped += skipped
+	s.stats.IndexRebuilds++
+	s.mu.Unlock()
+	_ = s.saveIndex()
+}
+
+// RebuildIndex forces a full scan (recovery hook for tests and
+// operators); returns how many records survived.
+func (s *FileStore) RebuildIndex() int {
+	s.rebuildIndex()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index)
+}
+
+// saveIndex writes index.json atomically (temp + rename).
+func (s *FileStore) saveIndex() error {
+	s.mu.Lock()
+	doc := indexDoc{Version: indexVersion, Records: make([]indexEntry, 0, len(s.index))}
+	for _, e := range s.index {
+		doc.Records = append(doc.Records, e)
+	}
+	s.mu.Unlock()
+	sort.Slice(doc.Records, func(i, j int) bool { return doc.Records[i].Key < doc.Records[j].Key })
+	data, err := json.MarshalIndent(doc, "", " ")
+	if err != nil {
+		return err
+	}
+	return atomicWrite(s.indexPath(), data)
+}
+
+// atomicWrite writes data to path via a temp file and rename.
+func atomicWrite(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return os.Rename(name, path)
+}
+
+// recSuffix is the record file extension.
+const recSuffix = ".rec"
+
+// filenameFor renders the content address, disambiguating hash
+// collisions with a numeric suffix chosen under the lock.
+func filenameFor(hash uint64, n int) string {
+	if n == 0 {
+		return fmt.Sprintf("%016x%s", hash, recSuffix)
+	}
+	return fmt.Sprintf("%016x-%d%s", hash, n, recSuffix)
+}
+
+// fileFor picks the file name for a key: the existing index entry if
+// the key is already stored, else the first free collision slot.
+// Called with s.mu held.
+func (s *FileStore) fileFor(key string) string {
+	if e, ok := s.index[key]; ok {
+		return e.File
+	}
+	h := KeyHash(key)
+	taken := map[string]bool{}
+	for _, e := range s.index {
+		taken[e.File] = true
+	}
+	for n := 0; ; n++ {
+		name := filenameFor(h, n)
+		if !taken[name] {
+			return name
+		}
+	}
+}
+
+// Put persists the record atomically and updates the index. A torn
+// write (fault hook) leaves a CRC-detectably truncated file behind,
+// still updates the index — modeling an index write that outlived the
+// record's durability — and returns *TornWriteError; the next Get
+// self-heals by dropping the entry.
+func (s *FileStore) Put(r *Record) error {
+	data, err := Encode(r)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.stats.Puts++
+	s.writeSeq++
+	seq := s.writeSeq
+	name := s.fileFor(r.Key)
+	s.mu.Unlock()
+
+	write := data
+	torn := false
+	if s.opts.TornWrite != nil {
+		if n, t := s.opts.TornWrite(seq, len(data)); t {
+			if n < 0 {
+				n = 0
+			}
+			if n > len(data) {
+				n = len(data)
+			}
+			write = data[:n]
+			torn = true
+		}
+	}
+	if err := atomicWrite(filepath.Join(s.objects, name), write); err != nil {
+		return fmt.Errorf("store: put %q: %w", r.Key, err)
+	}
+	s.mu.Lock()
+	old, had := s.index[r.Key]
+	s.index[r.Key] = indexEntry{Key: r.Key, File: name, Bytes: int64(len(write))}
+	if had {
+		s.stats.Bytes -= old.Bytes
+	} else {
+		s.stats.Records++
+	}
+	s.stats.Bytes += int64(len(write))
+	if torn {
+		s.stats.TornWrites++
+	}
+	s.mu.Unlock()
+	if err := s.saveIndex(); err != nil {
+		return fmt.Errorf("store: put %q: index: %w", r.Key, err)
+	}
+	if torn {
+		return &TornWriteError{Key: r.Key, File: name}
+	}
+	return nil
+}
+
+// Get reads and verifies the record. Corruption drops the entry from
+// the index (self-heal) and reports (nil, false, *CorruptError).
+func (s *FileStore) Get(key string) (*Record, bool, error) {
+	s.mu.Lock()
+	s.stats.Gets++
+	e, ok := s.index[key]
+	s.mu.Unlock()
+	if !ok {
+		s.count(func(st *Stats) { st.Misses++ })
+		return nil, false, nil
+	}
+	data, err := os.ReadFile(filepath.Join(s.objects, e.File))
+	var rec *Record
+	if err == nil {
+		rec, err = Decode(e.File, data)
+	}
+	if err == nil && rec.Key != key {
+		err = corrupt(e.File, "record key %q does not match index key %q", rec.Key, key)
+	}
+	if err != nil {
+		s.dropEntry(key, e.File)
+		s.count(func(st *Stats) { st.Misses++; st.CorruptSkipped++ })
+		return nil, false, err
+	}
+	s.count(func(st *Stats) { st.Hits++ })
+	return rec, true, nil
+}
+
+// Has reports index presence (content is verified on Get).
+func (s *FileStore) Has(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.index[key]
+	return ok
+}
+
+// Keys returns the indexed keys, sorted.
+func (s *FileStore) Keys() []string {
+	s.mu.Lock()
+	keys := make([]string, 0, len(s.index))
+	for k := range s.index {
+		keys = append(keys, k)
+	}
+	s.mu.Unlock()
+	sort.Strings(keys)
+	return keys
+}
+
+// Delete removes the record and its index entry.
+func (s *FileStore) Delete(key string) error {
+	s.mu.Lock()
+	e, ok := s.index[key]
+	if ok {
+		delete(s.index, key)
+		s.stats.Records--
+		s.stats.Bytes -= e.Bytes
+		s.stats.Deletes++
+	}
+	s.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	if err := os.Remove(filepath.Join(s.objects, e.File)); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("store: delete %q: %w", key, err)
+	}
+	return s.saveIndex()
+}
+
+// dropEntry removes a corrupt record's index entry and file.
+func (s *FileStore) dropEntry(key, file string) {
+	s.mu.Lock()
+	if e, ok := s.index[key]; ok && e.File == file {
+		delete(s.index, key)
+		s.stats.Records--
+		s.stats.Bytes -= e.Bytes
+	}
+	s.mu.Unlock()
+	_ = os.Remove(filepath.Join(s.objects, file))
+	_ = s.saveIndex()
+}
+
+func (s *FileStore) count(fn func(*Stats)) {
+	s.mu.Lock()
+	fn(&s.stats)
+	s.mu.Unlock()
+}
+
+// Stats snapshots the counters.
+func (s *FileStore) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Close flushes the index. The store holds no open files between
+// operations, so Close is cheap and idempotent.
+func (s *FileStore) Close() error { return s.saveIndex() }

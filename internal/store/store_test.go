@@ -1,0 +1,429 @@
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func testRecord(key string) *Record {
+	return &Record{
+		Key:             key,
+		CanonicalSource: "for i = 1 to 4\n  S1: A[i] = A[i] + 1\nend\n",
+		Strategy:        "non-duplicate",
+		Processors:      4,
+		Plan:            json.RawMessage(`{"strategy":"non-duplicate"}`),
+		CreatedUnixNS:   12345,
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	rec := testRecord("s=non-duplicate|p=4|src")
+	rec.Duplicated = []string{"B", "C"}
+	data, err := Encode(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode("test", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Key != rec.Key || got.CanonicalSource != rec.CanonicalSource ||
+		got.Strategy != rec.Strategy || got.Processors != rec.Processors ||
+		fmt.Sprint(got.Duplicated) != fmt.Sprint(rec.Duplicated) ||
+		string(got.Plan) != string(rec.Plan) || got.CreatedUnixNS != rec.CreatedUnixNS {
+		t.Fatalf("round trip drifted:\n got %+v\nwant %+v", got, rec)
+	}
+}
+
+func TestRecordDecodeRejectsCorruption(t *testing.T) {
+	data, err := Encode(testRecord("k"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]func([]byte) []byte{
+		"empty":          func(b []byte) []byte { return nil },
+		"short header":   func(b []byte) []byte { return b[:8] },
+		"bad magic":      func(b []byte) []byte { b[0] = 'X'; return b },
+		"bad version":    func(b []byte) []byte { binary.LittleEndian.PutUint32(b[4:8], 99); return b },
+		"truncated body": func(b []byte) []byte { return b[:len(b)-3] },
+		"flipped bit":    func(b []byte) []byte { b[headerSize+2] ^= 0x40; return b },
+		"huge length":    func(b []byte) []byte { binary.LittleEndian.PutUint32(b[8:12], maxPayloadBytes+1); return b },
+	}
+	for name, mutate := range cases {
+		buf := append([]byte(nil), data...)
+		if _, err := Decode("test", mutate(buf)); err == nil {
+			t.Errorf("%s: Decode accepted a corrupt record", name)
+		} else if _, ok := err.(*CorruptError); !ok {
+			t.Errorf("%s: error %v is not a *CorruptError", name, err)
+		}
+	}
+}
+
+func TestFileStorePutGet(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	keys := []string{"a", "b", "c"}
+	for _, k := range keys {
+		if err := s.Put(testRecord(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, k := range keys {
+		rec, ok, err := s.Get(k)
+		if err != nil || !ok || rec.Key != k {
+			t.Fatalf("Get(%q) = %v, %v, %v", k, rec, ok, err)
+		}
+		if !s.Has(k) {
+			t.Fatalf("Has(%q) = false after Put", k)
+		}
+	}
+	if _, ok, err := s.Get("absent"); ok || err != nil {
+		t.Fatalf("Get(absent) = %v, %v; want miss", ok, err)
+	}
+	if got := s.Keys(); fmt.Sprint(got) != fmt.Sprint(keys) {
+		t.Fatalf("Keys() = %v, want %v", got, keys)
+	}
+	st := s.Stats()
+	if st.Records != 3 || st.Hits != 3 || st.Misses != 1 || st.Puts != 3 {
+		t.Fatalf("stats %+v", st)
+	}
+
+	// Overwrite keeps one record per key.
+	if err := s.Put(testRecord("a")); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Records != 3 {
+		t.Fatalf("after overwrite: %d records, want 3", st.Records)
+	}
+	if err := s.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Has("a") {
+		t.Fatal("Has(a) after Delete")
+	}
+	if err := s.Delete("a"); err != nil {
+		t.Fatal("double delete should be a no-op:", err)
+	}
+}
+
+// TestFileStoreReopen proves persistence: a reopened store serves the
+// same records through the saved index, with no rebuild.
+func TestFileStoreReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := s.Put(testRecord(fmt.Sprintf("k%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if st := s2.Stats(); st.Records != 5 || st.IndexRebuilds != 0 {
+		t.Fatalf("reopen stats %+v; want 5 records, 0 rebuilds", st)
+	}
+	rec, ok, err := s2.Get("k3")
+	if err != nil || !ok || rec.Key != "k3" {
+		t.Fatalf("Get(k3) after reopen = %v, %v, %v", rec, ok, err)
+	}
+}
+
+// TestFileStoreIndexRebuild proves the index is disposable: deleting it
+// (or corrupting it) forces a scan that recovers every intact record.
+func TestFileStoreIndexRebuild(t *testing.T) {
+	for name, damage := range map[string]func(t *testing.T, dir string){
+		"missing": func(t *testing.T, dir string) { os.Remove(filepath.Join(dir, "index.json")) },
+		"garbage": func(t *testing.T, dir string) {
+			if err := os.WriteFile(filepath.Join(dir, "index.json"), []byte("{not json"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		},
+		"stale": func(t *testing.T, dir string) {
+			// Index lists a file that no longer matches its recorded size.
+			path := filepath.Join(dir, "index.json")
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var doc indexDoc
+			if err := json.Unmarshal(data, &doc); err != nil {
+				t.Fatal(err)
+			}
+			doc.Records[0].Bytes += 7
+			out, _ := json.Marshal(doc)
+			if err := os.WriteFile(path, out, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			s, err := Open(dir, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 4; i++ {
+				if err := s.Put(testRecord(fmt.Sprintf("k%d", i))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			s.Close()
+			damage(t, dir)
+			s2, err := Open(dir, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s2.Close()
+			st := s2.Stats()
+			if st.Records != 4 || st.IndexRebuilds != 1 {
+				t.Fatalf("%s: stats %+v; want 4 records via 1 rebuild", name, st)
+			}
+			if _, ok, err := s2.Get("k2"); !ok || err != nil {
+				t.Fatalf("%s: Get(k2) after rebuild failed: %v %v", name, ok, err)
+			}
+		})
+	}
+}
+
+// TestFileStoreCorruptRecordRecovery is the CI recovery scenario: a
+// record file is truncated on disk; the index rebuild skips it (counted,
+// not fatal) and every other record survives.
+func TestFileStoreCorruptRecordRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := s.Put(testRecord(fmt.Sprintf("k%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	// Truncate k1's record mid-payload.
+	victim := ""
+	var doc indexDoc
+	data, err := os.ReadFile(filepath.Join(dir, "index.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range doc.Records {
+		if e.Key == "k1" {
+			victim = e.File
+		}
+	}
+	path := filepath.Join(dir, "objects", victim)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// The truncation invalidates the index's size check, forcing the
+	// rebuild scan, which CRC-rejects the half record.
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	st := s2.Stats()
+	if st.Records != 3 || st.CorruptSkipped != 1 || st.IndexRebuilds != 1 {
+		t.Fatalf("stats %+v; want 3 records, 1 corrupt skipped, 1 rebuild", st)
+	}
+	if s2.Has("k1") {
+		t.Fatal("truncated record k1 survived the rebuild")
+	}
+	for _, k := range []string{"k0", "k2", "k3"} {
+		if _, ok, err := s2.Get(k); !ok || err != nil {
+			t.Fatalf("intact record %s lost: %v %v", k, ok, err)
+		}
+	}
+}
+
+// TestFileStoreTornWrite drives the deterministic fault hook: a torn
+// Put leaves a CRC-detectably truncated file and a lying index entry;
+// the next Get self-heals (drops the entry, reports corruption), and
+// the plan is simply absent — never wrong.
+func TestFileStoreTornWrite(t *testing.T) {
+	torn := map[int64]bool{2: true}
+	s, err := Open(t.TempDir(), Options{
+		TornWrite: func(seq int64, size int) (int, bool) {
+			if torn[seq] {
+				return size / 3, true
+			}
+			return size, false
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Put(testRecord("whole")); err != nil {
+		t.Fatal(err)
+	}
+	err = s.Put(testRecord("torn"))
+	var te *TornWriteError
+	if !asErr(err, &te) {
+		t.Fatalf("torn Put returned %v, want *TornWriteError", err)
+	}
+	if st := s.Stats(); st.TornWrites != 1 {
+		t.Fatalf("stats %+v, want 1 torn write", st)
+	}
+	// The index (deliberately) still lists the torn record; reading it
+	// detects the corruption and heals.
+	if !s.Has("torn") {
+		t.Fatal("torn record should still be indexed before the healing Get")
+	}
+	rec, ok, err := s.Get("torn")
+	if ok || rec != nil {
+		t.Fatalf("Get(torn) returned a record: %+v", rec)
+	}
+	var ce *CorruptError
+	if !asErr(err, &ce) {
+		t.Fatalf("Get(torn) error %v, want *CorruptError", err)
+	}
+	if s.Has("torn") {
+		t.Fatal("corrupt entry not dropped after the healing Get")
+	}
+	if _, ok, err := s.Get("whole"); !ok || err != nil {
+		t.Fatalf("whole record lost: %v %v", ok, err)
+	}
+}
+
+// TestFileStoreHashCollision forces every key onto one hash slot's
+// namespace by using keys that genuinely collide under the suffix
+// scheme: same-hash files get numeric suffixes and the in-file key
+// disambiguates.
+func TestFileStoreHashCollision(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a collision by pre-seeding the index with a record whose
+	// file name equals key "x"'s natural slot.
+	recA := testRecord("a")
+	if err := s.Put(recA); err != nil {
+		t.Fatal(err)
+	}
+	// Rename a's file to x's natural slot on disk and in the index.
+	aFile := s.index["a"].File
+	xFile := filenameFor(KeyHash("x"), 0)
+	if err := os.Rename(filepath.Join(dir, "objects", aFile), filepath.Join(dir, "objects", xFile)); err != nil {
+		t.Fatal(err)
+	}
+	s.mu.Lock()
+	e := s.index["a"]
+	e.File = xFile
+	s.index["a"] = e
+	s.mu.Unlock()
+
+	if err := s.Put(testRecord("x")); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.index["x"].File; got != filenameFor(KeyHash("x"), 1) {
+		t.Fatalf("colliding key landed on %s, want suffix slot", got)
+	}
+	ra, ok, _ := s.Get("a")
+	rx, ok2, _ := s.Get("x")
+	if !ok || !ok2 || ra.Key != "a" || rx.Key != "x" {
+		t.Fatalf("collision aliased records: %v %v", ra, rx)
+	}
+}
+
+// TestFileStoreConcurrent hammers one store from many goroutines (run
+// under -race).
+func TestFileStoreConcurrent(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				key := fmt.Sprintf("k%d", i%5)
+				switch i % 3 {
+				case 0:
+					_ = s.Put(testRecord(key))
+				case 1:
+					_, _, _ = s.Get(key)
+				default:
+					_ = s.Has(key)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for i := 0; i < 5; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if rec, ok, err := s.Get(key); ok && (err != nil || rec.Key != key) {
+			t.Fatalf("Get(%q) inconsistent: %v %v", key, rec, err)
+		}
+	}
+}
+
+func TestMemStore(t *testing.T) {
+	m := NewMem(3)
+	for i := 0; i < 5; i++ {
+		if err := m.Put(testRecord(fmt.Sprintf("k%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := m.Stats(); st.Records != 3 {
+		t.Fatalf("bound not enforced: %+v", st)
+	}
+	// FIFO: oldest two dropped.
+	for _, k := range []string{"k0", "k1"} {
+		if m.Has(k) {
+			t.Fatalf("%s survived the FIFO bound", k)
+		}
+	}
+	if rec, ok, err := m.Get("k4"); !ok || err != nil || rec.Key != "k4" {
+		t.Fatalf("Get(k4) = %v %v %v", rec, ok, err)
+	}
+	if err := m.Delete("k4"); err != nil || m.Has("k4") {
+		t.Fatal("delete failed")
+	}
+}
+
+// asErr is errors.As without importing errors twice in tests.
+func asErr[T error](err error, target *T) bool {
+	for err != nil {
+		if t, ok := err.(T); ok {
+			*target = t
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}

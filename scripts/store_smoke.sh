@@ -1,0 +1,137 @@
+#!/usr/bin/env bash
+# Store persistence smoke test: an end-to-end warm-restart check of the
+# real daemon binary (race-enabled).
+#
+#  1. start commfreed with -store-dir, compile+execute a small corpus;
+#  2. SIGTERM (graceful drain), restart against the SAME directory with
+#     -store-warm;
+#  3. every /v1/execute answer must be bit-identical to the first run
+#     (deterministic projection: wall time, cache flags, and trace IDs
+#     excluded) with ZERO compiles on the restarted process — the plans
+#     came back from the store, not the pipeline;
+#  4. corrupt one record on disk, restart again: the CRC catches it, the
+#     one plan silently recompiles to the same bits, the rest rehydrate.
+#
+# Requires: curl, jq. Usage: scripts/store_smoke.sh [port]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+PORT="${1:-8399}"
+ADDR="127.0.0.1:${PORT}"
+BASE="http://${ADDR}"
+TMP="$(mktemp -d)"
+STORE="${TMP}/store"
+PID=""
+
+cleanup() {
+  [ -n "${PID}" ] && kill "${PID}" 2>/dev/null || true
+  wait 2>/dev/null || true
+  rm -rf "${TMP}"
+}
+trap cleanup EXIT
+
+log() { echo "store_smoke: $*" >&2; }
+
+go build -race -o "${TMP}/commfreed" ./cmd/commfreed
+
+start_daemon() {
+  "${TMP}/commfreed" -addr "${ADDR}" -workers 2 -queue 32 \
+    -store-dir "${STORE}" "$@" >>"${TMP}/daemon.log" 2>&1 &
+  PID=$!
+  for _ in $(seq 1 100); do
+    if curl -sf "${BASE}/healthz" >/dev/null 2>&1; then return 0; fi
+    sleep 0.1
+  done
+  log "daemon did not become healthy; log follows"; cat "${TMP}/daemon.log" >&2
+  exit 1
+}
+
+stop_daemon() {
+  kill -TERM "${PID}"
+  wait "${PID}" || true
+  PID=""
+}
+
+# The corpus: three nests x two strategies.
+SOURCES=(
+  'for i = 1 to 8
+ A[i] = A[i] + 1
+end'
+  'for i = 1 to 4
+ for j = 1 to 4
+  B[i, j] = B[i, j] * 2
+ end
+end'
+  'for i = 1 to 6
+ C[2i] = C[2i] + 3
+end'
+)
+STRATEGIES=(non-duplicate duplicate)
+
+# execute_corpus DIR: runs every (source, strategy) cell and writes the
+# deterministic projection of each response to DIR/<cell>.json.
+execute_corpus() {
+  local outdir="$1" si st cell
+  mkdir -p "${outdir}"
+  for si in "${!SOURCES[@]}"; do
+    for st in "${STRATEGIES[@]}"; do
+      cell="${si}-${st}"
+      jq -n --arg src "${SOURCES[$si]}" --arg strat "${st}" \
+        '{source: $src, strategy: $strat, processors: 4}' |
+        curl -sf -X POST "${BASE}/v1/execute" -H 'Content-Type: application/json' -d @- |
+        jq -S 'del(.elapsed_s, .trace_id, .cached)' >"${outdir}/${cell}.json"
+      jq -e '.validated == true and .inter_node_messages == 0' \
+        "${outdir}/${cell}.json" >/dev/null ||
+        { log "cell ${cell} failed validation"; exit 1; }
+    done
+  done
+}
+
+metric() { curl -sf "${BASE}/v1/metrics" | jq -r ".counters[\"$1\"] // 0"; }
+
+log "phase 1: cold start, populate the store"
+start_daemon
+execute_corpus "${TMP}/before"
+COMPILES_1="$(metric compiles)"
+[ "${COMPILES_1}" -gt 0 ] || { log "no compiles on the cold pass?"; exit 1; }
+stop_daemon
+RECORDS="$(ls "${STORE}/objects" | wc -l)"
+log "phase 1 done: ${COMPILES_1} compiles, ${RECORDS} records on disk"
+
+log "phase 2: warm restart against the same -store-dir"
+start_daemon -store-warm
+execute_corpus "${TMP}/after"
+COMPILES_2="$(metric compiles)"
+REHYDRATES_2="$(metric rehydrates)"
+STORE_HITS="$(curl -sf "${BASE}/v1/metrics" | jq -r '.store.hits // 0')"
+stop_daemon
+
+for f in "${TMP}/before/"*.json; do
+  diff -u "${f}" "${TMP}/after/$(basename "${f}")" ||
+    { log "warm restart drifted on $(basename "${f}")"; exit 1; }
+done
+[ "${COMPILES_2}" -eq 0 ] ||
+  { log "restarted daemon recompiled ${COMPILES_2} plans (want 0)"; exit 1; }
+[ "${REHYDRATES_2}" -gt 0 ] ||
+  { log "restarted daemon rehydrated nothing"; exit 1; }
+log "phase 2 done: bit-identical, 0 compiles, ${REHYDRATES_2} rehydrates, ${STORE_HITS} store hits"
+
+log "phase 3: corrupt one record, restart, recover"
+VICTIM="$(ls "${STORE}/objects"/*.rec | head -n1)"
+head -c 24 /dev/urandom | dd of="${VICTIM}" bs=1 seek=8 conv=notrunc 2>/dev/null
+start_daemon
+execute_corpus "${TMP}/corrupt"
+COMPILES_3="$(metric compiles)"
+stop_daemon
+
+for f in "${TMP}/before/"*.json; do
+  diff -u "${f}" "${TMP}/corrupt/$(basename "${f}")" ||
+    { log "corrupted-record recovery drifted on $(basename "${f}")"; exit 1; }
+done
+[ "${COMPILES_3}" -ge 1 ] ||
+  { log "corrupted record did not trigger a recompile"; exit 1; }
+[ "${COMPILES_3}" -lt "${COMPILES_1}" ] ||
+  { log "corruption of one record recompiled everything (${COMPILES_3})"; exit 1; }
+log "phase 3 done: ${COMPILES_3} recompile(s), everything else rehydrated, answers identical"
+
+log "PASS"
