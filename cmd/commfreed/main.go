@@ -116,7 +116,9 @@ func run() error {
 		cacheN    = flag.Int("cache", 256, "plan cache entries")
 		timeout   = flag.Duration("timeout", 30*time.Second, "per-request timeout")
 		maxIter   = flag.Int64("max-iterations", 1<<22, "per-request simulated-iteration budget (negative = unlimited)")
-		engine    = flag.String("engine", "compiled", "execution engine: compiled (dense, parallel) or oracle (map-based reference)")
+		engine    = flag.String("engine", "kernel", "execution engine: kernel (specialized, pooled arenas), compiled (dense, parallel), or oracle (map-based reference)")
+		batchWin  = flag.Duration("batch-window", 0, "coalesce identical /v1/execute requests arriving within this window into one execution (0 disables)")
+		batchMax  = flag.Int("batch-max", 16, "cap on requests per coalesced execution batch (leader included)")
 		drainFor  = flag.Duration("drain", 60*time.Second, "graceful-shutdown drain limit")
 		traceRing = flag.Int("trace-ring", 256, "recent request traces kept for GET /v1/trace/{id}")
 		chaosSeed = flag.Int64("chaos-seed", 0, "inject deterministic faults into every execution from this seed (0 disables); requests may override with \"chaos_seed\"")
@@ -144,6 +146,8 @@ func run() error {
 		RequestTimeout: *timeout,
 		MaxIterations:  *maxIter,
 		Engine:         *engine,
+		BatchWindow:    *batchWin,
+		BatchMax:       *batchMax,
 		TraceRing:      *traceRing,
 		ChaosSeed:      *chaosSeed,
 		StoreDir:       *storeDir,

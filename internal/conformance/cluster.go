@@ -18,11 +18,14 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync"
 	"sync/atomic"
+	"time"
 
 	"commfree/internal/chaos"
 	"commfree/internal/cluster"
 	"commfree/internal/lang"
+	"commfree/internal/loop"
 	"commfree/internal/service"
 )
 
@@ -252,6 +255,74 @@ func checkPlacementAgreement(fleet *cluster.Local, key uint64) error {
 			return fmt.Errorf("conformance: cluster: placement disagreement for key %#x: %s says %s, %s says %s",
 				key, fleet.Names[0], home, fleet.Names[i], owner)
 		}
+	}
+	return nil
+}
+
+// CheckClusterBatch runs the coalescing dimension: with request
+// batching enabled on every node, `requests` concurrent identical
+// execute requests sprayed across rotating entry nodes must all route
+// to the plan's home node and coalesce there — exactly one compile in
+// the whole fleet, batches plus followers accounting for every
+// request, at least one request riding as a follower, and all
+// responses carrying the same validated execution document.
+func CheckClusterBatch(nodes, requests int) error {
+	base := service.Config{
+		Workers:     4,
+		QueueDepth:  64,
+		BatchWindow: 250 * time.Millisecond,
+		BatchMax:    2 * requests,
+	}
+	// One replica per plan: load-aware routing would otherwise be free
+	// to spread concurrent requests over the replica set, which is
+	// correct but defeats the single-compile assertion this check makes.
+	fleet, err := cluster.NewLocal(nodes, base, cluster.WithReplicas(1))
+	if err != nil {
+		return fmt.Errorf("conformance: cluster: %w", err)
+	}
+	defer fleet.Close()
+	client := fleet.Client()
+
+	req := service.ExecuteRequest{CompileRequest: service.CompileRequest{
+		Source: lang.Format(loop.L5(4)), Strategy: "duplicate", Processors: clusterProcs,
+	}}
+	resps := make([]*service.ExecuteResponse, requests)
+	errs := make([]error, requests)
+	var wg sync.WaitGroup
+	for i := 0; i < requests; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resps[i], _, errs[i] = clusterExecute(client, fleet.URL(i%nodes), req)
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < requests; i++ {
+		if errs[i] != nil {
+			return fmt.Errorf("conformance: cluster: batched request %d lost: %w", i, errs[i])
+		}
+		if !resps[i].Validated {
+			return fmt.Errorf("conformance: cluster: batched request %d failed validation (%d mismatches)", i, resps[i].Mismatches)
+		}
+		if d1, d2 := docOf(resps[0]), docOf(resps[i]); d1 != d2 {
+			return fmt.Errorf("conformance: cluster: batched request %d diverges:\n first: %+v\n this:  %+v", i, d1, d2)
+		}
+	}
+	var compiles, batches, followers int64
+	for _, svc := range fleet.Services {
+		compiles += svc.Metrics().Counter("compiles")
+		batches += svc.Metrics().Counter("execute_batches")
+		followers += svc.Metrics().Counter("execute_batch_followers")
+	}
+	if compiles != 1 {
+		return fmt.Errorf("conformance: cluster: %d compiles across the fleet for %d identical requests, want exactly 1", compiles, requests)
+	}
+	if batches < 1 || batches+followers != int64(requests) {
+		return fmt.Errorf("conformance: cluster: batches (%d) + followers (%d) do not account for %d requests", batches, followers, requests)
+	}
+	if followers == 0 {
+		return fmt.Errorf("conformance: cluster: no request ever coalesced (batches %d, requests %d)", batches, requests)
 	}
 	return nil
 }

@@ -21,9 +21,9 @@ func clusterCrashSeedCount() int {
 }
 
 // TestClusterConformance3Node: a 3-node fleet must be bit-identical to
-// a single node for the corpus × four strategies, on both engines.
+// a single node for the corpus × four strategies, on every engine.
 func TestClusterConformance3Node(t *testing.T) {
-	for _, engine := range []string{"compiled", "oracle"} {
+	for _, engine := range []string{"kernel", "compiled", "oracle"} {
 		engine := engine
 		t.Run(engine, func(t *testing.T) {
 			if err := CheckCluster(3, engine, 0); err != nil {
@@ -65,6 +65,15 @@ func TestClusterConformanceCrash(t *testing.T) {
 				t.Fatal(err)
 			}
 		})
+	}
+}
+
+// TestClusterBatchCoalesces: identical concurrent execute requests
+// sprayed across the fleet coalesce at the plan's home node — one
+// compile, one (or few) executions serving all of them.
+func TestClusterBatchCoalesces(t *testing.T) {
+	if err := CheckClusterBatch(3, 6); err != nil {
+		t.Fatal(err)
 	}
 }
 

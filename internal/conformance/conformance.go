@@ -197,6 +197,17 @@ func checkParallelExecution(nest *loop.Nest, res *partition.Result) error {
 		if err := exec.Equal(crep.Final, want); err != nil {
 			return fmt.Errorf("conformance: %s: compiled parallel state diverges: %w", res.Strategy, err)
 		}
+		kern, serr := prog.Specialize(res, procs)
+		if serr != nil {
+			return fmt.Errorf("conformance: %s: kernel specialization failed: %w", res.Strategy, serr)
+		}
+		krep, err := kern.Run(cost, exec.Options{})
+		if err != nil {
+			return fmt.Errorf("conformance: %s: kernel parallel execution failed: %w", res.Strategy, err)
+		}
+		if err := exec.Equal(krep.Final, want); err != nil {
+			return fmt.Errorf("conformance: %s: kernel parallel state diverges: %w", res.Strategy, err)
+		}
 	}
 	return nil
 }

@@ -41,6 +41,7 @@ type benchCase struct {
 	nest *loop.Nest
 	res  *partition.Result
 	prog *Program
+	kern *Kernel
 }
 
 func benchCases(b *testing.B) []benchCase {
@@ -59,7 +60,11 @@ func benchCases(b *testing.B) []benchCase {
 		if err != nil {
 			b.Fatalf("%s: %v", cases[i].name, err)
 		}
-		cases[i].res, cases[i].prog = res, prog
+		kern, err := prog.Specialize(res, 16)
+		if err != nil {
+			b.Fatalf("%s: %v", cases[i].name, err)
+		}
+		cases[i].res, cases[i].prog, cases[i].kern = res, prog, kern
 	}
 	return cases
 }
@@ -105,6 +110,14 @@ func BenchmarkExecParallel(b *testing.B) {
 				}
 			}
 		})
+		b.Run(c.name+"/kernel", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.kern.Run(cost, Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
@@ -123,6 +136,17 @@ func BenchmarkExecParallelTraced(b *testing.B) {
 				trc := obs.New("bench")
 				root := trc.Start(0, "exec_run")
 				if _, err := c.prog.ParallelTraced(c.res, p, cost, nil, trc, root.ID()); err != nil {
+					b.Fatal(err)
+				}
+				root.End()
+			}
+		})
+		b.Run(c.name+"/kernel", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				trc := obs.New("bench")
+				root := trc.Start(0, "exec_run")
+				if _, err := c.kern.Run(cost, Options{Trace: trc, Parent: root.ID()}); err != nil {
 					b.Fatal(err)
 				}
 				root.End()

@@ -10,21 +10,28 @@ import (
 	"commfree/internal/partition"
 )
 
+// chaosEngines names the three parallel engines the chaos properties
+// must hold on.
+var chaosEngines = []string{"oracle", "compiled", "kernel"}
+
 // chaosRun executes the partition under the injector on the requested
 // engine, asserting the run stays communication-free.
-func chaosRun(t *testing.T, res *partition.Result, p int, inj *chaos.Injector, compiled bool) (*Report, error) {
+func chaosRun(t *testing.T, res *partition.Result, p int, inj *chaos.Injector, engine string) (*Report, error) {
 	t.Helper()
 	opts := Options{Chaos: inj}
 	var rep *Report
 	var err error
-	if compiled {
+	switch engine {
+	case "oracle":
+		rep, err = ParallelOpts(res, p, machine.Transputer(), opts)
+	case "compiled":
 		prog, cerr := CompileNest(res.Analysis.Nest, res.Redundant)
 		if cerr != nil {
 			t.Fatal(cerr)
 		}
 		rep, err = prog.ParallelOpts(res, p, machine.Transputer(), opts)
-	} else {
-		rep, err = ParallelOpts(res, p, machine.Transputer(), opts)
+	default: // kernel
+		rep, err = ParallelKernel(res, p, machine.Transputer(), opts)
 	}
 	if err != nil {
 		return nil, err
@@ -35,7 +42,7 @@ func chaosRun(t *testing.T, res *partition.Result, p int, inj *chaos.Injector, c
 	return rep, nil
 }
 
-// Both engines, all strategies: a chaos run must end bit-identical to
+// All three engines, all strategies: a chaos run must end bit-identical to
 // the sequential reference, with retries bounded by the schedule's
 // per-block cap — the executable form of "blocks are atomic recovery
 // units".
@@ -59,18 +66,18 @@ func TestChaosRecoversBitIdentical(t *testing.T) {
 			want := Sequential(tc.nest, nil)
 			var injected int64
 			for seed := int64(1); seed <= 20; seed++ {
-				for _, compiled := range []bool{false, true} {
+				for _, engine := range chaosEngines {
 					inj := chaos.Default(seed)
-					rep, err := chaosRun(t, res, 4, inj, compiled)
+					rep, err := chaosRun(t, res, 4, inj, engine)
 					if err != nil {
-						t.Fatalf("seed %d compiled=%v: %v", seed, compiled, err)
+						t.Fatalf("seed %d %s: %v", seed, engine, err)
 					}
 					if err := Equal(want, rep.Final); err != nil {
-						t.Fatalf("seed %d compiled=%v: state diverged: %v", seed, compiled, err)
+						t.Fatalf("seed %d %s: state diverged: %v", seed, engine, err)
 					}
 					maxRetries := int64(len(res.Iter.Blocks) * inj.MaxFailuresPerBlock())
 					if rep.Chaos.Retries > maxRetries {
-						t.Fatalf("seed %d compiled=%v: %d retries exceed bound %d", seed, compiled, rep.Chaos.Retries, maxRetries)
+						t.Fatalf("seed %d %s: %d retries exceed bound %d", seed, engine, rep.Chaos.Retries, maxRetries)
 					}
 					injected += rep.Chaos.Faults
 				}
@@ -88,16 +95,8 @@ func TestChaosRecoversBitIdentical(t *testing.T) {
 // run exactly (commits are exactly-once).
 func TestChaosPostCommitIdempotent(t *testing.T) {
 	cfg := chaos.Config{BlockFailProb: 1, MaxBlockFails: 1, PostCommitProb: 1}
-	for _, tc := range []struct {
-		strat    partition.Strategy
-		compiled bool
-	}{
-		{partition.NonDuplicate, false},
-		{partition.NonDuplicate, true},
-		{partition.Duplicate, false},
-		{partition.Duplicate, true},
-	} {
-		res, err := partition.Compute(loop.L1(), tc.strat)
+	for _, strat := range []partition.Strategy{partition.NonDuplicate, partition.Duplicate} {
+		res, err := partition.Compute(loop.L1(), strat)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -109,23 +108,25 @@ func TestChaosPostCommitIdempotent(t *testing.T) {
 		for _, c := range fresh.IterationsPerNode {
 			want += c
 		}
-		inj := chaos.NewInjector(chaos.NewSchedule(5, cfg))
-		rep, err := chaosRun(t, res, 4, inj, tc.compiled)
-		if err != nil {
-			t.Fatal(err)
-		}
-		var got int64
-		for _, c := range rep.IterationsPerNode {
-			got += c
-		}
-		if got != want {
-			t.Errorf("%s compiled=%v: post-commit recovery re-executed work: %d iterations, want %d", tc.strat, tc.compiled, got, want)
-		}
-		if rep.Chaos.PostCommit == 0 {
-			t.Errorf("%s compiled=%v: no post-commit faults fired", tc.strat, tc.compiled)
-		}
-		if err := Equal(Sequential(loop.L1(), nil), rep.Final); err != nil {
-			t.Errorf("%s compiled=%v: %v", tc.strat, tc.compiled, err)
+		for _, engine := range chaosEngines {
+			inj := chaos.NewInjector(chaos.NewSchedule(5, cfg))
+			rep, err := chaosRun(t, res, 4, inj, engine)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got int64
+			for _, c := range rep.IterationsPerNode {
+				got += c
+			}
+			if got != want {
+				t.Errorf("%s %s: post-commit recovery re-executed work: %d iterations, want %d", strat, engine, got, want)
+			}
+			if rep.Chaos.PostCommit == 0 {
+				t.Errorf("%s %s: no post-commit faults fired", strat, engine)
+			}
+			if err := Equal(Sequential(loop.L1(), nil), rep.Final); err != nil {
+				t.Errorf("%s %s: %v", strat, engine, err)
+			}
 		}
 	}
 }
@@ -139,9 +140,9 @@ func TestChaosMidCrashReexecutes(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := Sequential(loop.L1(), nil)
-	for _, compiled := range []bool{false, true} {
+	for _, engine := range chaosEngines {
 		inj := chaos.NewInjector(chaos.NewSchedule(9, cfg))
-		rep, err := chaosRun(t, res, 4, inj, compiled)
+		rep, err := chaosRun(t, res, 4, inj, engine)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -150,13 +151,13 @@ func TestChaosMidCrashReexecutes(t *testing.T) {
 			got += c
 		}
 		if got < 16 {
-			t.Errorf("compiled=%v: %d iterations under retry, want >= 16", compiled, got)
+			t.Errorf("%s: %d iterations under retry, want >= 16", engine, got)
 		}
 		if rep.Chaos.Retries == 0 {
-			t.Errorf("compiled=%v: no retries recorded", compiled)
+			t.Errorf("%s: no retries recorded", engine)
 		}
 		if err := Equal(want, rep.Final); err != nil {
-			t.Errorf("compiled=%v: %v", compiled, err)
+			t.Errorf("%s: %v", engine, err)
 		}
 	}
 }
@@ -168,12 +169,12 @@ func TestChaosPersistentExhaustsRetries(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, compiled := range []bool{false, true} {
+	for _, engine := range chaosEngines {
 		inj := chaos.NewInjector(chaos.NewSchedule(1, chaos.Persistent()))
-		_, err := chaosRun(t, res, 4, inj, compiled)
+		_, err := chaosRun(t, res, 4, inj, engine)
 		var fe *chaos.FaultError
 		if !errors.As(err, &fe) {
-			t.Errorf("compiled=%v: err = %v, want *chaos.FaultError", compiled, err)
+			t.Errorf("%s: err = %v, want *chaos.FaultError", engine, err)
 		}
 	}
 }
@@ -185,20 +186,20 @@ func TestChaosDeterministicReplay(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, compiled := range []bool{false, true} {
-		a, err := chaosRun(t, res, 4, chaos.Default(42), compiled)
+	for _, engine := range chaosEngines {
+		a, err := chaosRun(t, res, 4, chaos.Default(42), engine)
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := chaosRun(t, res, 4, chaos.Default(42), compiled)
+		b, err := chaosRun(t, res, 4, chaos.Default(42), engine)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if err := Equal(a.Final, b.Final); err != nil {
-			t.Errorf("compiled=%v: replay diverged: %v", compiled, err)
+			t.Errorf("%s: replay diverged: %v", engine, err)
 		}
 		if a.Chaos != b.Chaos {
-			t.Errorf("compiled=%v: replay stats diverged: %+v vs %+v", compiled, a.Chaos, b.Chaos)
+			t.Errorf("%s: replay stats diverged: %+v vs %+v", engine, a.Chaos, b.Chaos)
 		}
 	}
 }

@@ -1,11 +1,11 @@
 package exec
 
-// Differential tests: the compiled engine must produce bit-identical
-// final state — and identical machine accounting — to the map-based
-// oracle on every nest we can get our hands on: the repository's
-// testdata/ programs and the shared lang fuzz corpus, under all four
-// partitioning strategies (so redundant-computation elimination is
-// exercised through the minimal ones).
+// Differential tests: the compiled and kernel engines must produce
+// bit-identical final state — and identical machine accounting — to
+// the map-based oracle on every nest we can get our hands on: the
+// repository's testdata/ programs and the shared lang fuzz corpus,
+// under all four partitioning strategies (so redundant-computation
+// elimination is exercised through the minimal ones).
 
 import (
 	"os"
@@ -101,6 +101,41 @@ func diffNest(t *testing.T, nest *loop.Nest, label string) {
 			}
 			if od, cd := oracle.Machine.DistributionTime(), comp.Machine.DistributionTime(); od != cd {
 				t.Errorf("%s/%s/p=%d: distribution time %v vs oracle %v", label, strat, p, cd, od)
+			}
+
+			kern, err := prog.Specialize(res, p)
+			if err != nil {
+				t.Errorf("%s/%s/p=%d: Specialize: %v", label, strat, p, err)
+				continue
+			}
+			// Run twice: the second run exercises the recycled arena.
+			for round := 0; round < 2; round++ {
+				krep, err := kern.Run(cost, Options{})
+				if err != nil {
+					t.Errorf("%s/%s/p=%d: kernel run %d: %v", label, strat, p, round, err)
+					break
+				}
+				if err := Equal(oracle.Final, krep.Final); err != nil {
+					t.Errorf("%s/%s/p=%d: kernel run %d final state diverges: %v", label, strat, p, round, err)
+				}
+				if msgs := krep.Machine.InterNodeMessages(); msgs != 0 {
+					t.Errorf("%s/%s/p=%d: kernel: %d inter-node messages", label, strat, p, msgs)
+				}
+				if om, km := oracle.Machine.Messages(), krep.Machine.Messages(); om != km {
+					t.Errorf("%s/%s/p=%d: kernel host messages %d vs oracle %d", label, strat, p, km, om)
+				}
+				if ow, kw := oracle.Machine.DataMoved(), krep.Machine.DataMoved(); ow != kw {
+					t.Errorf("%s/%s/p=%d: kernel data moved %d vs oracle %d", label, strat, p, kw, ow)
+				}
+				if od, kd := oracle.Machine.DistributionTime(), krep.Machine.DistributionTime(); od != kd {
+					t.Errorf("%s/%s/p=%d: kernel distribution time %v vs oracle %v", label, strat, p, kd, od)
+				}
+				for id := range comp.IterationsPerNode {
+					if comp.IterationsPerNode[id] != krep.IterationsPerNode[id] {
+						t.Errorf("%s/%s/p=%d: kernel node %d iterations %d vs compiled %d",
+							label, strat, p, id, krep.IterationsPerNode[id], comp.IterationsPerNode[id])
+					}
+				}
 			}
 		}
 	}

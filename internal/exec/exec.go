@@ -52,12 +52,16 @@ func Sequential(nest *loop.Nest, red *redundant.Result) map[string]float64 {
 		}
 		return InitValue(array, idx)
 	}
+	// One read-value scratch for the whole walk, sized to the widest
+	// statement; per-statement allocation here dominated the oracle's
+	// sequential profile.
+	scratch := make([]float64, maxReads(nest))
 	nest.Walk(func(it []int64) bool {
 		for si, st := range nest.Body {
 			if red != nil && red.IsRedundant(si, it) {
 				continue
 			}
-			vals := make([]float64, len(st.Reads))
+			vals := scratch[:len(st.Reads)]
 			for ri, r := range st.Reads {
 				vals[ri] = readVal(r.Array, r.Index(it))
 			}
@@ -66,6 +70,17 @@ func Sequential(nest *loop.Nest, red *redundant.Result) map[string]float64 {
 		return true
 	})
 	return state
+}
+
+// maxReads is the widest read list across the nest's statements.
+func maxReads(nest *loop.Nest) int {
+	m := 0
+	for _, st := range nest.Body {
+		if len(st.Reads) > m {
+			m = len(st.Reads)
+		}
+	}
+	return m
 }
 
 // Report is the outcome of a parallel execution.
@@ -279,6 +294,7 @@ func ParallelOpts(res *partition.Result, p int, cost machine.CostModel, opts Opt
 // block's write-set image taken up front so a crashed attempt's partial
 // writes can be rolled back before the re-run.
 func runOracleBlock(nest *loop.Nest, red *redundant.Result, n *machine.Node, b *partition.Block, budget *machine.Budget, inj *chaos.Injector, maxRetries int) error {
+	scratch := make([]float64, maxReads(nest))
 	run := func(count int64) error {
 		for _, it := range b.Iterations[:count] {
 			if err := budget.Spend(1); err != nil {
@@ -288,7 +304,7 @@ func runOracleBlock(nest *loop.Nest, red *redundant.Result, n *machine.Node, b *
 				if red != nil && red.IsRedundant(si, it) {
 					continue
 				}
-				vals := make([]float64, len(st.Reads))
+				vals := scratch[:len(st.Reads)]
 				for ri, r := range st.Reads {
 					v, err := n.Read(BlockKey(b.ID, Key(r.Array, r.Index(it))))
 					if err != nil {

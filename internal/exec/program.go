@@ -28,16 +28,17 @@ import (
 
 // Compile caps: a dense footprint is only worth it while it fits in
 // memory. Nests beyond these bounds fail CompileNest with a descriptive
-// error and callers fall back to the map-based oracle.
-const (
+// error and callers fall back to the map-based oracle. Variables, not
+// constants, so the overflow paths are testable without gigabyte nests.
+var (
 	// maxArrayCells bounds one array's bounding-box volume (128 MiB of
 	// float64 per array).
-	maxArrayCells = 1 << 24
+	maxArrayCells int64 = 1 << 24
 	// maxTotalCells bounds the sum over arrays (512 MiB of float64).
-	maxTotalCells = 1 << 26
+	maxTotalCells int64 = 1 << 26
 	// maxRankedBits bounds Σ statements × iteration-box volume, the
 	// total redundancy-bitset size (128 MiB of bits).
-	maxRankedBits = 1 << 30
+	maxRankedBits int64 = 1 << 30
 )
 
 // arrayLayout is the dense storage plan of one array: a row-major box

@@ -1,0 +1,601 @@
+package exec
+
+// Per-plan kernel specialization. Specialize fuses everything the
+// compiled engine re-derives on every run — the space transformation,
+// the cyclic assignment, the block prepass (ownership, distribution
+// words, disjointness), and the per-iteration interpretation — into a
+// flat kernel.Plan computed exactly once per (program, partition,
+// processors) triple. A specialized Kernel then executes with
+//
+//   - no odometer: block iteration lists are lowered to straight-line
+//     segments whose offsets advance by precomputed scalar strides;
+//   - no redundancy tests: eliminated iterations are cut out of the
+//     segment bounds (single-statement nests) or pre-baked bitmask rows
+//     (multi-statement nests) at lowering time;
+//   - no expression dispatch for the recognized shapes (matmul /
+//     stencil / conv2d-like RHS), bytecode for the rest;
+//   - no steady-state allocation: buffers, scratch, and checkpoint
+//     storage live in arenas recycled through a sync.Pool, and gather
+//     keys are interned strings built once at specialization.
+//
+// Chaos semantics are preserved bit for bit: blocks remain the atomic
+// retry unit, crash prefixes land on the same raw iteration counts the
+// interpreting engines use (segment bounds keep raw block positions),
+// and commits stay exactly-once via the same chaosRetryBlock driver.
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"commfree/internal/assign"
+	"commfree/internal/exec/kernel"
+	"commfree/internal/machine"
+	"commfree/internal/partition"
+	"commfree/internal/transform"
+)
+
+// Kernel is a Program specialized against one partition result and
+// processor count. It is read-only after Specialize (the arena pool is
+// internally synchronized) and safe for concurrent Run calls.
+type Kernel struct {
+	prog  *Program
+	res   *partition.Result
+	procs int
+
+	tr   *transform.Transformed
+	asg  *assign.Assignment
+	used int
+	topo machine.Mesh
+	st   *blockStats
+	dup  bool
+
+	plan *kernel.Plan
+
+	// Interned gather table: the final-state map keys (byte-identical
+	// to Key) with their buffer coordinates, owned cells only.
+	gatherKeys []string
+	gatherArr  []int32
+	gatherOff  []int64
+
+	arenas sync.Pool
+}
+
+// kernArena is the recyclable per-run state: the commit/shared buffers
+// plus per-worker private buffers, scratch, and checkpoint storage.
+type kernArena struct {
+	bufs    [][]float64
+	workers []*kernWorker
+}
+
+// kernWorker is one worker slot of an arena. priv is cloned lazily
+// (duplicate strategies only) and held at the initial image between
+// blocks; cp is the chaos checkpoint value log (disjoint strategies).
+type kernWorker struct {
+	scr  *kernel.Scratch
+	priv [][]float64
+	cp   []float64
+}
+
+// Specialize lowers the program against a partition into a reusable
+// Kernel. Statements whose semantics exist only as a closure (non-nil
+// Expr, nil Tree) are not lowerable and return an error — callers fall
+// back to the interpreting engines.
+func (prog *Program) Specialize(res *partition.Result, p int) (*Kernel, error) {
+	if res.Analysis.Nest != prog.Nest {
+		return nil, fmt.Errorf("exec: partition was computed from a different nest than the program")
+	}
+	if res.Redundant != prog.Red {
+		return nil, fmt.Errorf("exec: partition and program disagree on redundant-computation elimination")
+	}
+	tr, err := transform.Transform(prog.Nest, res.Psi)
+	if err != nil {
+		return nil, err
+	}
+	asg := assign.Assign(tr, p)
+	used := asg.NumProcessors()
+	topo := machine.Mesh{P1: 1, P2: used}
+	if sq, err := machine.SquareMesh(used); err == nil {
+		topo = sq
+	}
+	st, err := prog.prepass(res, tr, asg, used)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := prog.lower(res)
+	if err != nil {
+		return nil, err
+	}
+	k := &Kernel{
+		prog: prog, res: res, procs: p,
+		tr: tr, asg: asg, used: used, topo: topo, st: st,
+		dup: res.AllowsDuplication(), plan: plan,
+	}
+	k.buildGather()
+	return k, nil
+}
+
+// lower flattens every partition block into kernel segments/rows.
+func (prog *Program) lower(res *partition.Result) (*kernel.Plan, error) {
+	n := prog.Nest.Depth()
+	pl := &kernel.Plan{Depth: n, MaxReads: prog.maxReads, Multi: len(prog.stmts) > 1}
+	for si := range prog.stmts {
+		cs := &prog.stmts[si]
+		ks := kernel.Stmt{WriteArr: int32(cs.write.array)}
+		for ri := range cs.reads {
+			ks.ReadArrs = append(ks.ReadArrs, int32(cs.reads[ri].array))
+		}
+		tree := cs.st.Tree
+		if tree == nil && cs.st.Expr != nil {
+			return nil, fmt.Errorf("exec: statement %q has closure-only semantics — not lowerable", cs.st.Label)
+		}
+		ks.Fast, ks.MulAdd = kernel.Recognize(tree, len(cs.reads))
+		if ks.Fast == kernel.FastBytecode {
+			code, err := kernel.CompileTree(tree)
+			if err != nil {
+				return nil, err
+			}
+			ks.Code = code
+			ks.UsesIndex = code.UsesIndex
+			if code.StackNeed > pl.MaxStack {
+				pl.MaxStack = code.StackNeed
+			}
+		}
+		pl.RowWidth += 1 + len(cs.reads)
+		pl.Stmts = append(pl.Stmts, ks)
+	}
+
+	blocks := res.Iter.Blocks
+	pl.BlockWR = make([][2]int32, len(blocks))
+	if pl.Multi {
+		pl.BlockRows = make([][2]int32, len(blocks))
+	} else {
+		pl.BlockSegs = make([][2]int32, len(blocks))
+	}
+	delta := make([]int64, n)
+	zero := make([]int64, n)
+	for bi, b := range blocks {
+		its := b.Iterations
+		if int64(len(its)) > 1<<31-1 {
+			return nil, fmt.Errorf("exec: block %d exceeds the kernel's iteration range", b.ID)
+		}
+		segStart, rowStart, wrStart := len(pl.Segs), len(pl.Rows), len(pl.WR)
+		for t0 := 0; t0 < len(its); {
+			// Extend the run while consecutive iterations keep a
+			// constant vector delta.
+			t1 := t0 + 1
+			d := zero
+			if t1 < len(its) {
+				for j := 0; j < n; j++ {
+					delta[j] = its[t1][j] - its[t0][j]
+				}
+				d = delta
+				for t1 < len(its) {
+					same := true
+					for j := 0; j < n; j++ {
+						if its[t1][j]-its[t1-1][j] != d[j] {
+							same = false
+							break
+						}
+					}
+					if !same {
+						break
+					}
+					t1++
+				}
+			}
+			if pl.Multi {
+				prog.lowerRow(pl, its, t0, t1, d)
+			} else {
+				prog.lowerSegs(pl, its, t0, t1, d)
+			}
+			t0 = t1
+		}
+		if pl.Multi {
+			pl.BlockRows[bi] = [2]int32{int32(rowStart), int32(len(pl.Rows))}
+		} else {
+			pl.BlockSegs[bi] = [2]int32{int32(segStart), int32(len(pl.Segs))}
+		}
+		pl.BlockWR[bi] = [2]int32{int32(wrStart), int32(len(pl.WR))}
+	}
+	return pl, nil
+}
+
+// dot is the per-iteration scalar advance of a linear offset function
+// along a constant iteration delta.
+func dot(coeffs, delta []int64) int64 {
+	var s int64
+	for j, c := range coeffs {
+		s += c * delta[j]
+	}
+	return s
+}
+
+// appendWR records a write footprint range, collapsing zero-stride
+// runs (a reduction writing one cell N times) to a single entry.
+func appendWR(pl *kernel.Plan, arr int32, off, step int64, count int) {
+	if step == 0 {
+		count = 1
+	}
+	pl.WR = append(pl.WR, kernel.WriteRange{Arr: arr, N: int32(count), Off: off, Step: step})
+}
+
+// lowerSegs emits the segments of one constant-delta run of a
+// single-statement block, splitting at redundant iterations so the
+// executor never tests them. Segment T0 keeps the raw block position.
+func (prog *Program) lowerSegs(pl *kernel.Plan, its [][]int64, t0, t1 int, d []int64) {
+	cs := &prog.stmts[0]
+	ks := &pl.Stmts[0]
+	for t := t0; t < t1; {
+		for t < t1 && prog.isRedundant(0, its[t]) {
+			t++
+		}
+		if t >= t1 {
+			return
+		}
+		s := t
+		for t < t1 && !prog.isRedundant(0, its[t]) {
+			t++
+		}
+		sg := kernel.Seg{
+			Stmt: 0, T0: int32(s), N: int32(t - s),
+			WOff: cs.write.offset(its[s]), WStep: dot(cs.write.coeffs, d),
+			RBase: int32(len(pl.ROff)), IBase: -1, DBase: -1,
+		}
+		for ri := range cs.reads {
+			r := &cs.reads[ri]
+			pl.ROff = append(pl.ROff, r.offset(its[s]))
+			pl.RStep = append(pl.RStep, dot(r.coeffs, d))
+		}
+		if ks.UsesIndex {
+			sg.IBase = int32(len(pl.It0))
+			sg.DBase = int32(len(pl.Delta))
+			pl.It0 = append(pl.It0, its[s]...)
+			pl.Delta = append(pl.Delta, d...)
+		}
+		pl.Segs = append(pl.Segs, sg)
+		appendWR(pl, ks.WriteArr, sg.WOff, sg.WStep, t-s)
+	}
+}
+
+// lowerRow emits one row covering a constant-delta run of a
+// multi-statement block; redundant (statement, iteration) pairs become
+// mask bits rather than splits, preserving the per-iteration statement
+// interleaving the sequential semantics require.
+func (prog *Program) lowerRow(pl *kernel.Plan, its [][]int64, t0, t1 int, d []int64) {
+	count := t1 - t0
+	row := kernel.Row{
+		T0: int32(t0), N: int32(count),
+		OBase: int32(len(pl.RowOff)), MBase: -1, IBase: -1, DBase: -1,
+	}
+	anyIndex := false
+	anyRedundant := false
+	for si := range prog.stmts {
+		cs := &prog.stmts[si]
+		pl.RowOff = append(pl.RowOff, cs.write.offset(its[t0]))
+		pl.RowStep = append(pl.RowStep, dot(cs.write.coeffs, d))
+		for ri := range cs.reads {
+			r := &cs.reads[ri]
+			pl.RowOff = append(pl.RowOff, r.offset(its[t0]))
+			pl.RowStep = append(pl.RowStep, dot(r.coeffs, d))
+		}
+		if pl.Stmts[si].UsesIndex {
+			anyIndex = true
+		}
+		appendWR(pl, pl.Stmts[si].WriteArr, cs.write.offset(its[t0]), dot(cs.write.coeffs, d), count)
+	}
+	for t := t0; t < t1 && !anyRedundant; t++ {
+		for si := range prog.stmts {
+			if prog.isRedundant(si, its[t]) {
+				anyRedundant = true
+				break
+			}
+		}
+	}
+	if anyRedundant {
+		row.MBase = int32(len(pl.Masks))
+		mwords := (count + 63) / 64
+		base := len(pl.Masks)
+		pl.Masks = append(pl.Masks, make([]uint64, mwords*len(prog.stmts))...)
+		for si := range prog.stmts {
+			for t := t0; t < t1; t++ {
+				if prog.isRedundant(si, its[t]) {
+					rt := t - t0
+					pl.Masks[base+si*mwords+rt>>6] |= 1 << uint(rt&63)
+				}
+			}
+		}
+	}
+	if anyIndex {
+		row.IBase = int32(len(pl.It0))
+		row.DBase = int32(len(pl.Delta))
+		pl.It0 = append(pl.It0, its[t0]...)
+		pl.Delta = append(pl.Delta, d...)
+	}
+	pl.Rows = append(pl.Rows, row)
+}
+
+// buildGather interns the final-state keys of every owned cell.
+func (k *Kernel) buildGather() {
+	var kb []byte
+	for a, lay := range k.prog.arrays {
+		owner := k.st.owner[a]
+		lay.eachIndex(func(off int64, idx []int64) {
+			if owner[off] >= 0 {
+				kb = appendKey(kb, lay.name, idx)
+				k.gatherKeys = append(k.gatherKeys, string(kb))
+				k.gatherArr = append(k.gatherArr, int32(a))
+				k.gatherOff = append(k.gatherOff, off)
+			}
+		})
+	}
+}
+
+// getArena takes a recycled arena (or builds one) with the shared /
+// commit buffers reset to the initial image. Worker private buffers
+// rely on the between-blocks invariant (priv == init) instead.
+func (k *Kernel) getArena(workers int) *kernArena {
+	ar, ok := k.arenas.Get().(*kernArena)
+	if !ok {
+		ar = &kernArena{bufs: k.prog.cloneBuffers()}
+	} else {
+		for i, lay := range k.prog.arrays {
+			copy(ar.bufs[i], lay.init)
+		}
+	}
+	for len(ar.workers) < workers {
+		ar.workers = append(ar.workers, &kernWorker{scr: k.plan.NewScratch()})
+	}
+	return ar
+}
+
+// Run executes the specialized kernel. Reports, accounting, and final
+// state are bit-identical to the oracle and compiled engines; the
+// machine's Gantt trace is not recorded (use the compiled engine for
+// timeline rendering).
+func (k *Kernel) Run(cost machine.CostModel, opts Options) (*Report, error) {
+	trc, parent, inj := opts.Trace, opts.Parent, opts.Chaos
+	mach := machine.New(k.topo, cost)
+	if inj != nil {
+		mach.SetFaultInjector(inj)
+	}
+
+	dsp := trc.Start(parent, "distribute")
+	if dsp.OK() {
+		var msgs, words int
+		var secs float64
+		mach.SetChargeHook(func(_, m, w int, s float64) { msgs += m; words += w; secs += s })
+		for id := 0; id < k.used; id++ {
+			mach.ChargeSendWords(id, k.st.words[id])
+		}
+		mach.SetChargeHook(nil)
+		dsp.SetInt("messages", int64(msgs))
+		dsp.SetInt("words", int64(words))
+		dsp.SetInt("sim_ns", int64(secs*1e9))
+	} else {
+		for id := 0; id < k.used; id++ {
+			mach.ChargeSendWords(id, k.st.words[id])
+		}
+	}
+	dsp.End()
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > k.used {
+		workers = k.used
+	}
+	ar := k.getArena(workers)
+	bt := newBlockTrace(trc, parent, len(k.res.Iter.Blocks))
+	var err error
+	if k.dup {
+		err = k.runDuplicate(mach, ar, workers, bt, opts)
+	} else {
+		err = k.runDisjoint(mach, ar, workers, bt, opts)
+	}
+	if err != nil {
+		// The arena may hold partial writes; drop it rather than
+		// poisoning the pool.
+		return nil, err
+	}
+	bt.publish()
+
+	rep := &Report{
+		Machine:    mach,
+		Transform:  k.tr,
+		Assignment: k.asg,
+		Final:      k.gather(ar.bufs),
+	}
+	for id := 0; id < k.used; id++ {
+		rep.IterationsPerNode = append(rep.IterationsPerNode, mach.Node(id).Stats().Iterations)
+	}
+	if inj != nil {
+		rep.Chaos = inj.Stats()
+	}
+	k.arenas.Put(ar)
+	return rep, nil
+}
+
+// runDisjoint: all workers share one buffer (footprints disjoint by
+// the prepass assertion); chaos recovery checkpoints each block's
+// write ranges before the attempt loop and restores them on a crash.
+func (k *Kernel) runDisjoint(mach *machine.Machine, ar *kernArena, workers int, bt *blockTrace, opts Options) error {
+	budget, inj := opts.Budget, opts.Chaos
+	blocks := k.res.Iter.Blocks
+	st, pl, shared := k.st, k.plan, ar.bufs
+	return mach.RunBounded(workers, func(w int, nd *machine.Node) error {
+		kw := ar.workers[w]
+		var last time.Duration
+		if bt != nil {
+			last = bt.tr.Since()
+		}
+		for _, bi := range st.perNode[nd.ID] {
+			if inj == nil {
+				if err := budget.Spend(st.iters[bi]); err != nil {
+					return err
+				}
+				pl.ExecBlock(bi, st.iters[bi], shared, kw.scr)
+			} else {
+				kw.checkpoint(pl, bi, shared)
+				err := chaosRetryBlock(inj, nd.ID, blocks[bi].ID, opts.maxRetries(), st.iters[bi], budget,
+					func(count int64, _ bool) { pl.ExecBlock(bi, count, shared, kw.scr) },
+					func() {}, // shared-buffer writes are the commit
+					func() { kw.restore(pl, bi, shared) },
+				)
+				if err != nil {
+					return err
+				}
+				if d := inj.NodeDelayS(nd.ID); d > 0 {
+					mach.AddComputeSeconds(d)
+				}
+			}
+			nd.AddIterations(st.iters[bi])
+			if bt != nil {
+				now := bt.tr.Since()
+				bt.record(bi, blocks[bi].ID, w, nd.ID, st.iters[bi], st.bwords[bi], last, now)
+				last = now
+			}
+		}
+		return nil
+	})
+}
+
+// runDuplicate: each worker executes blocks against a lazily cloned
+// private buffer, committing owned cells into the shared final image
+// and resetting the private cells to init between blocks — the kernel
+// form of the compiled engine's dirty-tracking, driven by the plan's
+// precomputed write ranges instead of per-write bookkeeping.
+func (k *Kernel) runDuplicate(mach *machine.Machine, ar *kernArena, workers int, bt *blockTrace, opts Options) error {
+	budget, inj := opts.Budget, opts.Chaos
+	blocks := k.res.Iter.Blocks
+	st, pl, final := k.st, k.plan, ar.bufs
+	return mach.RunBounded(workers, func(w int, nd *machine.Node) error {
+		kw := ar.workers[w]
+		if kw.priv == nil {
+			kw.priv = k.prog.cloneBuffers()
+		}
+		var last time.Duration
+		if bt != nil {
+			last = bt.tr.Since()
+		}
+		for _, bi := range st.perNode[nd.ID] {
+			seq := int32(bi)
+			if inj == nil {
+				if err := budget.Spend(st.iters[bi]); err != nil {
+					return err
+				}
+				pl.ExecBlock(bi, st.iters[bi], kw.priv, kw.scr)
+				k.commitAndReset(bi, seq, kw.priv, final)
+			} else {
+				err := chaosRetryBlock(inj, nd.ID, blocks[bi].ID, opts.maxRetries(), st.iters[bi], budget,
+					func(count int64, _ bool) { pl.ExecBlock(bi, count, kw.priv, kw.scr) },
+					func() { k.commitAndReset(bi, seq, kw.priv, final) },
+					func() { k.resetRanges(bi, kw.priv) },
+				)
+				if err != nil {
+					return err
+				}
+				if d := inj.NodeDelayS(nd.ID); d > 0 {
+					mach.AddComputeSeconds(d)
+				}
+			}
+			nd.AddIterations(st.iters[bi])
+			if bt != nil {
+				now := bt.tr.Since()
+				bt.record(bi, blocks[bi].ID, w, nd.ID, st.iters[bi], st.bwords[bi], last, now)
+				last = now
+			}
+		}
+		return nil
+	})
+}
+
+// checkpoint saves the pre-attempt image of block bi's write ranges.
+func (kw *kernWorker) checkpoint(pl *kernel.Plan, bi int, bufs [][]float64) {
+	kw.cp = kw.cp[:0]
+	wr := pl.BlockWR[bi]
+	for i := wr[0]; i < wr[1]; i++ {
+		r := &pl.WR[i]
+		b, off := bufs[r.Arr], r.Off
+		for t := int32(0); t < r.N; t++ {
+			kw.cp = append(kw.cp, b[off])
+			off += r.Step
+		}
+	}
+}
+
+// restore replays the checkpoint in the same forward order it was
+// saved — overlapping ranges hold the same pre-attempt value, so the
+// replay is idempotent.
+func (kw *kernWorker) restore(pl *kernel.Plan, bi int, bufs [][]float64) {
+	wr := pl.BlockWR[bi]
+	j := 0
+	for i := wr[0]; i < wr[1]; i++ {
+		r := &pl.WR[i]
+		b, off := bufs[r.Arr], r.Off
+		for t := int32(0); t < r.N; t++ {
+			b[off] = kw.cp[j]
+			j++
+			off += r.Step
+		}
+	}
+}
+
+// commitAndReset publishes the cells block seq owns into final, then
+// resets the private cells to the initial image. Commit and reset are
+// separate passes: write ranges of one block may overlap (a statement
+// rewriting a cell, or two statements sharing one), and a fused pass
+// would commit an already-reset cell.
+func (k *Kernel) commitAndReset(bi int, seq int32, priv, final [][]float64) {
+	wr := k.plan.BlockWR[bi]
+	for i := wr[0]; i < wr[1]; i++ {
+		r := &k.plan.WR[i]
+		owner, fb, pb := k.st.owner[r.Arr], final[r.Arr], priv[r.Arr]
+		off := r.Off
+		for t := int32(0); t < r.N; t++ {
+			if owner[off] == seq {
+				fb[off] = pb[off]
+			}
+			off += r.Step
+		}
+	}
+	k.resetRanges(bi, priv)
+}
+
+// resetRanges rolls block bi's write footprint in priv back to the
+// initial image (crash recovery, and the between-blocks reset).
+func (k *Kernel) resetRanges(bi int, priv [][]float64) {
+	wr := k.plan.BlockWR[bi]
+	for i := wr[0]; i < wr[1]; i++ {
+		r := &k.plan.WR[i]
+		init, pb := k.prog.arrays[r.Arr].init, priv[r.Arr]
+		off := r.Off
+		for t := int32(0); t < r.N; t++ {
+			pb[off] = init[off]
+			off += r.Step
+		}
+	}
+}
+
+// gather materializes the final-state map from the interned key table.
+func (k *Kernel) gather(bufs [][]float64) map[string]float64 {
+	final := make(map[string]float64, len(k.gatherKeys))
+	for i, key := range k.gatherKeys {
+		final[key] = bufs[k.gatherArr[i]][k.gatherOff[i]]
+	}
+	return final
+}
+
+// ParallelKernel compiles, specializes, and runs in one call — the
+// convenience entry point for one-shot callers and the differential
+// tests. Hot paths should Specialize once and Run repeatedly.
+func ParallelKernel(res *partition.Result, p int, cost machine.CostModel, opts Options) (*Report, error) {
+	prog, err := CompileNest(res.Analysis.Nest, res.Redundant)
+	if err != nil {
+		return nil, err
+	}
+	kern, err := prog.Specialize(res, p)
+	if err != nil {
+		return nil, err
+	}
+	return kern.Run(cost, opts)
+}

@@ -342,7 +342,39 @@ func (p *parser) parseStatement(n int) (*loop.Statement, error) {
 		Render: func(readExprs, indexExprs []string) string {
 			return RenderGo(expr, readExprs, indexExprs)
 		},
+		Tree: toTree(expr),
 	}, nil
+}
+
+// toTree mirrors the parsed AST into the engine-neutral loop.ExprTree,
+// node for node, so lowered kernels evaluate the identical operation
+// structure (and therefore the identical float64 results) as the
+// evalWith closure.
+func toTree(e Expr) *loop.ExprTree {
+	switch v := e.(type) {
+	case *NumLit:
+		return &loop.ExprTree{Op: loop.ExprConst, Val: v.Value}
+	case *VarRef:
+		return &loop.ExprTree{Op: loop.ExprIndex, Arg: v.Level}
+	case *ArrRef:
+		return &loop.ExprTree{Op: loop.ExprRead, Arg: v.Slot}
+	case *BinOp:
+		var op loop.ExprOp
+		switch v.Op {
+		case '+':
+			op = loop.ExprAdd
+		case '-':
+			op = loop.ExprSub
+		case '*':
+			op = loop.ExprMul
+		default:
+			op = loop.ExprDiv
+		}
+		return &loop.ExprTree{Op: op, L: toTree(v.L), R: toTree(v.R)}
+	case *Neg:
+		return &loop.ExprTree{Op: loop.ExprNeg, L: toTree(v.X)}
+	}
+	panic(fmt.Errorf("lang: unknown expression node %T", e))
 }
 
 // parseRef parses "[e1, e2, ...]" after an array name, converting each

@@ -1,0 +1,90 @@
+package loop
+
+// ExprTree is the structured, lowerable form of a statement's
+// right-hand side. Statement.Expr (an opaque closure) remains the
+// executable semantics of record; Tree, when set, must denote exactly
+// the same function, with the same operation structure — engines that
+// lower it (internal/exec/kernel) evaluate the nodes in the identical
+// post-order (left, right, op), so a lowered kernel reproduces the
+// closure's float64 results bit for bit.
+//
+// A nil Tree on a statement with a nil Expr means the default
+// semantics (1 + Σ reads, in read order), which lowering engines
+// special-case; a nil Tree with a non-nil Expr marks a statement whose
+// semantics exist only as a closure — such statements cannot be
+// lowered and force the interpreting engines.
+
+// ExprOp enumerates ExprTree node kinds.
+type ExprOp uint8
+
+const (
+	// ExprConst is a numeric literal (Val).
+	ExprConst ExprOp = iota
+	// ExprIndex is a loop index used as a value (Arg = 0-based level).
+	ExprIndex
+	// ExprRead is an array-read leaf (Arg = slot into Statement.Reads).
+	ExprRead
+	// ExprAdd/Sub/Mul/Div are the binary operators over L and R.
+	ExprAdd
+	ExprSub
+	ExprMul
+	ExprDiv
+	// ExprNeg is unary negation of L.
+	ExprNeg
+)
+
+// ExprTree is one node of the structured RHS.
+type ExprTree struct {
+	Op   ExprOp
+	Val  float64 // ExprConst
+	Arg  int     // ExprIndex: loop level; ExprRead: read slot
+	L, R *ExprTree
+}
+
+// Eval evaluates the tree at iteration iter with the read values in
+// reads — the reference semantics every lowering must match exactly.
+func (e *ExprTree) Eval(iter []int64, reads []float64) float64 {
+	switch e.Op {
+	case ExprConst:
+		return e.Val
+	case ExprIndex:
+		return float64(iter[e.Arg])
+	case ExprRead:
+		return reads[e.Arg]
+	case ExprAdd:
+		return e.L.Eval(iter, reads) + e.R.Eval(iter, reads)
+	case ExprSub:
+		return e.L.Eval(iter, reads) - e.R.Eval(iter, reads)
+	case ExprMul:
+		l, r := e.L.Eval(iter, reads), e.R.Eval(iter, reads)
+		return l * r
+	case ExprDiv:
+		l, r := e.L.Eval(iter, reads), e.R.Eval(iter, reads)
+		return l / r
+	case ExprNeg:
+		return -e.L.Eval(iter, reads)
+	}
+	panic("loop: unknown ExprTree op")
+}
+
+// UsesIndex reports whether any node reads a loop index.
+func (e *ExprTree) UsesIndex() bool {
+	if e == nil {
+		return false
+	}
+	if e.Op == ExprIndex {
+		return true
+	}
+	return e.L.UsesIndex() || e.R.UsesIndex()
+}
+
+// DefaultTree returns the tree of the default statement semantics,
+// 1 + Σ reads, matching Statement.EvalExpr's accumulation order
+// (((1 + r0) + r1) + … ).
+func DefaultTree(numReads int) *ExprTree {
+	t := &ExprTree{Op: ExprConst, Val: 1}
+	for i := 0; i < numReads; i++ {
+		t = &ExprTree{Op: ExprAdd, L: t, R: &ExprTree{Op: ExprRead, Arg: i}}
+	}
+	return t
+}

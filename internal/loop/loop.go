@@ -163,6 +163,11 @@ type Statement struct {
 	Reads  []Ref
 	Expr   func(iter []int64, reads []float64) float64
 	Render func(readExprs, indexExprs []string) string
+	// Tree is the structured form of the same right-hand side (see
+	// ExprTree); builders that set Expr should set Tree too so the
+	// kernel engine can lower the statement instead of interpreting
+	// the closure. nil Tree + nil Expr means the default semantics.
+	Tree *ExprTree
 	// SourceRHS is the verbatim DSL text of the right-hand side when the
 	// statement came from the parser; used by the formatter for exact
 	// round-trips. Empty for hand-built statements.

@@ -25,6 +25,7 @@ func L1() *Nest {
 				},
 				Expr:   func(_ []int64, reads []float64) float64 { return reads[0] * 7 },
 				Render: func(r, _ []string) string { return "(" + r[0] + " * 7)" },
+				Tree:   &ExprTree{Op: ExprMul, L: &ExprTree{Op: ExprRead, Arg: 0}, R: &ExprTree{Op: ExprConst, Val: 7}},
 			},
 			{
 				Label: "S2",
@@ -35,6 +36,7 @@ func L1() *Nest {
 				},
 				Expr:   func(_ []int64, reads []float64) float64 { return reads[0] + reads[1] },
 				Render: func(r, _ []string) string { return "(" + r[0] + " + " + r[1] + ")" },
+				Tree:   &ExprTree{Op: ExprAdd, L: &ExprTree{Op: ExprRead, Arg: 0}, R: &ExprTree{Op: ExprRead, Arg: 1}},
 			},
 		},
 	}
@@ -64,6 +66,7 @@ func L2() *Nest {
 				},
 				Expr:   func(_ []int64, reads []float64) float64 { return reads[0] * reads[1] },
 				Render: func(r, _ []string) string { return "(" + r[0] + " * " + r[1] + ")" },
+				Tree:   &ExprTree{Op: ExprMul, L: &ExprTree{Op: ExprRead, Arg: 0}, R: &ExprTree{Op: ExprRead, Arg: 1}},
 			},
 			{
 				Label: "S2",
@@ -73,6 +76,7 @@ func L2() *Nest {
 				},
 				Expr:   func(_ []int64, reads []float64) float64 { return reads[0] / 3 },
 				Render: func(r, _ []string) string { return "(" + r[0] + " / 3)" },
+				Tree:   &ExprTree{Op: ExprDiv, L: &ExprTree{Op: ExprRead, Arg: 0}, R: &ExprTree{Op: ExprConst, Val: 3}},
 			},
 		},
 	}
@@ -100,6 +104,7 @@ func L3() *Nest {
 				},
 				Expr:   func(_ []int64, reads []float64) float64 { return reads[0] * 3 },
 				Render: func(r, _ []string) string { return "(" + r[0] + " * 3)" },
+				Tree:   &ExprTree{Op: ExprMul, L: &ExprTree{Op: ExprRead, Arg: 0}, R: &ExprTree{Op: ExprConst, Val: 3}},
 			},
 			{
 				Label: "S2",
@@ -109,6 +114,7 @@ func L3() *Nest {
 				},
 				Expr:   func(_ []int64, reads []float64) float64 { return reads[0] / 7 },
 				Render: func(r, _ []string) string { return "(" + r[0] + " / 7)" },
+				Tree:   &ExprTree{Op: ExprDiv, L: &ExprTree{Op: ExprRead, Arg: 0}, R: &ExprTree{Op: ExprConst, Val: 7}},
 			},
 		},
 	}
@@ -138,6 +144,7 @@ func L4() *Nest {
 				},
 				Expr:   func(_ []int64, reads []float64) float64 { return reads[0] + reads[1] },
 				Render: func(r, _ []string) string { return "(" + r[0] + " + " + r[1] + ")" },
+				Tree:   &ExprTree{Op: ExprAdd, L: &ExprTree{Op: ExprRead, Arg: 0}, R: &ExprTree{Op: ExprRead, Arg: 1}},
 			},
 		},
 	}
@@ -167,6 +174,8 @@ func L5(m int64) *Nest {
 				},
 				Expr:   func(_ []int64, reads []float64) float64 { return reads[0] + reads[1]*reads[2] },
 				Render: func(r, _ []string) string { return "(" + r[0] + " + " + r[1] + "*" + r[2] + ")" },
+				Tree: &ExprTree{Op: ExprAdd, L: &ExprTree{Op: ExprRead, Arg: 0},
+					R: &ExprTree{Op: ExprMul, L: &ExprTree{Op: ExprRead, Arg: 1}, R: &ExprTree{Op: ExprRead, Arg: 2}}},
 			},
 		},
 	}

@@ -100,6 +100,7 @@ func cloneNest(n *loop.Nest) *loop.Nest {
 			Write:     cloneRef(st.Write),
 			Expr:      st.Expr,
 			Render:    st.Render,
+			Tree:      st.Tree,
 			SourceRHS: st.SourceRHS,
 		}
 		for _, r := range st.Reads {

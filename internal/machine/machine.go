@@ -350,8 +350,11 @@ func (m *Machine) charge(node int, t float64, msgs, words int) {
 	m.messages += int64(msgs)
 	m.dataMoved += int64(words)
 	hook := m.chargeHook
+	traced := m.trace != nil
 	m.mu.Unlock()
-	m.record("host", fmt.Sprintf("dist %d words", words), start, end)
+	if traced {
+		m.record("host", fmt.Sprintf("dist %d words", words), start, end)
+	}
 	if hook != nil {
 		hook(node, msgs, words, t)
 	}
@@ -402,14 +405,17 @@ func (m *Machine) RunBounded(workers int, fn func(worker int, n *Node) error) er
 	m.mu.Lock()
 	computeStart := m.distTime + m.computeTime
 	m.computeTime += float64(maxIter) * m.Cost.TComp
+	traced := m.trace != nil
 	m.mu.Unlock()
-	for _, nd := range m.nodes {
-		iters := nd.Stats().Iterations
-		if iters == 0 {
-			continue
+	if traced {
+		for _, nd := range m.nodes {
+			iters := nd.Stats().Iterations
+			if iters == 0 {
+				continue
+			}
+			m.record(fmt.Sprintf("PE%d", nd.ID), fmt.Sprintf("compute %d iters", iters),
+				computeStart, computeStart+float64(iters)*m.Cost.TComp)
 		}
-		m.record(fmt.Sprintf("PE%d", nd.ID), fmt.Sprintf("compute %d iters", iters),
-			computeStart, computeStart+float64(iters)*m.Cost.TComp)
 	}
 	for _, err := range errs {
 		if err != nil {

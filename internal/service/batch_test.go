@@ -1,0 +1,122 @@
+package service
+
+// Tests for /v1/execute request coalescing: N concurrent identical
+// requests must share one compilation and (timing permitting) far
+// fewer executions than requests, with every response still correct,
+// validated, and attributed to its own trace.
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestExecuteBatchedCoalesces is the batching smoke test: N identical
+// concurrent requests produce exactly one compile, and batches plus
+// followers account for every request.
+func TestExecuteBatchedCoalesces(t *testing.T) {
+	s := newTestService(t, Config{Workers: 2, BatchWindow: 150 * time.Millisecond, BatchMax: 32})
+	req := execReq(CompileRequest{Source: srcL1, Processors: 8})
+
+	const n = 8
+	resps := make([]*ExecuteResponse, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resps[i], errs[i] = s.Execute(context.Background(), req)
+		}(i)
+	}
+	wg.Wait()
+
+	traces := map[string]bool{}
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+		r := resps[i]
+		if !r.Validated || r.Mismatches != 0 {
+			t.Errorf("request %d: validated=%v mismatches=%d", i, r.Validated, r.Mismatches)
+		}
+		if r.Engine != "kernel" {
+			t.Errorf("request %d: engine = %q, want kernel", i, r.Engine)
+		}
+		if r.BatchSize < 1 {
+			t.Errorf("request %d: batch size %d", i, r.BatchSize)
+		}
+		if r.TraceID == "" || traces[r.TraceID] {
+			t.Errorf("request %d: trace id %q missing or duplicated", i, r.TraceID)
+		}
+		traces[r.TraceID] = true
+	}
+
+	m := s.Metrics()
+	if got := m.Counter("compiles"); got != 1 {
+		t.Errorf("compiles = %d, want exactly 1 for %d concurrent identical requests", got, n)
+	}
+	batches := m.Counter("execute_batches")
+	followers := m.Counter("execute_batch_followers")
+	if batches < 1 {
+		t.Errorf("execute_batches = %d, want >= 1", batches)
+	}
+	if batches+followers != n {
+		t.Errorf("batches (%d) + followers (%d) != requests (%d)", batches, followers, n)
+	}
+}
+
+// TestExecuteBatchFull exercises the early-release path: a batch that
+// reaches BatchMax executes without waiting out the window.
+func TestExecuteBatchFull(t *testing.T) {
+	// A window far beyond the test timeout: only the full-batch release
+	// can finish this test quickly.
+	s := newTestService(t, Config{Workers: 2, BatchWindow: time.Minute, BatchMax: 2, RequestTimeout: 2 * time.Minute})
+	req := execReq(CompileRequest{Source: srcL1, Processors: 4})
+
+	// Warm the plan cache so both batched requests meet in the
+	// coalescing layer rather than in the compile single-flight.
+	if _, err := s.Compile(context.Background(), req.CompileRequest); err != nil {
+		t.Fatal(err)
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = s.Execute(context.Background(), req)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Errorf("full batch took %v; early release did not fire", elapsed)
+	}
+}
+
+// TestExecuteChaosSkipsBatching pins the guard: a request with fault
+// injection active executes individually even when batching is on.
+func TestExecuteChaosSkipsBatching(t *testing.T) {
+	s := newTestService(t, Config{Workers: 2, BatchWindow: 100 * time.Millisecond})
+	req := execReq(CompileRequest{Source: srcL1, Processors: 4})
+	req.ChaosSeed = 7
+
+	resp, err := s.Execute(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Batched || resp.BatchSize != 0 {
+		t.Errorf("chaos request batched (size %d)", resp.BatchSize)
+	}
+	if got := s.Metrics().Counter("execute_batches"); got != 0 {
+		t.Errorf("execute_batches = %d, want 0 for a chaos request", got)
+	}
+}

@@ -63,11 +63,22 @@ type Config struct {
 	MaxSourceBytes int
 	// Cost is the machine cost model (default machine.Transputer()).
 	Cost machine.CostModel
-	// Engine selects the /v1/execute executor: "compiled" (default)
-	// runs the dense compiled engine with the parallel block scheduler,
-	// falling back to the map-based oracle when a nest exceeds the
-	// compile caps; "oracle" forces the map-based interpreter.
+	// Engine selects the /v1/execute executor: "kernel" (default)
+	// runs the per-plan specialized kernel (fused bounds, bytecode or
+	// fast-shape RHS, pooled arenas), falling back to the compiled
+	// dense engine when a plan is not lowerable and to the map-based
+	// oracle when a nest exceeds the compile caps; "compiled" skips
+	// the kernel; "oracle" forces the map-based interpreter.
 	Engine string
+	// BatchWindow enables request coalescing on /v1/execute when
+	// positive: the first request for a plan waits this long for
+	// identical requests (same canonical source, strategy, and
+	// processor count) to arrive, then one execution serves the whole
+	// batch. BatchMax caps a batch (leader included, default 16); a
+	// full batch executes immediately. Requests with fault injection
+	// active never batch — their failure schedules are per-request.
+	BatchWindow time.Duration
+	BatchMax    int
 	// TraceRing bounds the ring of recent request traces behind
 	// GET /v1/trace/{id} (default 256 traces).
 	TraceRing int
@@ -123,8 +134,11 @@ func (c Config) withDefaults() Config {
 	if c.Cost == (machine.CostModel{}) {
 		c.Cost = machine.Transputer()
 	}
-	if c.Engine != "oracle" {
-		c.Engine = "compiled"
+	if c.Engine != "oracle" && c.Engine != "compiled" {
+		c.Engine = "kernel"
+	}
+	if c.BatchMax <= 0 {
+		c.BatchMax = 16
 	}
 	if c.TraceRing <= 0 {
 		c.TraceRing = 256
@@ -231,9 +245,15 @@ type ExecuteResponse struct {
 	InterNodeMessages int64 `json:"inter_node_messages"`
 	// IterationsPerNode is the per-processor workload.
 	IterationsPerNode []int64 `json:"iterations_per_node"`
-	// Engine is the executor that ran the plan: "compiled" or "oracle"
-	// (also reported when a compile-cap fallback downgraded the request).
+	// Engine is the executor that ran the plan: "kernel", "compiled",
+	// or "oracle" (also reported when a lowering or compile-cap
+	// fallback downgraded the request).
 	Engine string `json:"engine"`
+	// Batched reports that this response was served by an execution
+	// coalesced with other identical requests; BatchSize is how many
+	// requests (leader included) that execution served.
+	Batched   bool `json:"batched,omitempty"`
+	BatchSize int  `json:"batch_size,omitempty"`
 	// Validated reports element-exact agreement with sequential
 	// execution over Elements array elements.
 	Validated  bool `json:"validated"`
@@ -267,6 +287,13 @@ type compiled struct {
 	progOnce sync.Once
 	prog     *exec.Program
 	progErr  error
+
+	kernOnce sync.Once
+	kern     *exec.Kernel
+	kernErr  error
+
+	seqOnce sync.Once
+	seq     map[string]float64
 }
 
 // program compiles the nest for the dense engine, once per cache
@@ -276,6 +303,35 @@ func (c *compiled) program() (*exec.Program, error) {
 		c.prog, c.progErr = exec.CompileNest(c.res.Analysis.Nest, c.res.Redundant)
 	})
 	return c.prog, c.progErr
+}
+
+// kernel specializes the program for this plan's machine size, once
+// per cache entry (the cache key carries the processor count, so one
+// kernel per entry is exact). Its arenas recycle across executions.
+func (c *compiled) kernel(p int) (*exec.Kernel, error) {
+	c.kernOnce.Do(func() {
+		prog, err := c.program()
+		if err != nil {
+			c.kernErr = err
+			return
+		}
+		c.kern, c.kernErr = prog.Specialize(c.res, p)
+	})
+	return c.kern, c.kernErr
+}
+
+// sequentialRef is the cached sequential validation reference: every
+// execution of a plan validates against the same final state, so it is
+// computed once per cache entry and then only read.
+func (c *compiled) sequentialRef() map[string]float64 {
+	c.seqOnce.Do(func() {
+		if prog, err := c.program(); err == nil {
+			c.seq = prog.Sequential()
+		} else {
+			c.seq = exec.Sequential(c.nest, nil)
+		}
+	})
+	return c.seq
 }
 
 // flight deduplicates concurrent compilations of one cache key.
@@ -295,6 +351,11 @@ type Service struct {
 
 	flightMu sync.Mutex
 	flights  map[string]*flight
+
+	// batches coalesces concurrent /v1/execute requests for one cache
+	// key into a single execution (batch.go).
+	batchMu sync.Mutex
+	batches map[string]*execBatch
 
 	// st is the plan store (nil until configured or lazily created by
 	// ensureStore); ownsStore marks stores opened by NewWithStore, which
@@ -319,6 +380,7 @@ func New(cfg Config) *Service {
 		metrics: NewMetrics(),
 		traces:  obs.NewRing(cfg.TraceRing),
 		flights: map[string]*flight{},
+		batches: map[string]*execBatch{},
 	}
 	s.metrics.Gauge("queue_depth", func() int64 { return int64(s.pool.queueDepth()) })
 	s.metrics.Gauge("queue_capacity", func() int64 { return int64(s.pool.queueCap()) })
@@ -330,6 +392,13 @@ func New(cfg Config) *Service {
 		}
 		return 0
 	})
+	s.metrics.Gauge("engine_kernel", func() int64 {
+		if cfg.Engine == "kernel" {
+			return 1
+		}
+		return 0
+	})
+	s.metrics.Gauge("batch_window_us", func() int64 { return cfg.BatchWindow.Microseconds() })
 	s.metrics.Gauge("chaos_enabled", func() int64 {
 		if cfg.ChaosSeed != 0 {
 			return 1
@@ -709,6 +778,34 @@ func (s *Service) Execute(ctx context.Context, req ExecuteRequest) (*ExecuteResp
 	ctx, cancel := context.WithTimeout(ctx, s.cfg.RequestTimeout)
 	defer cancel()
 
+	// Identical fault-free requests coalesce into one execution
+	// (batch.go); chaos schedules are per-request, so injected runs
+	// always execute individually.
+	if inj == nil && s.cfg.BatchWindow > 0 {
+		return s.executeBatched(ctx, entry, req, cached, trc, start)
+	}
+
+	resp, err := s.executeWithRetry(ctx, entry, req, cached, trc, inj, seed)
+	if err != nil {
+		return nil, err
+	}
+	if inj != nil {
+		st := inj.Stats()
+		resp.ChaosSeed = seed
+		resp.Chaos = &st
+		s.metrics.Inc("chaos_faults", st.Faults)
+		s.metrics.Inc("chaos_block_retries", st.Retries)
+	}
+	resp.ElapsedS = time.Since(start).Seconds()
+	resp.TraceID = trc.ID()
+	return resp, nil
+}
+
+// executeWithRetry runs the resilience state machine for one request:
+// execute on a pool worker, re-execute on *chaos.FaultError up to
+// MaxExecRetries times under backoff, then degrade to the sequential
+// oracle. Request errors are folded into the counters here.
+func (s *Service) executeWithRetry(ctx context.Context, entry *cacheEntry, req ExecuteRequest, cached bool, trc *obs.Trace, inj *chaos.Injector, seed int64) (*ExecuteResponse, error) {
 	var resp *ExecuteResponse
 	retries := 0
 	for attempt := 0; ; attempt++ {
@@ -747,15 +844,6 @@ func (s *Service) Execute(ctx context.Context, req ExecuteRequest) (*ExecuteResp
 		}
 	}
 	resp.Retries = retries
-	if inj != nil {
-		st := inj.Stats()
-		resp.ChaosSeed = seed
-		resp.Chaos = &st
-		s.metrics.Inc("chaos_faults", st.Faults)
-		s.metrics.Inc("chaos_block_retries", st.Retries)
-	}
-	resp.ElapsedS = time.Since(start).Seconds()
-	resp.TraceID = trc.ID()
 	return resp, nil
 }
 
@@ -786,11 +874,25 @@ func (s *Service) executeOnce(ctx context.Context, entry *cacheEntry, req Execut
 		budget = machine.NewBudget(ctx, 0)
 	}
 
-	// Stage: exec_compile — resolve the cached plan into the dense
-	// program (amortized: sync.Once per cache entry). Nests beyond
-	// the compile caps fall back to the map-based oracle.
+	// Stage: exec_compile — resolve the cached plan into the
+	// specialized kernel or the dense program (amortized: sync.Once
+	// per cache entry). Plans the kernel cannot lower fall back to the
+	// compiled engine; nests beyond the compile caps fall back to the
+	// map-based oracle.
 	engine := s.cfg.Engine
+	var kern *exec.Kernel
 	var prog *exec.Program
+	if engine == "kernel" {
+		csp := trc.Start(0, "exec_compile")
+		k, kerr := entry.comp.kernel(req.Processors)
+		csp.End()
+		if kerr != nil {
+			s.metrics.Inc("exec_compile_fallbacks", 1)
+			engine = "compiled"
+		} else {
+			kern = k
+		}
+	}
 	if engine == "compiled" {
 		csp := trc.Start(0, "exec_compile")
 		p, cerr := entry.comp.program()
@@ -815,9 +917,12 @@ func (s *Service) executeOnce(ctx context.Context, entry *cacheEntry, req Execut
 	opts := exec.Options{Budget: budget, Trace: trc, Parent: rsp.ID(), Chaos: inj}
 	var rep *exec.Report
 	var err error
-	if prog != nil {
+	switch {
+	case kern != nil:
+		rep, err = kern.Run(s.cfg.Cost, opts)
+	case prog != nil:
 		rep, err = prog.ParallelOpts(entry.comp.res, req.Processors, s.cfg.Cost, opts)
-	} else {
+	default:
 		rep, err = exec.ParallelOpts(entry.comp.res, req.Processors, s.cfg.Cost, opts)
 	}
 	if inj != nil {
@@ -832,16 +937,12 @@ func (s *Service) executeOnce(ctx context.Context, entry *cacheEntry, req Execut
 	s.metrics.Inc("execute_engine_"+engine, 1)
 
 	// Stage: exec_validate — element-exact comparison against the
-	// sequential reference. The compiled program's pruned sequential
-	// path is the same final state by Section III.C (proven by the
-	// differential tests).
+	// sequential reference, computed once per cache entry and shared
+	// by every execution of the plan. The compiled program's pruned
+	// sequential path is the same final state by Section III.C (proven
+	// by the differential tests).
 	vsp := trc.Start(0, "exec_validate")
-	var want map[string]float64
-	if prog != nil {
-		want = prog.Sequential()
-	} else {
-		want = exec.Sequential(entry.comp.nest, nil)
-	}
+	want := entry.comp.sequentialRef()
 	mismatches := 0
 	for k, wv := range want {
 		if rep.Final[k] != wv {

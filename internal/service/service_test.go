@@ -177,9 +177,10 @@ func TestExecuteValidatesAgainstSequential(t *testing.T) {
 }
 
 func TestExecuteReportsEngine(t *testing.T) {
-	// The default engine is the compiled one; forcing the oracle must
-	// be reported and validate identically.
-	for _, engine := range []string{"compiled", "oracle"} {
+	// The default engine is the specialized kernel; forcing the
+	// compiled engine or the oracle must be reported and validate
+	// identically.
+	for _, engine := range []string{"kernel", "compiled", "oracle"} {
 		s := newTestService(t, Config{Engine: engine})
 		resp, err := s.Execute(context.Background(), execReq(CompileRequest{Source: srcL1, Strategy: "duplicate", Processors: 4}))
 		if err != nil {

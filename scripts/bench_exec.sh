@@ -1,0 +1,136 @@
+#!/usr/bin/env bash
+# bench_exec.sh — measure the executor engines and maintain BENCH_exec.json.
+#
+#   scripts/bench_exec.sh append [benchtime]   run the full benchmark set
+#       (default -benchtime=20x), parse the -benchmem output, and append a
+#       dated entry — results, map-vs-engine speedups, and the kernel
+#       acceptance check — to BENCH_exec.json. Set BENCH_NOTE to label the
+#       entry.
+#
+#   scripts/bench_exec.sh gate [benchtime]     run a quick measurement
+#       (default -benchtime=5x) and fail if BenchmarkExecParallel matmul
+#       ns/op for any engine regressed more than 2x against the latest
+#       recorded entry. CI runs this so an accidental slow path cannot
+#       land silently.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mode="${1:-append}"
+case "$mode" in
+  append) benchtime="${2:-20x}" ;;
+  gate)   benchtime="${2:-5x}" ;;
+  *) echo "usage: $0 [append|gate] [benchtime]" >&2; exit 2 ;;
+esac
+
+raw="$(go test ./internal/exec -run=NONE -bench='Exec(Sequential|Parallel|ParallelTraced)$' \
+  -benchtime="$benchtime" -benchmem)"
+echo "$raw"
+
+BENCH_MODE="$mode" BENCH_RAW="$raw" python3 - <<'PY'
+import json, os, re, sys, datetime
+
+mode = os.environ["BENCH_MODE"]
+raw = os.environ["BENCH_RAW"]
+path = "BENCH_exec.json"
+
+# Benchmark lines: BenchmarkExecParallel/matmul/kernel-16  50  20989 ns/op  9928 B/op  54 allocs/op
+row_re = re.compile(
+    r"^Benchmark(ExecSequential|ExecParallelTraced|ExecParallel)/"
+    r"([\w-]+)/(\w+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op\s+(\d+) B/op\s+(\d+) allocs/op",
+    re.M)
+results = [
+    {"benchmark": b, "nest": nest, "engine": eng,
+     "ns_op": int(float(ns)), "b_op": int(bo), "allocs_op": int(ao)}
+    for b, nest, eng, ns, bo, ao in row_re.findall(raw)
+]
+if not results:
+    sys.exit("bench_exec: no benchmark rows parsed from output")
+
+def find(rs, bench, nest, engine):
+    for r in rs:
+        if (r["benchmark"], r["nest"], r["engine"]) == (bench, nest, engine):
+            return r
+    return None
+
+doc = json.load(open(path))
+latest = doc["entries"][-1]
+
+if mode == "gate":
+    # Regression gate: per engine, ExecParallel matmul ns/op must stay
+    # within 2x of the latest recorded measurement.
+    failed = False
+    for eng in ("map", "compiled", "kernel"):
+        base = find(latest["results"], "ExecParallel", "matmul", eng)
+        now = find(results, "ExecParallel", "matmul", eng)
+        if base is None or now is None:
+            continue
+        ratio = now["ns_op"] / base["ns_op"]
+        status = "OK" if ratio <= 2.0 else "REGRESSED"
+        print(f"gate: ExecParallel/matmul/{eng}: {now['ns_op']} ns/op vs "
+              f"recorded {base['ns_op']} ({ratio:.2f}x) {status}")
+        failed |= ratio > 2.0
+    if failed:
+        sys.exit("bench_exec: ExecParallel matmul regressed more than 2x vs BENCH_exec.json")
+    sys.exit(0)
+
+cpu = goos = goarch = ""
+for line in raw.splitlines():
+    if line.startswith("cpu:"):
+        cpu = line.split(":", 1)[1].strip()
+    elif line.startswith("goos:"):
+        goos = line.split(":", 1)[1].strip()
+    elif line.startswith("goarch:"):
+        goarch = line.split(":", 1)[1].strip()
+
+# Speedups: the map oracle against each faster engine, per (benchmark, nest).
+speedups = []
+for bench in ("ExecSequential", "ExecParallel"):
+    for nest in ("matmul", "stencil", "conv2d"):
+        base = find(results, bench, nest, "map")
+        if base is None:
+            continue
+        for eng in ("compiled", "kernel"):
+            r = find(results, bench, nest, eng)
+            if r is None:
+                continue
+            speedups.append({
+                "benchmark": bench, "nest": nest, "engine": eng,
+                "ns_op_ratio": round(base["ns_op"] / r["ns_op"], 1),
+                "allocs_op_ratio": round(base["allocs_op"] / max(1, r["allocs_op"]), 1),
+            })
+
+# Kernel acceptance: the first kernel entry must be >= 5x faster (ns/op)
+# than the latest recorded ExecParallel matmul measurement; once kernel
+# entries exist, the gate mode bounds regressions instead.
+kern = find(results, "ExecParallel", "matmul", "kernel")
+prev_kern = find(latest["results"], "ExecParallel", "matmul", "kernel")
+prev = prev_kern or find(latest["results"], "ExecParallel", "matmul", "compiled")
+acceptance = "no kernel measurement"
+fail = False
+if kern and prev:
+    ratio = prev["ns_op"] / kern["ns_op"]
+    if prev_kern is not None:
+        acceptance = (f"ExecParallel matmul kernel: {kern['ns_op']} ns/op "
+                      f"({ratio:.1f}x vs previous kernel entry; regressions bounded by gate mode)")
+    else:
+        fail = ratio < 5.0
+        acceptance = (f"ExecParallel matmul kernel: {kern['ns_op']} ns/op, {ratio:.1f}x vs previous entry's "
+                      f"compiled {prev['ns_op']} ns/op (>=5x required): {'PASS' if not fail else 'FAIL'}")
+
+entry = {
+    "date": datetime.date.today().isoformat(),
+    "note": os.environ.get("BENCH_NOTE", "appended by scripts/bench_exec.sh"),
+    "cpu": cpu, "goos": goos, "goarch": goarch,
+    "results": results,
+    "speedups": speedups,
+    "acceptance_check": acceptance,
+}
+doc["entries"].append(entry)
+with open(path, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(f"bench_exec: appended {entry['date']} entry ({len(results)} rows) to {path}")
+print(f"bench_exec: {acceptance}")
+if fail:
+    sys.exit("bench_exec: kernel acceptance FAILED")
+PY
