@@ -121,6 +121,8 @@ func run() error {
 		batchMax  = flag.Int("batch-max", 16, "cap on requests per coalesced execution batch (leader included)")
 		drainFor  = flag.Duration("drain", 60*time.Second, "graceful-shutdown drain limit")
 		traceRing = flag.Int("trace-ring", 256, "recent request traces kept for GET /v1/trace/{id}")
+		admission = flag.String("admission", "slo", "overload policy: slo (shed with 429s when measured queue delay breaches -slo-target) or queue (reject only on a physically full queue)")
+		sloTarget = flag.Duration("slo-target", 150*time.Millisecond, "end-to-end latency objective defended by -admission slo")
 		chaosSeed = flag.Int64("chaos-seed", 0, "inject deterministic faults into every execution from this seed (0 disables); requests may override with \"chaos_seed\"")
 		debug     = flag.Bool("debug", false, "mount net/http/pprof under /debug/pprof/")
 
@@ -149,6 +151,8 @@ func run() error {
 		BatchWindow:    *batchWin,
 		BatchMax:       *batchMax,
 		TraceRing:      *traceRing,
+		Admission:      *admission,
+		SLOTarget:      *sloTarget,
 		ChaosSeed:      *chaosSeed,
 		StoreDir:       *storeDir,
 	})

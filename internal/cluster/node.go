@@ -173,6 +173,13 @@ type Node struct {
 	loadMu   sync.Mutex
 	inflight map[string]*atomic.Int64
 
+	// shedUntil backs shed-aware failover ordering: a peer that answered
+	// 429 is demoted behind its replicas until its own Retry-After hint
+	// expires, so the fleet stops hammering a node that is actively
+	// shedding instead of re-discovering the 429 on every request.
+	shedMu    sync.Mutex
+	shedUntil map[string]time.Time
+
 	ownedMu sync.Mutex
 	owned   map[uint64]string
 }
@@ -185,12 +192,13 @@ func NewNode(svc *service.Service, cfg Config) (*Node, error) {
 		return nil, err
 	}
 	n := &Node{
-		cfg:      cfg,
-		svc:      svc,
-		local:    svc.Handler(),
-		urls:     map[string]string{},
-		inflight: map[string]*atomic.Int64{},
-		owned:    map[uint64]string{},
+		cfg:       cfg,
+		svc:       svc,
+		local:     svc.Handler(),
+		urls:      map[string]string{},
+		inflight:  map[string]*atomic.Int64{},
+		owned:     map[uint64]string{},
+		shedUntil: map[string]time.Time{},
 	}
 	for _, p := range cfg.Peers {
 		n.members = append(n.members, Peer{Name: p.Name, URL: strings.TrimSuffix(p.URL, "/")})
@@ -437,6 +445,7 @@ func (n *Node) route(w http.ResponseWriter, r *http.Request) {
 	}
 	loadFn := func(p string) int64 { return n.loadOf(p).Load() }
 	cands := ring.Route(key, n.cfg.Replicas, n.det.Up, loadFn, n.cfg.LoadBound)
+	cands = n.demoteShed(time.Now(), cands)
 	if len(cands) == 0 || cands[0] == n.cfg.Self {
 		n.svc.Metrics().Inc("cluster_served_local", 1)
 		n.serveLocal(w, r, body, false)
@@ -561,14 +570,57 @@ func (n *Node) forward(w http.ResponseWriter, r *http.Request, body []byte, key 
 	n.serveLocal(w, r, body, false)
 }
 
+// noteShed records a peer's 429 with its Retry-After hint; routing
+// demotes the peer until the hint expires (bounded to [1s, 30s]).
+func (n *Node) noteShed(peer string, retryAfter time.Duration) {
+	if retryAfter < time.Second {
+		retryAfter = time.Second
+	}
+	if retryAfter > 30*time.Second {
+		retryAfter = 30 * time.Second
+	}
+	n.shedMu.Lock()
+	n.shedUntil[peer] = time.Now().Add(retryAfter)
+	n.shedMu.Unlock()
+}
+
+// demoteShed stably partitions the candidate list: peers without a live
+// shed-backoff keep their ring order up front, recently-shed peers move
+// to the back (still tried — shedding is not death, and the backoff is
+// only a hint). Expired entries are pruned in passing.
+func (n *Node) demoteShed(now time.Time, cands []string) []string {
+	n.shedMu.Lock()
+	var shed []string
+	out := cands[:0:len(cands)]
+	for _, c := range cands {
+		until, ok := n.shedUntil[c]
+		if ok && now.After(until) {
+			delete(n.shedUntil, c)
+			ok = false
+		}
+		if ok && c != n.cfg.Self {
+			shed = append(shed, c)
+		} else {
+			out = append(out, c)
+		}
+	}
+	n.shedMu.Unlock()
+	if len(shed) > 0 {
+		n.svc.Metrics().Inc("cluster_shed_demotions", int64(len(shed)))
+		out = append(out, shed...)
+	}
+	return out
+}
+
 // fwdResult is one forwarded response.
 type fwdResult struct {
-	peer   string
-	status int
-	body   []byte
-	err    error
-	hedge  bool
-	span   obs.SpanID
+	peer       string
+	status     int
+	body       []byte
+	retryAfter time.Duration // Retry-After hint on 429/503 responses
+	err        error
+	hedge      bool
+	span       obs.SpanID
 }
 
 // forwardHedged sends the request to primary, hedging to hedgePeer
@@ -589,14 +641,14 @@ func (n *Node) forwardHedged(r *http.Request, trc *obs.Trace, parent obs.SpanID,
 		go func() {
 			load := n.loadOf(peer)
 			load.Add(1)
-			status, respBody, err := n.doRequest(ctx, peer, r.URL.Path, body, trc.ID(), parent)
+			status, respBody, retryAfter, err := n.doRequest(ctx, peer, r.URL.Path, body, trc.ID(), parent)
 			load.Add(-1)
 			sp.SetInt("status", int64(status))
 			if err != nil {
 				sp.SetStr("error", err.Error())
 			}
 			sp.End()
-			resc <- fwdResult{peer: peer, status: status, body: respBody, err: err, hedge: hedge, span: sp.ID()}
+			resc <- fwdResult{peer: peer, status: status, body: respBody, retryAfter: retryAfter, err: err, hedge: hedge, span: sp.ID()}
 		}()
 	}
 
@@ -631,6 +683,12 @@ func (n *Node) forwardHedged(r *http.Request, trc *obs.Trace, parent obs.SpanID,
 			failed = res
 			m.Inc("cluster_forward_errors", 1)
 			m.Inc("cluster_forward_errors_"+res.peer, 1)
+			if res.err == nil && res.status == http.StatusTooManyRequests {
+				// Shedding is backpressure, not death: demote the peer
+				// for its own Retry-After instead of feeding the
+				// failure detector.
+				n.noteShed(res.peer, res.retryAfter)
+			}
 			if res.err != nil || res.status == http.StatusServiceUnavailable || res.status == http.StatusBadGateway {
 				n.det.ReportFailure(res.peer)
 			}
@@ -646,25 +704,30 @@ func (n *Node) forwardHedged(r *http.Request, trc *obs.Trace, parent obs.SpanID,
 	return failed, false
 }
 
-// doRequest performs one forwarded POST with trace-context headers.
-func (n *Node) doRequest(ctx context.Context, peer, path string, body []byte, traceID string, parent obs.SpanID) (int, []byte, error) {
+// doRequest performs one forwarded POST with trace-context headers,
+// capturing the Retry-After hint carried by 429/503 refusals.
+func (n *Node) doRequest(ctx context.Context, peer, path string, body []byte, traceID string, parent obs.SpanID) (int, []byte, time.Duration, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, n.urlOf(peer)+path, bytes.NewReader(body))
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, 0, err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(HeaderForwarded, n.cfg.Self)
 	req.Header.Set(HeaderTrace, fmt.Sprintf("%s:%d", traceID, parent))
 	res, err := n.client.Do(req)
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, 0, err
 	}
 	defer res.Body.Close()
+	var retryAfter time.Duration
+	if secs, perr := strconv.Atoi(res.Header.Get("Retry-After")); perr == nil && secs > 0 {
+		retryAfter = time.Duration(secs) * time.Second
+	}
 	b, err := io.ReadAll(io.LimitReader(res.Body, maxForwardRespBytes))
 	if err != nil {
-		return res.StatusCode, nil, err
+		return res.StatusCode, nil, retryAfter, err
 	}
-	return res.StatusCode, b, nil
+	return res.StatusCode, b, retryAfter, nil
 }
 
 // writeForwarded relays the winning response to the client. On
@@ -700,8 +763,14 @@ func (n *Node) writeForwarded(w http.ResponseWriter, trc *obs.Trace, res fwdResu
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Commfree-Served-By", res.peer)
-	if retryAfter := res.status == http.StatusTooManyRequests || res.status == http.StatusServiceUnavailable; retryAfter {
-		w.Header().Set("Retry-After", "1")
+	if res.status == http.StatusTooManyRequests || res.status == http.StatusServiceUnavailable {
+		// Propagate the remote node's drain-rate-derived hint; fall
+		// back to the old fixed hint when it sent none.
+		ra := "1"
+		if res.retryAfter > 0 {
+			ra = strconv.Itoa(int(res.retryAfter / time.Second))
+		}
+		w.Header().Set("Retry-After", ra)
 	}
 	w.WriteHeader(res.status)
 	_, _ = w.Write(out)

@@ -146,9 +146,14 @@ func TestHedgedRequest(t *testing.T) {
 	src := sourceHomedOn(t, fleet, home)
 	entry := otherThan(t, fleet, home)
 	third := otherThan(t, fleet, home, entry)
+	// The home's delay only needs to exceed the 5ms hedge budget, but a
+	// near-miss value lets a heavily-loaded scheduler finish the delayed
+	// home before the hedge on a bad day; make the home effectively
+	// never win. The losing attempt is context-canceled the moment the
+	// hedge responds, so the test does not wait this out.
 	fleet.Transport.SetDelay(func(host string) time.Duration {
 		if host == home {
-			return 500 * time.Millisecond
+			return 10 * time.Second
 		}
 		return 0
 	})

@@ -1,0 +1,19 @@
+package conformance
+
+import "testing"
+
+// TestOverload: the backpressure partition under both admission modes —
+// a saturating burst over single-worker nodes (one draining) terminates
+// every request as exactly one of {200 bit-identical, 429+Retry-After,
+// 503+Retry-After}, with all three classes observed.
+func TestOverload(t *testing.T) {
+	for _, mode := range []string{"slo", "queue"} {
+		mode := mode
+		t.Run(mode, func(t *testing.T) {
+			t.Parallel()
+			if err := CheckOverload(3, 48, mode); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -1,0 +1,229 @@
+package loadgen
+
+// The open-loop runner: fire the precomputed schedule at its arrival
+// times against one or more HTTP targets, classify every outcome, and
+// assemble the Report.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"commfree/internal/service"
+)
+
+// Run fires the schedule against the targets (base URLs, round-robin
+// by sequence number — the cross-node fan-in) using the client, and
+// returns the report. admission labels the report with the service
+// mode under test. The call blocks for the full schedule span plus
+// response stragglers; ctx cancellation aborts between arrivals.
+func Run(ctx context.Context, cfg Config, client *http.Client, targets []string, admission string) (*Report, error) {
+	cfg = cfg.withDefaults()
+	if len(targets) == 0 {
+		return nil, errors.New("loadgen: no targets")
+	}
+	if client == nil {
+		client = http.DefaultClient
+	}
+	sched := Schedule(cfg)
+	if len(sched) == 0 {
+		return nil, errors.New("loadgen: empty schedule")
+	}
+
+	// Counter snapshots bracket each phase; snaps[p] is taken as phase
+	// p begins, snaps[len(phases)] after every response has landed.
+	// The deltas are approximate — an overload-phase request can finish
+	// in recovery — which is fine for rates and documented as such.
+	snaps := make([]map[string]int64, len(cfg.Phases)+1)
+	snaps[0] = scrapeCounters(client, targets)
+
+	sem := make(chan struct{}, cfg.MaxOutstanding)
+	results := make([]result, len(sched))
+	var wg sync.WaitGroup
+	start := time.Now()
+	curPhase := 0
+	for i := range sched {
+		req := sched[i]
+		if req.Phase > curPhase {
+			for p := curPhase + 1; p <= req.Phase; p++ {
+				snaps[p] = scrapeCounters(client, targets)
+			}
+			curPhase = req.Phase
+		}
+		if wait := req.At - time.Since(start); wait > 0 {
+			select {
+			case <-time.After(wait):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		select {
+		case sem <- struct{}{}:
+		default:
+			// Open loop at saturation: past MaxOutstanding in-flight,
+			// record the overrun instead of spawning without bound.
+			results[i] = result{seq: req.Seq, phase: req.Phase, outcome: OutcomeOverrun}
+			continue
+		}
+		wg.Add(1)
+		go func(i int, req Request) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			results[i] = fire(ctx, cfg, client, targets[req.Seq%len(targets)], req)
+		}(i, req)
+	}
+	wg.Wait()
+	for p := curPhase + 1; p <= len(cfg.Phases); p++ {
+		snaps[p] = scrapeCounters(client, targets)
+	}
+	wall := time.Since(start)
+
+	rep := &Report{
+		Seed:        cfg.Seed,
+		Digest:      Digest(sched),
+		Admission:   admission,
+		SLOTargetMs: float64(cfg.SLOTarget) / float64(time.Millisecond),
+		Targets:     len(targets),
+		Requests:    len(sched),
+		WallS:       wall.Seconds(),
+		Outcomes:    map[string]int{},
+	}
+	byPhase := make(map[int][]result)
+	offered := make(map[int]int)
+	for _, r := range results {
+		byPhase[r.phase] = append(byPhase[r.phase], r)
+		offered[r.phase]++
+		rep.Outcomes[r.outcome]++
+		if r.outcome == OutcomeError {
+			if rep.ErrorStatuses == nil {
+				rep.ErrorStatuses = map[int]int{}
+			}
+			rep.ErrorStatuses[r.status]++
+		}
+	}
+	for pi, ph := range cfg.Phases {
+		if offered[pi] == 0 {
+			continue
+		}
+		delta := diffCounters(snaps[pi], snaps[pi+1])
+		rep.Phases = append(rep.Phases, buildPhase(ph, offered[pi], byPhase[pi], cfg.SLOTarget, delta))
+	}
+	return rep, nil
+}
+
+// fire sends one scheduled request and classifies its outcome.
+func fire(ctx context.Context, cfg Config, client *http.Client, target string, req Request) result {
+	res := result{seq: req.Seq, phase: req.Phase}
+	var path string
+	var payload any
+	creq := service.CompileRequest{
+		Source:     cfg.Corpus[req.Corpus],
+		Strategy:   req.Strategy,
+		Processors: req.Processors,
+	}
+	if req.Kind == "execute" {
+		path = "/v1/execute"
+		payload = service.ExecuteRequest{CompileRequest: creq, ChaosSeed: req.ChaosSeed}
+	} else {
+		path = "/v1/compile"
+		payload = creq
+	}
+	body, err := json.Marshal(payload)
+	if err != nil {
+		res.outcome = OutcomeError
+		return res
+	}
+	rctx, cancel := context.WithTimeout(ctx, cfg.RequestTimeout)
+	defer cancel()
+	hreq, err := http.NewRequestWithContext(rctx, http.MethodPost, target+path, bytes.NewReader(body))
+	if err != nil {
+		res.outcome = OutcomeError
+		return res
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	t0 := time.Now()
+	resp, err := client.Do(hreq)
+	res.latency = time.Since(t0)
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || rctx.Err() != nil {
+			res.outcome = OutcomeTimeout
+		} else {
+			res.outcome = OutcomeError
+		}
+		return res
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 16<<20))
+	res.latency = time.Since(t0)
+	switch resp.StatusCode {
+	case http.StatusOK:
+		res.outcome = OutcomeOK
+	case http.StatusTooManyRequests:
+		res.outcome = OutcomeShed
+	case http.StatusServiceUnavailable:
+		res.outcome = OutcomeDrained
+	default:
+		res.outcome = OutcomeError
+		res.status = resp.StatusCode
+	}
+	return res
+}
+
+// scrapeCounters sums the tracked counters across the targets'
+// /v1/metrics documents (best effort: an unreachable target
+// contributes zeros rather than failing the run).
+func scrapeCounters(client *http.Client, targets []string) map[string]int64 {
+	sum := map[string]int64{}
+	for _, t := range targets {
+		func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, t+"/v1/metrics", nil)
+			if err != nil {
+				return
+			}
+			resp, err := client.Do(req)
+			if err != nil {
+				return
+			}
+			defer resp.Body.Close()
+			var doc struct {
+				Counters map[string]int64 `json:"counters"`
+			}
+			if json.NewDecoder(io.LimitReader(resp.Body, 4<<20)).Decode(&doc) != nil {
+				return
+			}
+			for _, k := range counterKeys {
+				sum[k] += doc.Counters[k]
+			}
+		}()
+	}
+	return sum
+}
+
+func diffCounters(before, after map[string]int64) map[string]int64 {
+	d := map[string]int64{}
+	for _, k := range counterKeys {
+		d[k] = after[k] - before[k]
+	}
+	return d
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// String summarizes the report in one line (tests and logs).
+func (r *Report) String() string {
+	return fmt.Sprintf("loadgen{seed=%d digest=%s requests=%d outcomes=%v}",
+		r.Seed, r.Digest, r.Requests, r.Outcomes)
+}

@@ -88,6 +88,16 @@ func (s *Service) leadBatch(ctx context.Context, g *execBatch, key string, entry
 	g.size = g.joined
 	s.batchMu.Unlock()
 
+	if g.size > 1 {
+		// The leader executes on behalf of the whole group, so its own
+		// cancellation (a hung-up client, a hedge loser released by the
+		// forwarding node) must not poison the followers' results.
+		// Detach from the leader's cancellation but keep the request
+		// timeout as the execution bound.
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(context.WithoutCancel(ctx), s.cfg.RequestTimeout)
+		defer cancel()
+	}
 	resp, err := s.executeWithRetry(ctx, entry, req, cached, trc, nil, 0)
 	if err == nil {
 		resp.Batched = g.size > 1

@@ -141,9 +141,15 @@ func handleJSON[T any](s *Service, w http.ResponseWriter, r *http.Request, serve
 		status := statusFor(err)
 		// 429 (shed) and 503 (draining) both mean "this node, right now":
 		// Retry-After tells clients — and cluster peers, which re-route on
-		// these statuses — that the condition is short-lived.
+		// these statuses — when the condition is expected to clear. Sheds
+		// carry a drain-rate-derived estimate from the admission
+		// controller; drains keep the fixed hint.
 		if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
-			w.Header().Set("Retry-After", "1")
+			ra := "1"
+			if d := RetryAfterHint(err); d > 0 {
+				ra = fmt.Sprintf("%d", int64(d.Seconds()+0.5))
+			}
+			w.Header().Set("Retry-After", ra)
 		}
 		writeError(w, status, err)
 		return

@@ -12,6 +12,7 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // ErrDraining is returned for submissions after Close() has begun.
@@ -36,11 +37,19 @@ type task struct {
 	ctx context.Context
 	fn  func(ctx context.Context) (any, error)
 	res chan taskResult
+	enq time.Time // when the task entered the queue (admission feedback)
+	// droppable marks work whose result is worthless past the SLO
+	// target (executions): while the admission controller is shedding,
+	// such a task that aged past the target is head-dropped at dequeue.
+	// Compilations are never droppable — a late compile still populates
+	// the caches, so running it is never wasted work.
+	droppable bool
 }
 
 type pool struct {
 	queue chan *task
 	quit  chan struct{}
+	adm   *admission // nil-safe; observes queue delay + completions
 
 	mu      sync.Mutex
 	closed  bool
@@ -84,6 +93,20 @@ func (p *pool) worker() {
 
 func (p *pool) run(t *task) {
 	defer p.pending.Done()
+	if !t.enq.IsZero() {
+		now := time.Now()
+		wait := now.Sub(t.enq)
+		p.adm.observeQueueDelay(now, wait)
+		// CoDel head-drop: while shedding, a droppable task that aged
+		// past the SLO target is answered with its 429 now instead of
+		// being run for a result its caller can no longer use.
+		if t.droppable {
+			if err := p.adm.admitAged(wait, len(p.queue)); err != nil {
+				t.res <- taskResult{err: err}
+				return
+			}
+		}
+	}
 	// The caller may have given up while the task sat in the queue;
 	// don't burn a worker on an abandoned request.
 	if err := t.ctx.Err(); err != nil {
@@ -93,6 +116,7 @@ func (p *pool) run(t *task) {
 	p.inFlight.Add(1)
 	v, err := t.fn(t.ctx)
 	p.inFlight.Add(-1)
+	p.adm.observeDone(time.Now())
 	t.res <- taskResult{v: v, err: err}
 }
 
@@ -124,12 +148,17 @@ func (p *pool) submit(ctx context.Context, fn func(ctx context.Context) (any, er
 	return r.v, r.err
 }
 
-// trySubmit is submit with fail-fast admission control: a full queue
-// rejects with ErrOverloaded immediately rather than blocking the
-// caller until its deadline. The service front door uses this so a
-// saturated pool sheds load with 429s instead of stacking timeouts.
-func (p *pool) trySubmit(ctx context.Context, fn func(ctx context.Context) (any, error)) (any, error) {
-	t := &task{ctx: ctx, fn: fn, res: make(chan taskResult, 1)}
+// trySubmit is submit with fail-fast admission control. Two ways to
+// be shed: the SLO controller decides the measured queue delay has
+// breached the latency target (429 before the queue fills), or the
+// queue is physically at capacity. Both reject with an *OverloadError
+// (unwrapping to ErrOverloaded) carrying a drain-rate-derived
+// Retry-After, instead of blocking the caller until its deadline.
+func (p *pool) trySubmit(ctx context.Context, droppable bool, fn func(ctx context.Context) (any, error)) (any, error) {
+	if err := p.adm.gate(time.Now(), len(p.queue), droppable); err != nil {
+		return nil, err
+	}
+	t := &task{ctx: ctx, fn: fn, res: make(chan taskResult, 1), enq: time.Now(), droppable: droppable}
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
@@ -142,7 +171,7 @@ func (p *pool) trySubmit(ctx context.Context, fn func(ctx context.Context) (any,
 	case p.queue <- t:
 	default:
 		p.pending.Done()
-		return nil, ErrOverloaded
+		return nil, p.adm.overloadFull(len(p.queue))
 	}
 	r := <-t.res
 	return r.v, r.err

@@ -95,6 +95,23 @@ type Config struct {
 	// between them (default 1ms).
 	MaxExecRetries int
 	RetryBackoff   time.Duration
+	// Admission selects the overload policy on the front door: "slo"
+	// (default) sheds with 429s when the measured queue delay would
+	// push admitted requests past SLOTarget (EWMA of per-stage latency
+	// from the obs spans, CoDel-style sustained-breach detection,
+	// drain-rate-derived Retry-After); "queue" restores the PR 4
+	// depth-only baseline (reject only when the queue is physically
+	// full).
+	Admission string
+	// SLOTarget is the end-to-end latency objective admission control
+	// defends (default 150ms). SLOWindow is how long the queue-delay
+	// EWMA must stay in breach before shedding starts (default 100ms);
+	// SLOResumeFrac is the recovery hysteresis — shedding stops once
+	// the EWMA falls below this fraction of the admissible bound
+	// (default 0.5).
+	SLOTarget     time.Duration
+	SLOWindow     time.Duration
+	SLOResumeFrac float64
 	// StoreDir, when non-empty, backs the plan cache with a persistent
 	// content-addressed store at that directory (opened by NewWithStore);
 	// Store injects an already-open store directly and wins over
@@ -154,6 +171,18 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RetryBackoff <= 0 {
 		c.RetryBackoff = time.Millisecond
+	}
+	if c.Admission != "queue" {
+		c.Admission = "slo"
+	}
+	if c.SLOTarget <= 0 {
+		c.SLOTarget = 150 * time.Millisecond
+	}
+	if c.SLOWindow <= 0 {
+		c.SLOWindow = 100 * time.Millisecond
+	}
+	if c.SLOResumeFrac <= 0 || c.SLOResumeFrac >= 1 {
+		c.SLOResumeFrac = 0.5
 	}
 	return c
 }
@@ -346,6 +375,7 @@ type Service struct {
 	cfg     Config
 	cache   *planCache
 	pool    *pool
+	adm     *admission
 	metrics *Metrics
 	traces  *obs.Ring
 
@@ -382,6 +412,8 @@ func New(cfg Config) *Service {
 		flights: map[string]*flight{},
 		batches: map[string]*execBatch{},
 	}
+	s.adm = newAdmission(cfg, func() { s.metrics.Inc("admission_sheds", 1) })
+	s.pool.adm = s.adm
 	s.metrics.Gauge("queue_depth", func() int64 { return int64(s.pool.queueDepth()) })
 	s.metrics.Gauge("queue_capacity", func() int64 { return int64(s.pool.queueCap()) })
 	s.metrics.Gauge("in_flight", func() int64 { return s.pool.running() })
@@ -399,6 +431,22 @@ func New(cfg Config) *Service {
 		return 0
 	})
 	s.metrics.Gauge("batch_window_us", func() int64 { return cfg.BatchWindow.Microseconds() })
+	s.metrics.Gauge("admission_slo", func() int64 {
+		if s.adm.stats().SLO {
+			return 1
+		}
+		return 0
+	})
+	s.metrics.Gauge("admission_slo_target_ms", func() int64 { return s.adm.stats().Target.Milliseconds() })
+	s.metrics.Gauge("admission_shedding", func() int64 {
+		if s.adm.stats().Shedding {
+			return 1
+		}
+		return 0
+	})
+	s.metrics.Gauge("admission_queue_ewma_us", func() int64 { return s.adm.stats().QueueEWMA.Microseconds() })
+	s.metrics.Gauge("admission_stage_ewma_us", func() int64 { return s.adm.stats().StageEWMA.Microseconds() })
+	s.metrics.Gauge("admission_bound_us", func() int64 { return s.adm.stats().Bound.Microseconds() })
 	s.metrics.Gauge("chaos_enabled", func() int64 {
 		if cfg.ChaosSeed != 0 {
 			return 1
@@ -417,6 +465,13 @@ func New(cfg Config) *Service {
 
 // Metrics exposes the registry (for tests and the HTTP layer).
 func (s *Service) Metrics() *Metrics { return s.metrics }
+
+// Admission snapshots the admission-control state.
+func (s *Service) Admission() AdmissionStats { return s.adm.stats() }
+
+// SetSLOTarget reconfigures the admission controller's latency target
+// at runtime. Safe concurrently with in-flight requests.
+func (s *Service) SetSLOTarget(d time.Duration) { s.adm.setTarget(d) }
 
 // Traces exposes the recent-trace ring (for tests and the HTTP layer).
 func (s *Service) Traces() *obs.Ring { return s.traces }
@@ -498,6 +553,7 @@ func (s *Service) Compile(ctx context.Context, req CompileRequest) (*CompileResp
 	defer func() {
 		s.traces.Add(trc)
 		s.metrics.ObserveTrace(trc)
+		s.adm.ObserveTrace(trc)
 	}()
 	entry, cached, err := s.compileEntry(ctx, req, trc)
 	if err != nil {
@@ -547,22 +603,35 @@ func (s *Service) compileEntry(ctx context.Context, req CompileRequest, trc *obs
 	}
 
 	// Single flight per key: one leader compiles on the pool, everyone
-	// else waits on its result without occupying a worker.
-	s.flightMu.Lock()
-	f, running := s.flights[key]
-	if !running {
-		f = &flight{done: make(chan struct{})}
-		s.flights[key] = f
-	}
-	s.flightMu.Unlock()
-
-	if running {
+	// else waits on its result without occupying a worker. A leader that
+	// dies of its *own* request's cancellation (a hung-up client, a
+	// hedge loser released by a forwarding node) must not poison the
+	// joiners: a joiner whose context is still live retries — and, the
+	// flight being gone, takes over as the new leader.
+	var f *flight
+	for {
+		s.flightMu.Lock()
+		g, running := s.flights[key]
+		if !running {
+			f = &flight{done: make(chan struct{})}
+			s.flights[key] = f
+		}
+		s.flightMu.Unlock()
+		if !running {
+			break
+		}
 		select {
-		case <-f.done:
-			if f.err != nil {
-				return nil, false, f.err
+		case <-g.done:
+			if g.err == nil {
+				return g.entry, true, nil
 			}
-			return f.entry, true, nil
+			if ctx.Err() == nil && (errors.Is(g.err, context.Canceled) || errors.Is(g.err, context.DeadlineExceeded)) {
+				if e, ok := s.cache.peek(key); ok {
+					return e, true, nil
+				}
+				continue
+			}
+			return nil, false, g.err
 		case <-ctx.Done():
 			return nil, false, ctx.Err()
 		}
@@ -584,7 +653,7 @@ func (s *Service) compileEntry(ctx context.Context, req CompileRequest, trc *obs
 	// a restart rehydrates instead of recompiling — then, on a true
 	// miss, the full pipeline.
 	fromStore := false
-	v, err := s.pool.trySubmit(ctx, func(ctx context.Context) (any, error) {
+	v, err := s.runPooled(ctx, trc, false, func(ctx context.Context) (any, error) {
 		if e := s.rehydrateFromStore(key, trc); e != nil {
 			fromStore = true
 			return e, nil
@@ -724,6 +793,25 @@ func (s *Service) compile(ctx context.Context, key string, nest *loop.Nest, stra
 	return entry, nil
 }
 
+// runPooled runs fn on a pool worker via trySubmit and records the
+// time the request spent queued as a queue_wait span, so per-request
+// traces expose the quantity admission control regulates. droppable
+// marks work eligible for the shedding-state head-drop (executions,
+// whose results are worthless past the SLO target); compilations pass
+// false and always run once accepted.
+func (s *Service) runPooled(ctx context.Context, trc *obs.Trace, droppable bool, fn func(ctx context.Context) (any, error)) (any, error) {
+	startOff := trc.Since()
+	var wait time.Duration
+	v, err := s.pool.trySubmit(ctx, droppable, func(ctx context.Context) (any, error) {
+		wait = trc.Since() - startOff
+		return fn(ctx)
+	})
+	if wait > 0 {
+		trc.Bulk([]obs.Span{{Name: "queue_wait", StartNS: int64(startOff), DurNS: int64(wait)}})
+	}
+	return v, err
+}
+
 // countError folds a request error into the counters (overload
 // rejections get their own series on top of the error count).
 func (s *Service) countError(err error) {
@@ -756,6 +844,7 @@ func (s *Service) Execute(ctx context.Context, req ExecuteRequest) (*ExecuteResp
 	defer func() {
 		s.traces.Add(trc)
 		s.metrics.ObserveTrace(trc)
+		s.adm.ObserveTrace(trc)
 	}()
 	entry, cached, err := s.compileEntry(ctx, req.CompileRequest, trc)
 	if err != nil {
@@ -809,7 +898,7 @@ func (s *Service) executeWithRetry(ctx context.Context, entry *cacheEntry, req E
 	var resp *ExecuteResponse
 	retries := 0
 	for attempt := 0; ; attempt++ {
-		v, err := s.pool.trySubmit(ctx, func(ctx context.Context) (any, error) {
+		v, err := s.runPooled(ctx, trc, true, func(ctx context.Context) (any, error) {
 			return s.executeOnce(ctx, entry, req, cached, trc, inj, seed, attempt)
 		})
 		if err == nil {
@@ -823,7 +912,7 @@ func (s *Service) executeWithRetry(ctx context.Context, entry *cacheEntry, req E
 		}
 		if attempt >= s.cfg.MaxExecRetries {
 			// Retry budget exhausted: degrade to the sequential oracle.
-			v, err = s.pool.trySubmit(ctx, func(ctx context.Context) (any, error) {
+			v, err = s.runPooled(ctx, trc, true, func(ctx context.Context) (any, error) {
 				return s.executeSequential(ctx, entry, req, cached, trc)
 			})
 			if err != nil {
