@@ -112,10 +112,18 @@ func main() {
 	var comp *commfree.Compilation
 	if *auto {
 		// -auto ranks every allocation strategy by simulated cost and
-		// compiles the winner (overriding -strategy).
-		nest, err := commfree.Parse(src)
+		// compiles the winner (overriding -strategy). The source goes
+		// through the affine front end first; a nest the normalization
+		// pass provably cannot uniformize fails here with its
+		// classification (rejection class, offending reference, failed
+		// condition).
+		nres, err := commfree.NormalizeSource(src)
 		if err != nil {
 			fatal(err)
+		}
+		nest := nres.Nest
+		if !nres.Identity {
+			fmt.Println("front end: affine references normalized to uniformly generated form")
 		}
 		best, all, err := commfree.SelectStrategy(nest, *procs, commfree.TransputerCost())
 		if err != nil {

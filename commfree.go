@@ -43,6 +43,7 @@ import (
 	"commfree/internal/layout"
 	"commfree/internal/loop"
 	"commfree/internal/machine"
+	"commfree/internal/normalize"
 	"commfree/internal/obs"
 	"commfree/internal/partition"
 	"commfree/internal/redundant"
@@ -143,6 +144,35 @@ func Parse(src string) (*Nest, error) { return lang.Parse(src) }
 // MustParse is Parse that panics on error (for fixtures and examples).
 func MustParse(src string) *Nest { return lang.MustParse(src) }
 
+// AffineNest is a structurally valid nest whose references need not be
+// uniformly generated and may carry symbolic constants (see ParseAffine).
+type AffineNest = lang.AffineNest
+
+// NormalizeResult is the outcome of the normalization pass: the uniform
+// concrete nest plus the per-array data relabels applied to reach it.
+type NormalizeResult = normalize.Result
+
+// ClassifyError is the typed diagnostic for a nest the normalization
+// pass provably cannot rewrite into uniformly generated form: the
+// rejection class, the offending reference, and the failed condition.
+type ClassifyError = normalize.ClassifyError
+
+// ParseAffine parses DSL source in the widened affine grammar: array
+// references need not be uniformly generated (A[2i+1], index
+// permutations, per-reference offsets) and subscripts may use symbolic
+// constants (A[i+d]). Feed the result to Normalize to obtain a nest the
+// partitioning pipeline accepts.
+func ParseAffine(src string) (*AffineNest, error) { return lang.ParseAffine(src) }
+
+// Normalize rewrites an affine nest into uniformly generated form where
+// a communication-free allocation still exists, or returns a
+// *ClassifyError explaining precisely why it cannot. It is the identity
+// on nests that already validate.
+func Normalize(a *AffineNest) (*NormalizeResult, error) { return normalize.Apply(a) }
+
+// NormalizeSource is ParseAffine followed by Normalize.
+func NormalizeSource(src string) (*NormalizeResult, error) { return normalize.Source(src) }
+
 // Analyze runs dependence analysis on a nest.
 func Analyze(nest *Nest) (*DependenceAnalysis, error) { return deps.Analyze(nest) }
 
@@ -219,15 +249,22 @@ func Compile(src string, strat Strategy, processors int) (*Compilation, error) {
 	return CompileTraced(src, strat, processors, nil)
 }
 
-// CompileTraced is Compile with stage spans recorded into trc.
+// CompileTraced is Compile with stage spans recorded into trc. Sources
+// are parsed in the affine grammar and normalized first, so non-uniform
+// references that the pass can rewrite compile transparently; uniform
+// sources flow through byte-identically (the pass is the identity on
+// them), and unnormalizable nests fail with a *ClassifyError.
 func CompileTraced(src string, strat Strategy, processors int, trc *Trace) (*Compilation, error) {
 	psp := trc.Start(0, "parse")
-	nest, err := Parse(src)
+	nres, err := normalize.Source(src)
+	if err == nil && !nres.Identity {
+		psp.SetInt("normalized", 1)
+	}
 	psp.End()
 	if err != nil {
 		return nil, err
 	}
-	return compileNestTraced(nest, strat, processors, trc)
+	return compileNestTraced(nres.Nest, strat, processors, trc)
 }
 
 // CompileNest is Compile for an already-built nest.

@@ -36,6 +36,7 @@ import (
 
 	"commfree/internal/chaos"
 	"commfree/internal/lang"
+	"commfree/internal/normalize"
 	"commfree/internal/obs"
 	"commfree/internal/service"
 )
@@ -422,9 +423,11 @@ func (n *Node) route(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Routing key: the canonical rendering of the submitted nest. A
-	// request that does not parse is served locally — the service
-	// produces the authoritative 400.
+	// Routing key: the canonical rendering of the submitted nest after
+	// normalization, so an affine source and its hand-uniformized twin
+	// hash to the same home node fleet-wide. A request that does not
+	// parse (or is rejected by the pass) is served locally — the service
+	// produces the authoritative 400/422.
 	var probe struct {
 		Source string `json:"source"`
 	}
@@ -432,12 +435,12 @@ func (n *Node) route(w http.ResponseWriter, r *http.Request) {
 		n.serveLocal(w, r, body, false)
 		return
 	}
-	nest, perr := lang.Parse(probe.Source)
+	nres, perr := normalize.Source(probe.Source)
 	if perr != nil {
 		n.serveLocal(w, r, body, false)
 		return
 	}
-	key := KeyHash(lang.Canonical(nest))
+	key := KeyHash(lang.Canonical(nres.Nest))
 
 	ring := n.Ring()
 	if owner, ok := ring.Owner(key); ok {

@@ -8,6 +8,8 @@ package exec
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 	"time"
 
 	"commfree/internal/assign"
@@ -23,6 +25,27 @@ import (
 // Key names an array element in memory, e.g. "A[2 1]".
 func Key(array string, idx []int64) string {
 	return array + fmt.Sprint(idx)
+}
+
+// ParseKey inverts Key: "A[2 1]" → ("A", [2, 1]).
+func ParseKey(k string) (array string, idx []int64, err error) {
+	open := strings.IndexByte(k, '[')
+	if open < 0 || !strings.HasSuffix(k, "]") {
+		return "", nil, fmt.Errorf("exec: malformed state key %q", k)
+	}
+	array = k[:open]
+	body := k[open+1 : len(k)-1]
+	if body == "" {
+		return array, nil, nil
+	}
+	for _, f := range strings.Fields(body) {
+		v, perr := strconv.ParseInt(f, 10, 64)
+		if perr != nil {
+			return "", nil, fmt.Errorf("exec: malformed state key %q: %v", k, perr)
+		}
+		idx = append(idx, v)
+	}
+	return array, idx, nil
 }
 
 // InitValue is the deterministic initial value of every array element —
@@ -55,6 +78,37 @@ func Sequential(nest *loop.Nest, red *redundant.Result) map[string]float64 {
 	// One read-value scratch for the whole walk, sized to the widest
 	// statement; per-statement allocation here dominated the oracle's
 	// sequential profile.
+	scratch := make([]float64, maxReads(nest))
+	nest.Walk(func(it []int64) bool {
+		for si, st := range nest.Body {
+			if red != nil && red.IsRedundant(si, it) {
+				continue
+			}
+			vals := scratch[:len(st.Reads)]
+			for ri, r := range st.Reads {
+				vals[ri] = readVal(r.Array, r.Index(it))
+			}
+			state[Key(st.Write.Array, st.Write.Index(it))] = st.EvalExpr(it, vals)
+		}
+		return true
+	})
+	return state
+}
+
+// SequentialInit is Sequential with an injectable initial-value function
+// for elements read before any write. The normalization conformance
+// check uses it to ground data relabels: the raw affine nest runs with
+// init drawn at the relabeled coordinates, so its state must match the
+// normalized nest's under the relabel map.
+func SequentialInit(nest *loop.Nest, red *redundant.Result, init func(array string, idx []int64) float64) map[string]float64 {
+	state := map[string]float64{}
+	readVal := func(array string, idx []int64) float64 {
+		k := Key(array, idx)
+		if v, ok := state[k]; ok {
+			return v
+		}
+		return init(array, idx)
+	}
 	scratch := make([]float64, maxReads(nest))
 	nest.Walk(func(it []int64) bool {
 		for si, st := range nest.Body {

@@ -1,0 +1,214 @@
+package lang
+
+// Edge-case table tests for the affine subscript grammar: unary minus
+// on indices and symbolic constants, zero coefficients, whitespace and
+// precedence corners, multi-bracket spelling, deep nesting, and the
+// strict/affine mode boundary. Run clean under -race -count=10.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// parseAffineWrite digs out the first statement's write reference of a
+// parsed affine nest for compact assertions.
+func parseAffineWrite(t *testing.T, src string) (*AffineNest, [][]int64, []int64, RefSyms) {
+	t.Helper()
+	a, err := ParseAffine(src)
+	if err != nil {
+		t.Fatalf("ParseAffine: %v\n%s", err, src)
+	}
+	w := a.Nest.Body[0].Write
+	return a, w.H, w.Offset, a.Syms[0].Write
+}
+
+func TestParseAffineTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		src     string
+		wantH   [][]int64
+		wantOff []int64
+		wantSym string // RenderTerms of write row 0, "" = none
+	}{
+		{
+			name:    "unary minus on index",
+			src:     "for i = 1 to 4\n A[-i] = 1\nend",
+			wantH:   [][]int64{{-1}},
+			wantOff: []int64{0},
+		},
+		{
+			name:    "unary minus on symbolic constant",
+			src:     "for i = 1 to 4\n A[i - d] = 1\nend",
+			wantH:   [][]int64{{1}},
+			wantOff: []int64{0},
+			wantSym: "-1·d",
+		},
+		{
+			name:    "double negation",
+			src:     "for i = 1 to 4\n A[-(-i)] = 1\nend",
+			wantH:   [][]int64{{1}},
+			wantOff: []int64{0},
+		},
+		{
+			name:    "coefficient zero drops the term",
+			src:     "for i = 1 to 4\n A[0*i + 0*d + i] = 1\nend",
+			wantH:   [][]int64{{1}},
+			wantOff: []int64{0},
+		},
+		{
+			name:    "zero symbolic stride drops the stride term",
+			src:     "for i = 1 to 4\n A[i + 0*n*i] = 1\nend",
+			wantH:   [][]int64{{1}},
+			wantOff: []int64{0},
+		},
+		{
+			name:    "whitespace soup",
+			src:     "for i = 1 to 4\n A[  2i\t+ 1   +  d ] = 1\nend",
+			wantH:   [][]int64{{2}},
+			wantOff: []int64{1},
+			wantSym: "1·d",
+		},
+		{
+			name:    "precedence: minus binds the whole product",
+			src:     "for i = 1 to 4\n A[4i - 2*(i + 1)] = 1\nend",
+			wantH:   [][]int64{{2}},
+			wantOff: []int64{-2},
+		},
+		{
+			name:    "symbolic terms merge by name",
+			src:     "for i = 1 to 4\n A[i + d + 2d - d] = 1\nend",
+			wantH:   [][]int64{{1}},
+			wantOff: []int64{0},
+			wantSym: "2·d",
+		},
+		{
+			name:    "symbolic terms cancel to nothing",
+			src:     "for i = 1 to 4\n A[i + d - d] = 1\nend",
+			wantH:   [][]int64{{1}},
+			wantOff: []int64{0},
+		},
+		{
+			name:    "multi-bracket spelling",
+			src:     "for i = 1 to 4\nfor j = 1 to 4\n A[i][j - 1] = 1\nend\nend",
+			wantH:   [][]int64{{1, 0}, {0, 1}},
+			wantOff: []int64{0, -1},
+		},
+		{
+			name:    "symbolic stride term survives parsing",
+			src:     "for i = 1 to 4\n A[2n*i + 1] = 1\nend",
+			wantH:   [][]int64{{0}},
+			wantOff: []int64{1},
+			wantSym: "2·n·i1",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, h, off, syms := parseAffineWrite(t, tc.src)
+			if got := fmt.Sprint(h); got != fmt.Sprint(tc.wantH) {
+				t.Errorf("H = %v, want %v", h, tc.wantH)
+			}
+			if got := fmt.Sprint(off); got != fmt.Sprint(tc.wantOff) {
+				t.Errorf("Offset = %v, want %v", off, tc.wantOff)
+			}
+			gotSym := ""
+			if len(syms.Rows) > 0 && len(syms.Rows[0]) > 0 {
+				gotSym = RenderTerms(syms.Rows[0])
+			}
+			if gotSym != tc.wantSym {
+				t.Errorf("syms = %q, want %q", gotSym, tc.wantSym)
+			}
+		})
+	}
+}
+
+func TestParseAffineRejections(t *testing.T) {
+	cases := []struct {
+		name, src, wantErr string
+	}{
+		{
+			name:    "nonlinear product of indices",
+			src:     "for i = 1 to 4\n A[i*i] = 1\nend",
+			wantErr: "nonlinear",
+		},
+		{
+			name:    "nonlinear product of symbols",
+			src:     "for i = 1 to 4\n A[d*n] = 1\nend",
+			wantErr: "nonlinear",
+		},
+		{
+			name:    "unknown identifier in bounds stays an error",
+			src:     "for i = 1 to n\n A[i] = 1\nend",
+			wantErr: "unknown identifier",
+		},
+		{
+			name:    "unknown identifier in step stays an error",
+			src:     "for i = 1 to 8 step n\n A[i] = 1\nend",
+			wantErr: "unknown identifier",
+		},
+		{
+			name:    "division in subscript",
+			src:     "for i = 1 to 4\n A[i/2] = 1\nend",
+			wantErr: "division",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseAffine(tc.src)
+			if err == nil {
+				t.Fatalf("ParseAffine accepted:\n%s", tc.src)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestParseAffineDeepNesting pushes the subscript expression depth and
+// loop depth well past anything the corpus holds; the parser must stay
+// linear and correct.
+func TestParseAffineDeepNesting(t *testing.T) {
+	// 40 nested parens around a single index expression.
+	expr := "i"
+	for k := 0; k < 40; k++ {
+		expr = "(" + expr + " + 0)"
+	}
+	src := "for i = 1 to 4\n A[" + expr + "] = 1\nend"
+	_, h, off, _ := parseAffineWrite(t, src)
+	if h[0][0] != 1 || off[0] != 0 {
+		t.Errorf("deep parens: H=%v Offset=%v", h, off)
+	}
+
+	// 8-deep loop nest with every index and a symbol in one subscript.
+	var b strings.Builder
+	for k := 1; k <= 8; k++ {
+		fmt.Fprintf(&b, "for v%d = 1 to 2\n", k)
+	}
+	b.WriteString(" A[v1 + v2 + v3 + v4 + v5 + v6 + v7 + v8 + d] = 1\n")
+	b.WriteString(strings.Repeat("end\n", 8))
+	a, err := ParseAffine(b.String())
+	if err != nil {
+		t.Fatalf("deep nest: %v", err)
+	}
+	if a.Nest.Depth() != 8 {
+		t.Fatalf("depth = %d", a.Nest.Depth())
+	}
+	for _, c := range a.Nest.Body[0].Write.H[0] {
+		if c != 1 {
+			t.Fatalf("H row = %v", a.Nest.Body[0].Write.H[0])
+		}
+	}
+	if got := RenderTerms(a.Syms[0].Write.Rows[0]); got != "1·d" {
+		t.Fatalf("syms = %q", got)
+	}
+}
+
+// TestParseStrictStillRejectsSymbols pins the mode boundary: the strict
+// parser must keep rejecting symbolic subscripts so every pre-existing
+// caller sees unchanged behavior.
+func TestParseStrictStillRejectsSymbols(t *testing.T) {
+	if _, err := Parse("for i = 1 to 4\n A[i + d] = 1\nend"); err == nil {
+		t.Fatal("strict parser accepted a symbolic subscript")
+	}
+}

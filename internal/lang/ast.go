@@ -69,6 +69,17 @@ func (b *BinOp) String() string {
 	return "(" + b.L.String() + " " + string(b.Op) + " " + b.R.String() + ")"
 }
 
+// SymRef is a use of a symbolic constant (an identifier that names no
+// loop index) inside an array subscript. It only appears in affine-mode
+// parses (ParseAffine); subscript expressions containing it are lowered
+// to SymTerm lists, never evaluated.
+type SymRef struct{ Name string }
+
+func (s *SymRef) evalWith([]int64, []float64) float64 {
+	panic(fmt.Errorf("lang: symbolic constant %s evaluated; normalize the nest first", s.Name))
+}
+func (s *SymRef) String() string { return s.Name }
+
 // Neg is unary negation.
 type Neg struct{ X Expr }
 

@@ -39,6 +39,19 @@ var fuzzSeeds = []string{
 	"for i = 1 to 4\n A[i*i] = 1\nend",
 	"for i = 1 to 4\n A[i] = @\nend",
 	"for i = 1 to 4\n A[i] = 1\nend\nfor j = 1 to 2\n B[j] = 1\nend",
+
+	// Affine-front-end seeds. The strict parser rejects the symbolic
+	// and non-uniform ones (callers filter with Parse); ParseAffine
+	// accepts them all, and the normalize pass either uniformizes them
+	// or rejects with the named classification.
+	"for i = 1 to 4\n A[i + d] = A[i - 1 + d] + 1\nend",                            // symbolic offset, elided
+	"for i = 1 to 4\n A[2i + 1 + d] = A[2i - 1 + d] + 1\nend",                      // symbolic offset + stride, elided then compressed
+	"for i = 1 to 4\nfor k = 2 to 2\n A[i + k] = A[i + 2k] + 1\nend\nend",          // singleton level, folded
+	"for i = 1 to 4\n A[n*i] = 1\nend",                                             // rejected: symbolic-stride
+	"for i = 1 to 4\n A[i + d] = A[i] + 1\nend",                                    // rejected: symbolic-offset-mismatch
+	"for i = 1 to 4\nfor j = 1 to 4\n A[i + j, i + j] = A[i + j, j] + 1\nend\nend", // rejected: non-invertible-index-map
+	"for i = 1 to 4\nfor j = 1 to 4\n A[i + j] = A[i] + 1\nend\nend",               // rejected: coupled-subscripts
+	"for i = 1 to 4\n A[i] = A[2i] + 1\nend",                                       // rejected: variable-distance
 }
 
 // Corpus returns a copy of the shared seed corpus. Entries are raw

@@ -56,6 +56,32 @@ func ParseProgram(src string) ([]*loop.Nest, error) {
 	return nests, nil
 }
 
+// ParseAffine parses DSL source containing exactly one loop nest in
+// affine mode: references need not be uniformly generated, and array
+// subscripts may contain symbolic constants (identifiers that name no
+// loop index), both as loop-invariant offsets (A[i+d]) and as symbolic
+// strides (A[N*i]). The result satisfies loop.Nest.ValidateStructure but
+// not necessarily ValidateUniform; the normalize pass takes it from
+// there. Sources accepted by Parse yield the identical nest here.
+func ParseAffine(src string) (*AffineNest, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: src, affine: true}
+	nest, err := p.parseNest()
+	if err != nil {
+		return nil, err
+	}
+	if t := p.cur(); t.kind != tokEOF {
+		return nil, p.errorf(t, "unexpected trailing input %q", t.text)
+	}
+	if err := nest.ValidateStructure(); err != nil {
+		return nil, err
+	}
+	return &AffineNest{Nest: nest, Syms: p.stmtSyms}, nil
+}
+
 // MustParse is Parse that panics on error (for tests and fixtures).
 func MustParse(src string) *loop.Nest {
 	n, err := Parse(src)
@@ -75,6 +101,17 @@ type parser struct {
 	// i_original = base + scale·i_normalized, applied to every affine
 	// expression and RHS index use. Identity is {base: 0, scale: 1}.
 	subs []levelSub
+	// affine enables the widened grammar (ParseAffine): non-uniform
+	// references, symbolic constants in subscripts, multi-bracket
+	// subscript spelling.
+	affine bool
+	// subDepth > 0 while parsing subscript expressions; only there do
+	// unknown identifiers become symbolic constants in affine mode.
+	subDepth int
+	// refSyms collects one RefSyms per parseRef call, in parse order,
+	// when affine; stmtSyms groups them per statement.
+	refSyms  []RefSyms
+	stmtSyms []StmtSyms
 }
 
 // levelSub is the step-normalization substitution of one loop level.
@@ -310,6 +347,7 @@ func (p *parser) parseStatement(n int) (*loop.Statement, error) {
 	if p.cur().kind != tokLBracket {
 		return nil, p.errorf(p.cur(), "expected '[' after array %q", arrayTok.text)
 	}
+	symStart := len(p.refSyms)
 	writeRef, err := p.parseRef(arrayTok.text, n)
 	if err != nil {
 		return nil, err
@@ -329,6 +367,14 @@ func (p *parser) parseStatement(n int) (*loop.Statement, error) {
 	// the meaning of the index variables.
 	if !p.hasStrides() && rhsStart >= 0 && rhsEnd >= rhsStart && rhsEnd <= len(p.src) {
 		source = strings.TrimSpace(p.src[rhsStart:rhsEnd])
+	}
+	if p.affine {
+		// parseRef calls happen strictly in (write, reads-by-slot) order —
+		// array references are rejected inside subscripts, so calls never
+		// nest — making this slice-off exact.
+		rs := p.refSyms[symStart:]
+		st := StmtSyms{Write: rs[0], Reads: append([]RefSyms(nil), rs[1:]...)}
+		p.stmtSyms = append(p.stmtSyms, st)
 	}
 	expr := p.rewriteVars(rhs)
 	return &loop.Statement{
@@ -377,34 +423,54 @@ func toTree(e Expr) *loop.ExprTree {
 	panic(fmt.Errorf("lang: unknown expression node %T", e))
 }
 
-// parseRef parses "[e1, e2, ...]" after an array name, converting each
-// subscript to one row of H and one offset component.
+// parseRef parses the subscripts after an array name — either the comma
+// form "[e1, e2, ...]" or the multi-bracket spelling "[e1][e2]...", which
+// may be mixed — converting each subscript to one row of H and one offset
+// component. In affine mode each row's symbolic terms are collected into
+// p.refSyms alongside.
 func (p *parser) parseRef(array string, n int) (loop.Ref, error) {
 	open, err := p.expect(tokLBracket)
 	if err != nil {
 		return loop.Ref{}, err
 	}
+	p.subDepth++
+	defer func() { p.subDepth-- }()
 	var h [][]int64
 	var off []int64
+	var symRows [][]SymTerm
 	for {
 		e, err := p.parseExpr()
 		if err != nil {
 			return loop.Ref{}, err
 		}
-		a, err := p.toAffine(e, n, open)
+		var a loop.Affine
+		var terms []SymTerm
+		if p.affine {
+			a, terms, err = p.toAffineSym(e, n, open)
+		} else {
+			a, err = p.toAffine(e, n, open)
+		}
 		if err != nil {
 			return loop.Ref{}, err
 		}
 		h = append(h, a.Coeffs)
 		off = append(off, a.Const)
+		symRows = append(symRows, terms)
 		if p.cur().kind == tokComma {
+			p.advance()
+			continue
+		}
+		if _, err := p.expect(tokRBracket); err != nil {
+			return loop.Ref{}, err
+		}
+		if p.cur().kind == tokLBracket {
 			p.advance()
 			continue
 		}
 		break
 	}
-	if _, err := p.expect(tokRBracket); err != nil {
-		return loop.Ref{}, err
+	if p.affine {
+		p.refSyms = append(p.refSyms, RefSyms{Rows: symRows})
 	}
 	return loop.Ref{Array: array, H: h, Offset: off}, nil
 }
@@ -528,6 +594,12 @@ func (p *parser) parseUnary(n int, reads *[]loop.Ref, allowArrays bool) (Expr, e
 			}
 		}
 		if !allowArrays {
+			// In affine mode an unknown identifier inside a subscript is a
+			// symbolic constant; in bounds (and everywhere in strict mode)
+			// it stays an error.
+			if p.affine && p.subDepth > 0 {
+				return &SymRef{Name: t.text}, nil
+			}
 			return nil, p.errorf(t, "unknown identifier %q: bounds and subscripts may reference only inner/outer loop indices already declared", t.text)
 		}
 		return &NumLit{Value: 1}, nil
@@ -607,6 +679,165 @@ func (p *parser) toAffine(e Expr, n int, at token) (loop.Affine, error) {
 		return loop.Affine{}, err
 	}
 	return p.normalizeAffine(loop.Affine{Coeffs: coeffs, Const: konst}), nil
+}
+
+// toAffineSym lowers a subscript expression to an affine function of the
+// n loop indices plus a list of symbolic terms (affine mode). The
+// concrete part behaves exactly like toAffine; SymRef leaves become
+// offset terms, and products of a symbolic constant with a loop index
+// become stride terms. Step-normalization substitutions are applied to
+// both parts.
+func (p *parser) toAffineSym(e Expr, n int, at token) (loop.Affine, []SymTerm, error) {
+	coeffs := make([]int64, n)
+	konst := int64(0)
+	type symKey struct {
+		name  string
+		level int
+	}
+	sym := map[symKey]int64{}
+	var walk func(e Expr, scale int64) error
+	walk = func(e Expr, scale int64) error {
+		switch v := e.(type) {
+		case *NumLit:
+			if v.Value != float64(int64(v.Value)) {
+				return p.errorf(at, "non-integer constant %g in index expression", v.Value)
+			}
+			konst += scale * int64(v.Value)
+			return nil
+		case *VarRef:
+			if v.Level >= n {
+				return p.errorf(at, "index %q out of scope", v.Name)
+			}
+			coeffs[v.Level] += scale
+			return nil
+		case *SymRef:
+			sym[symKey{name: v.Name, level: -1}] += scale
+			return nil
+		case *Neg:
+			return walk(v.X, -scale)
+		case *BinOp:
+			switch v.Op {
+			case '+':
+				if err := walk(v.L, scale); err != nil {
+					return err
+				}
+				return walk(v.R, scale)
+			case '-':
+				if err := walk(v.L, scale); err != nil {
+					return err
+				}
+				return walk(v.R, -scale)
+			case '*':
+				// Flatten the multiplicative chain; the product is linear
+				// when at most one non-constant factor remains, or exactly
+				// one symbolic constant times one loop index (a symbolic
+				// stride).
+				var factors []Expr
+				mulFactors(e, &factors)
+				c := int64(1)
+				var rest []Expr
+				for _, f := range factors {
+					if cv, ok := constValue(f); ok {
+						c *= cv
+					} else {
+						rest = append(rest, f)
+					}
+				}
+				switch len(rest) {
+				case 0:
+					konst += scale * c
+					return nil
+				case 1:
+					return walk(rest[0], scale*c)
+				case 2:
+					var sr *SymRef
+					var vr *VarRef
+					for _, f := range rest {
+						switch fv := f.(type) {
+						case *SymRef:
+							sr = fv
+						case *VarRef:
+							vr = fv
+						}
+					}
+					if sr != nil && vr != nil {
+						if vr.Level >= n {
+							return p.errorf(at, "index %q out of scope", vr.Name)
+						}
+						sym[symKey{name: sr.Name, level: vr.Level}] += scale * c
+						return nil
+					}
+				}
+				return p.errorf(at, "nonlinear index expression %s", e)
+			case '/':
+				if c, ok := constValue(v.R); ok && c != 0 {
+					if lc, ok := constValue(v.L); ok && lc%c == 0 {
+						konst += scale * (lc / c)
+						return nil
+					}
+				}
+				return p.errorf(at, "division in index expression %s", e)
+			}
+		case *ArrRef:
+			return p.errorf(at, "array reference in index expression")
+		}
+		return p.errorf(at, "unsupported index expression %s", e)
+	}
+	if err := walk(e, 1); err != nil {
+		return loop.Affine{}, nil, err
+	}
+	// Apply step normalization: the concrete part via normalizeAffine, and
+	// each symbolic stride term N·i_k under i_k = base + scale·i'_k, which
+	// contributes N·base to the offset terms and rescales the stride.
+	var terms []SymTerm
+	for k, c := range sym {
+		if c == 0 {
+			continue
+		}
+		if k.level < 0 {
+			terms = append(terms, SymTerm{Name: k.name, Coeff: c, Level: -1})
+			continue
+		}
+		s := levelSub{scale: 1}
+		if k.level < len(p.subs) {
+			s = p.subs[k.level]
+		}
+		terms = append(terms, SymTerm{Name: k.name, Coeff: c * s.scale, Level: k.level})
+		if s.base != 0 {
+			terms = append(terms, SymTerm{Name: k.name, Coeff: c * s.base, Level: -1})
+		}
+	}
+	// Merge any offset terms the substitution produced with existing ones.
+	merged := map[symKey]int64{}
+	for _, t := range terms {
+		merged[symKey{name: t.Name, level: t.Level}] += t.Coeff
+	}
+	terms = terms[:0]
+	for k, c := range merged {
+		if c != 0 {
+			terms = append(terms, SymTerm{Name: k.name, Coeff: c, Level: k.level})
+		}
+	}
+	sortTerms(terms)
+	return p.normalizeAffine(loop.Affine{Coeffs: coeffs, Const: konst}), terms, nil
+}
+
+// mulFactors flattens a multiplicative chain into its factors, folding
+// unary negation into a -1 factor.
+func mulFactors(e Expr, out *[]Expr) {
+	switch v := e.(type) {
+	case *BinOp:
+		if v.Op == '*' {
+			mulFactors(v.L, out)
+			mulFactors(v.R, out)
+			return
+		}
+	case *Neg:
+		*out = append(*out, &NumLit{Value: -1})
+		mulFactors(v.X, out)
+		return
+	}
+	*out = append(*out, e)
 }
 
 // constValue returns the integer value of a constant expression subtree.

@@ -147,6 +147,22 @@ func (r Ref) SameFunction(o Ref) bool {
 	return true
 }
 
+// Clone returns a deep copy of the affine function.
+func (a Affine) Clone() Affine {
+	return Affine{Coeffs: append([]int64(nil), a.Coeffs...), Const: a.Const}
+}
+
+// Clone returns a deep copy of the reference (H rows and Offset are
+// freshly allocated, so mutating the copy cannot alias the original).
+func (r Ref) Clone() Ref {
+	out := Ref{Array: r.Array, Offset: append([]int64(nil), r.Offset...)}
+	out.H = make([][]int64, len(r.H))
+	for i := range r.H {
+		out.H[i] = append([]int64(nil), r.H[i]...)
+	}
+	return out
+}
+
 // Statement is one assignment in the loop body: Write := f(Reads...).
 // Expr is an opaque executable semantics: given the iteration point and the
 // values of the read references (in Reads order), it produces the value to
@@ -207,10 +223,49 @@ type Nest struct {
 // Depth returns the nesting depth n.
 func (l *Nest) Depth() int { return len(l.Levels) }
 
+// Clone returns a deep copy of the nest. Statement closures (Expr,
+// Render) and Tree are shared — they are immutable — but every Level,
+// Ref, and slice is freshly allocated so reference rewrites on the copy
+// cannot alias the original.
+func (l *Nest) Clone() *Nest {
+	out := &Nest{Levels: make([]Level, len(l.Levels)), Body: make([]*Statement, len(l.Body))}
+	for k, lv := range l.Levels {
+		out.Levels[k] = Level{Name: lv.Name, Lower: lv.Lower.Clone(), Upper: lv.Upper.Clone()}
+	}
+	for s, st := range l.Body {
+		c := &Statement{
+			Label:     st.Label,
+			Write:     st.Write.Clone(),
+			Reads:     make([]Ref, len(st.Reads)),
+			Expr:      st.Expr,
+			Render:    st.Render,
+			Tree:      st.Tree,
+			SourceRHS: st.SourceRHS,
+		}
+		for i, r := range st.Reads {
+			c.Reads[i] = r.Clone()
+		}
+		out.Body[s] = c
+	}
+	return out
+}
+
 // Validate checks the structural invariants: normalized bounds (level k
 // bounds reference only indices < k), consistent reference shapes, and
 // per-array uniform generation. It returns a descriptive error otherwise.
 func (l *Nest) Validate() error {
+	if err := l.ValidateStructure(); err != nil {
+		return err
+	}
+	return l.ValidateUniform()
+}
+
+// ValidateStructure checks everything Validate does except per-array
+// uniform generation: normalized bounds and consistent reference shapes.
+// The affine front end (lang.ParseAffine + internal/normalize) accepts
+// structurally valid nests and then either rewrites them into the
+// uniformly generated form or rejects them with a typed classification.
+func (l *Nest) ValidateStructure() error {
 	n := l.Depth()
 	if n == 0 {
 		return fmt.Errorf("loop: empty nest")
@@ -226,7 +281,6 @@ func (l *Nest) Validate() error {
 	if len(l.Body) == 0 {
 		return fmt.Errorf("loop: empty body")
 	}
-	byArray := map[string]Ref{}
 	for si, s := range l.Body {
 		for _, r := range append([]Ref{s.Write}, s.Reads...) {
 			if len(r.H) != len(r.Offset) {
@@ -239,6 +293,17 @@ func (l *Nest) Validate() error {
 						si+1, r.Array, len(row), n)
 				}
 			}
+		}
+	}
+	return nil
+}
+
+// ValidateUniform checks per-array uniform generation: every reference
+// to an array shares one reference matrix H.
+func (l *Nest) ValidateUniform() error {
+	byArray := map[string]Ref{}
+	for _, s := range l.Body {
+		for _, r := range append([]Ref{s.Write}, s.Reads...) {
 			if prev, ok := byArray[r.Array]; ok {
 				if !prev.SameFunction(r) {
 					return fmt.Errorf("loop: array %s not uniformly generated: %s vs %s",

@@ -1,0 +1,47 @@
+package normalize
+
+import (
+	"errors"
+	"testing"
+
+	"commfree/internal/lang"
+)
+
+// FuzzNormalize drives the affine front end with arbitrary input: the
+// parse→normalize→parse chain must never panic, every rejection must be
+// a typed ClassifyError (or a parse error upstream), and every accepted
+// nest must validate as uniformly generated and survive a format→parse
+// round trip.
+func FuzzNormalize(f *testing.F) {
+	for _, s := range lang.Corpus() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		a, err := lang.ParseAffine(src)
+		if err != nil {
+			return // parser rejection is fine; panics are not
+		}
+		res, err := Apply(a)
+		if err != nil {
+			var classify *ClassifyError
+			if !errors.As(err, &classify) {
+				t.Fatalf("normalize rejection is not a ClassifyError: %v\n%s", err, src)
+			}
+			if classify.Class == "" || classify.Array == "" {
+				t.Fatalf("ClassifyError missing class or array: %+v\n%s", classify, src)
+			}
+			return
+		}
+		if verr := res.Nest.Validate(); verr != nil {
+			t.Fatalf("normalized nest fails validation: %v\n%s", verr, src)
+		}
+		formatted := lang.Format(res.Nest)
+		back, perr := lang.Parse(formatted)
+		if perr != nil {
+			t.Fatalf("normalized nest does not re-parse: %v\noriginal:\n%s\nformatted:\n%s", perr, src, formatted)
+		}
+		if lang.Canonical(back) != lang.Canonical(res.Nest) {
+			t.Fatalf("normalize→format→parse changed the nest\noriginal:\n%s\nformatted:\n%s", src, formatted)
+		}
+	})
+}

@@ -1,0 +1,88 @@
+package normalize
+
+// Golden tests pinning the classification diagnostics: one fixture per
+// rejection class, capturing both the rendered error and the structured
+// fields compilers and the HTTP service surface to users. Regenerate
+// with UPDATE_GOLDEN=1 go test ./internal/normalize -run Golden and
+// review the diff like any other code change.
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func goldenCompare(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden fixture (regenerate with UPDATE_GOLDEN=1): %v", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("diagnostic drifted from %s:\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+}
+
+func TestGoldenDiagnostics(t *testing.T) {
+	cases := []struct {
+		golden string
+		class  Class
+		src    string
+	}{
+		{
+			golden: "symbolic_stride.golden",
+			class:  ClassSymbolicStride,
+			src:    "for i = 1 to 4\n A[n*i] = 1\nend",
+		},
+		{
+			golden: "symbolic_offset_mismatch.golden",
+			class:  ClassSymbolicOffsetMismatch,
+			src:    "for i = 1 to 4\n A[i + d] = A[i] + 1\nend",
+		},
+		{
+			golden: "non_invertible_index_map.golden",
+			class:  ClassNonInvertibleIndexMap,
+			src:    "for i = 1 to 4\nfor j = 1 to 4\n A[i + j, i + j] = A[i + j, j] + 1\nend\nend",
+		},
+		{
+			golden: "coupled_subscripts.golden",
+			class:  ClassCoupledSubscripts,
+			src:    "for i = 1 to 4\nfor j = 1 to 4\n A[i + j] = A[i] + 1\nend\nend",
+		},
+		{
+			golden: "variable_distance.golden",
+			class:  ClassVariableDistance,
+			src:    "for i = 1 to 4\n A[i] = A[2i] + 1\nend",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(string(tc.class), func(t *testing.T) {
+			_, err := Source(tc.src)
+			if err == nil {
+				t.Fatalf("source unexpectedly normalized:\n%s", tc.src)
+			}
+			var classify *ClassifyError
+			if !errors.As(err, &classify) {
+				t.Fatalf("rejection is not a ClassifyError: %v", err)
+			}
+			if classify.Class != tc.class {
+				t.Fatalf("class = %s, want %s (%v)", classify.Class, tc.class, err)
+			}
+			got := fmt.Sprintf("source:\n%sclass: %s\narray: %s\nref: %s\nbase: %s\ndetail: %s\nerror: %v\n",
+				tc.src+"\n", classify.Class, classify.Array, classify.Ref, classify.Base, classify.Detail, classify)
+			goldenCompare(t, tc.golden, []byte(got))
+		})
+	}
+}

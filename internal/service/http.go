@@ -13,7 +13,10 @@ package service
 //	GET  /healthz        → {"status":"ok"}
 //
 // Error responses are {"error": "..."} with 400 for malformed input,
-// 429 (plus Retry-After) when admission control sheds load, 503 while
+// 422 when the normalization pass rejects a well-formed nest (the body
+// carries the ClassifyError: rejection class, offending reference,
+// failed condition), 429 (plus Retry-After) when admission control
+// sheds load, 503 while
 // draining, 504 on per-request timeout, and 500 otherwise.
 
 import (
@@ -25,6 +28,7 @@ import (
 	"strings"
 
 	"commfree/internal/machine"
+	"commfree/internal/normalize"
 	"commfree/internal/store"
 )
 
@@ -160,9 +164,14 @@ func handleJSON[T any](s *Service, w http.ResponseWriter, r *http.Request, serve
 // statusFor maps service errors to HTTP statuses.
 func statusFor(err error) int {
 	var bad *BadRequestError
+	var classify *normalize.ClassifyError
 	switch {
 	case errors.As(err, &bad):
 		return http.StatusBadRequest
+	case errors.As(err, &classify):
+		// Well-formed source the pass provably cannot normalize: the
+		// request is syntactically fine but semantically out of scope.
+		return http.StatusUnprocessableEntity
 	case errors.Is(err, ErrOverloaded):
 		return http.StatusTooManyRequests
 	case errors.Is(err, ErrDraining):

@@ -33,6 +33,7 @@ import (
 	"commfree/internal/lang"
 	"commfree/internal/loop"
 	"commfree/internal/machine"
+	"commfree/internal/normalize"
 	"commfree/internal/obs"
 	"commfree/internal/partition"
 	"commfree/internal/selector"
@@ -583,15 +584,30 @@ func (s *Service) compileEntry(ctx context.Context, req CompileRequest, trc *obs
 	ctx, cancel := context.WithTimeout(ctx, s.cfg.RequestTimeout)
 	defer cancel()
 
-	// Stage: parse (cheap; runs on the caller so the cache fast path
-	// never touches the pool).
+	// Stage: parse + normalize (cheap; runs on the caller so the cache
+	// fast path never touches the pool). The affine front end widens the
+	// accepted grammar; the normalization pass is the identity on every
+	// nest the strict parser accepts, so uniform sources key and compile
+	// exactly as before, while affine sources enter the pipeline already
+	// rewritten to uniformly generated form.
 	psp := trc.Start(0, "parse")
 	psp.SetInt("bytes", int64(len(req.Source)))
-	nest, err := lang.Parse(req.Source)
+	nres, err := normalize.Source(req.Source)
+	if err == nil && !nres.Identity {
+		psp.SetInt("normalized", 1)
+	}
 	psp.End()
 	if err != nil {
+		var classify *normalize.ClassifyError
+		if errors.As(err, &classify) {
+			// Well-formed but provably out of scope: surfaced as-is (422
+			// at the HTTP layer), never cached — the diagnostic is cheap
+			// to recompute and the source may be edited next.
+			return nil, false, err
+		}
 		return nil, false, &BadRequestError{Err: err}
 	}
+	nest := nres.Nest
 
 	stratName := req.Strategy
 	if stratName == "" {
