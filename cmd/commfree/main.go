@@ -51,7 +51,7 @@ end
 func main() {
 	var (
 		file      = flag.String("file", "", "loop DSL source file (default: built-in demo L1)")
-		strategy  = flag.String("strategy", "non-duplicate", "partitioning strategy: non-duplicate | duplicate | minimal-non-duplicate | minimal-duplicate")
+		strategy  = flag.String("strategy", "non-duplicate", "partitioning strategy: non-duplicate | duplicate | minimal-non-duplicate | minimal-duplicate | mars")
 		procs     = flag.Int("p", 4, "number of processors")
 		execute   = flag.Bool("exec", false, "execute on the simulated multicomputer and validate against sequential execution")
 		compare   = flag.Bool("compare-baseline", false, "also run the Ramanujam–Sadayappan hyperplane baseline")
@@ -105,6 +105,8 @@ func main() {
 		strat = commfree.MinimalNonDuplicate
 	case "minimal-duplicate":
 		strat = commfree.MinimalDuplicate
+	case "mars":
+		strat = commfree.Mars
 	default:
 		fatal(fmt.Errorf("unknown strategy %q", *strategy))
 	}

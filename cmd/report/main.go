@@ -1,12 +1,14 @@
 // Command report regenerates the reproduction report (Tables I–II with
 // the paper's reference values, figure index, kernel gallery, strategy
-// ranking) live from the pipeline and prints it as markdown.
+// ranking, five-strategy comparison) live from the pipeline and prints
+// it as markdown.
 //
 // Usage:
 //
-//	report                # full report to stdout
-//	report -o report.md   # write to a file
-//	report -sections tables,gallery
+//	report                        # full report to stdout
+//	report -o report.md           # write to a file
+//	report -sections tables,compare
+//	report -compare-out cmp.json  # also write the comparison artifact
 package main
 
 import (
@@ -15,13 +17,15 @@ import (
 	"os"
 	"strings"
 
+	"commfree/internal/machine"
 	"commfree/internal/report"
 )
 
 func main() {
 	var (
-		out      = flag.String("o", "", "output file (default stdout)")
-		sections = flag.String("sections", "all", "comma list: tables,figures,gallery,selector or 'all'")
+		out        = flag.String("o", "", "output file (default stdout)")
+		sections   = flag.String("sections", "all", "comma list: tables,figures,gallery,selector,compare or 'all'")
+		compareOut = flag.String("compare-out", "", "write the strategy-comparison JSON artifact to this file")
 	)
 	flag.Parse()
 
@@ -38,11 +42,30 @@ func main() {
 				opts.Gallery = true
 			case "selector":
 				opts.Selector = true
+			case "compare":
+				opts.Compare = true
 			default:
 				fmt.Fprintf(os.Stderr, "report: unknown section %q\n", s)
 				os.Exit(1)
 			}
 		}
+	}
+	if *compareOut != "" {
+		cmp, err := report.Compare(4, machine.Transputer())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "report:", err)
+			os.Exit(1)
+		}
+		data, err := cmp.JSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "report:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*compareOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "report:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "comparison artifact written to", *compareOut)
 	}
 	md, err := report.Generate(opts)
 	if err != nil {

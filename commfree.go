@@ -43,6 +43,7 @@ import (
 	"commfree/internal/layout"
 	"commfree/internal/loop"
 	"commfree/internal/machine"
+	"commfree/internal/mars"
 	"commfree/internal/normalize"
 	"commfree/internal/obs"
 	"commfree/internal/partition"
@@ -64,6 +65,13 @@ const (
 	MinimalNonDuplicate = partition.MinimalNonDuplicate
 	// MinimalDuplicate applies Theorem 4.
 	MinimalDuplicate = partition.MinimalDuplicate
+	// Mars partitions by usage: iterations whose produced values share
+	// consumers group into maximal atomic irredundant sets (Ferry et
+	// al.), and blocks are the finest flow-closed groups — always at
+	// least as parallel as Theorems 1–4, with zero redundant-copy
+	// volume. Compute it with PartitionMars (partition.Compute rejects
+	// it, like Selective).
+	Mars = partition.Mars
 )
 
 // Core type aliases — the public names for the library's data model.
@@ -188,6 +196,13 @@ func PartitionSelective(nest *Nest, duplicated map[string]bool) (*PartitionResul
 	return partition.ComputeSelective(nest, duplicated)
 }
 
+// PartitionMars computes the usage-based MARS partition: maximal
+// atomic irredundant sets over the irredundant dataflow, emitted as
+// the fifth strategy through the common PartitionResult shape.
+func PartitionMars(nest *Nest) (*PartitionResult, error) {
+	return mars.Compute(nest)
+}
+
 // EliminateRedundant runs Section III.C redundant-computation elimination.
 func EliminateRedundant(nest *Nest) (*RedundancyResult, error) {
 	a, err := deps.Analyze(nest)
@@ -276,7 +291,13 @@ func compileNestTraced(nest *Nest, strat Strategy, processors int, trc *Trace) (
 	if processors < 1 {
 		return nil, fmt.Errorf("commfree: processors = %d", processors)
 	}
-	res, err := partition.ComputeWithTrace(nest, strat, trc, 0)
+	var res *PartitionResult
+	var err error
+	if strat == partition.Mars {
+		res, err = mars.ComputeWithTrace(nest, trc, 0)
+	} else {
+		res, err = partition.ComputeWithTrace(nest, strat, trc, 0)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -291,13 +312,16 @@ func CompileCandidate(nest *Nest, cand StrategyCandidate, processors int) (*Comp
 	}
 	var res *PartitionResult
 	var err error
-	if cand.Strategy == partition.Selective {
+	switch cand.Strategy {
+	case partition.Selective:
 		dup := map[string]bool{}
 		for _, a := range cand.Duplicated {
 			dup[a] = true
 		}
 		res, err = partition.ComputeSelective(nest, dup)
-	} else {
+	case partition.Mars:
+		res, err = mars.Compute(nest)
+	default:
 		res, err = partition.Compute(nest, cand.Strategy)
 	}
 	if err != nil {
@@ -383,7 +407,13 @@ func SequentialReference(nest *Nest) map[string]float64 {
 // code-generation back end. The program's main() prints the sequential
 // result state and per-processor iteration counts for external diffing.
 func (c *Compilation) GenerateGo() (string, error) {
-	return codegen.Generate(c.Transformed, c.Assignment, codegen.Options{})
+	opts := codegen.Options{}
+	if c.Strategy == partition.Mars {
+		// MARS blocks are flow closures, not grid cosets: emit the
+		// table-driven SPMD form instead of strided loops.
+		opts.PEIterations = codegen.PETable(c.Partition, c.Transformed, c.Assignment)
+	}
+	return codegen.Generate(c.Transformed, c.Assignment, opts)
 }
 
 // DistributionPlan is the host's derived distribution schedule: element

@@ -214,7 +214,7 @@ func TestSelectStrategyAndCompileCandidate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(all) != 10 {
+	if len(all) != 11 {
 		t.Fatalf("candidates = %d", len(all))
 	}
 	if !strings.Contains(StrategyRanking(all), "strategy ranking") {

@@ -48,8 +48,15 @@ func PartitionSchedule(res *partition.Result, p int) (ScheduleFunc, error) {
 		return nil, err
 	}
 	asg := assign.Assign(tr, p)
+	// Block-granular: every iteration of a block runs on the CPU that
+	// owns the block's base point (equal to the per-iteration owner for
+	// coset strategies; required for MARS's grouped blocks).
+	blockCPU := make(map[int]int, len(res.Iter.Blocks))
+	for _, b := range res.Iter.Blocks {
+		blockCPU[b.ID] = asg.OwnerID(tr.NewPoint(b.Base)[:tr.K])
+	}
 	return func(it []int64) int {
-		return asg.OwnerID(tr.NewPoint(it)[:tr.K])
+		return blockCPU[res.Iter.BlockOf(it).ID]
 	}, nil
 }
 

@@ -35,7 +35,7 @@ func CheckChaos(nest *loop.Nest, strat partition.Strategy, seed int64) error {
 	if nest.NumIterations() > maxExecIterations {
 		return nil
 	}
-	res, err := partition.Compute(nest, strat)
+	res, err := computeFor(nest, strat)
 	if err != nil {
 		return fmt.Errorf("conformance: %s: partition failed: %w", strat, err)
 	}

@@ -26,7 +26,7 @@ func chaosScheduleCount() int {
 }
 
 // TestChaosConformance is the chaos sweep: N seeded failure schedules
-// across generated nests, rotating all four strategies. Every schedule
+// across generated nests, rotating all five strategies. Every schedule
 // must end bit-identical to the fault-free run within bounded retries
 // and zero inter-node messages; a violation shrinks to a minimal
 // (.cf, seed) repro.

@@ -29,9 +29,10 @@ import (
 	"commfree/internal/service"
 )
 
-// strategyNames are the wire names of the four theorem strategies.
+// strategyNames are the wire names of the strategies the cluster
+// dimensions sweep: the four theorem strategies plus MARS.
 var strategyNames = []string{
-	"non-duplicate", "duplicate", "minimal-non-duplicate", "minimal-duplicate",
+	"non-duplicate", "duplicate", "minimal-non-duplicate", "minimal-duplicate", "mars",
 }
 
 // clusterProcs is the simulated machine size used by the cluster

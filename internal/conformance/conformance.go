@@ -31,16 +31,28 @@ import (
 	"commfree/internal/exec"
 	"commfree/internal/loop"
 	"commfree/internal/machine"
+	"commfree/internal/mars"
 	"commfree/internal/partition"
 	"commfree/internal/transform"
 )
 
-// strategies are the four theorem strategies, checked on every nest.
+// strategies are the strategies checked on every nest: the four
+// theorem strategies plus the usage-based MARS extension.
 var strategies = []partition.Strategy{
 	partition.NonDuplicate,
 	partition.Duplicate,
 	partition.MinimalNonDuplicate,
 	partition.MinimalDuplicate,
+	partition.Mars,
+}
+
+// computeFor dispatches partitioning by strategy: MARS has its own
+// pipeline (partition.Compute rejects it, like Selective).
+func computeFor(nest *loop.Nest, strat partition.Strategy) (*partition.Result, error) {
+	if strat == partition.Mars {
+		return mars.Compute(nest)
+	}
+	return partition.Compute(nest, strat)
 }
 
 // maxExecIterations bounds the nests on which the (comparatively
@@ -63,11 +75,12 @@ func Check(nest *loop.Nest, execStrat partition.Strategy) error {
 	}
 	results := make(map[partition.Strategy]*partition.Result, len(strategies))
 	for _, strat := range strategies {
-		res, err := partition.Compute(nest, strat)
+		res, err := computeFor(nest, strat)
 		if err != nil {
 			return fmt.Errorf("conformance: %s: partition failed: %w", strat, err)
 		}
-		// Theorems 1–4: exhaustive communication-freeness.
+		// Theorems 1–4 (and the MARS flow-closure property): exhaustive
+		// communication-freeness.
 		if err := res.Verify(); err != nil {
 			return fmt.Errorf("conformance: %s: communication-freeness violated: %w", strat, err)
 		}
@@ -78,6 +91,9 @@ func Check(nest *loop.Nest, execStrat partition.Strategy) error {
 	}
 
 	if err := checkInclusions(results); err != nil {
+		return err
+	}
+	if err := checkMars(nest, results); err != nil {
 		return err
 	}
 	if nest.NumIterations() > maxExecIterations {
@@ -144,6 +160,53 @@ func checkInclusions(results map[partition.Strategy]*partition.Result) error {
 	if md.Psi.Dim() > du.Psi.Dim() {
 		return fmt.Errorf("conformance: elimination increased dim Ψ: %d > %d (duplicate)",
 			md.Psi.Dim(), du.Psi.Dim())
+	}
+	return nil
+}
+
+// checkMars verifies the usage-based partition's extension properties:
+//
+//   - parallelism dominance: MARS is the finest flow-closed partition,
+//     and every verified strategy is flow-closed, so MARS never has
+//     fewer blocks than any theorem strategy;
+//   - zero redundant-copy volume: MARS allocates with the redundancy
+//     oracle applied, so no (block, element) copy exists solely to
+//     feed redundant work;
+//   - it therefore never exceeds Selective's redundant-copy volume,
+//     for any per-array duplication subset.
+func checkMars(nest *loop.Nest, results map[partition.Strategy]*partition.Result) error {
+	mres := results[partition.Mars]
+	for _, strat := range strategies {
+		if strat == partition.Mars {
+			continue
+		}
+		if mres.Iter.NumBlocks() < results[strat].Iter.NumBlocks() {
+			return fmt.Errorf("conformance: mars has %d blocks, coarser than %s with %d",
+				mres.Iter.NumBlocks(), strat, results[strat].Iter.NumBlocks())
+		}
+	}
+	mv := mres.RedundantCopyVolume(mres.Redundant)
+	if mv != 0 {
+		return fmt.Errorf("conformance: mars redundant-copy volume = %d, want 0", mv)
+	}
+	arrays := nest.Arrays()
+	if len(arrays) > 3 {
+		return nil // subset sweep is exponential; the ≤-Selective bound follows from mv = 0
+	}
+	for mask := 0; mask < 1<<len(arrays); mask++ {
+		dup := map[string]bool{}
+		for i, a := range arrays {
+			if mask&(1<<i) != 0 {
+				dup[a] = true
+			}
+		}
+		sel, err := partition.ComputeSelective(nest, dup)
+		if err != nil {
+			return fmt.Errorf("conformance: selective %v: partition failed: %w", dup, err)
+		}
+		if sv := sel.RedundantCopyVolume(mres.Redundant); mv > sv {
+			return fmt.Errorf("conformance: mars redundant-copy volume %d exceeds selective %v volume %d", mv, dup, sv)
+		}
 	}
 	return nil
 }

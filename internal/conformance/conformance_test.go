@@ -11,7 +11,7 @@ import (
 )
 
 // nConformanceNests is the generated-nest count of the main property
-// test; with four strategies per nest this is the "≥1000 nests × 4
+// test; with five strategies per nest this is the "≥1000 nests × 5
 // strategies" conformance sweep.
 const nConformanceNests = 1000
 

@@ -8,7 +8,10 @@ import (
 
 // FuzzConformance feeds arbitrary DSL source through the parser and,
 // when it yields a valid nest of tractable size, demands every theorem
-// conformance property of it. Seeds are the language corpus (the
+// conformance property of it — all five strategies partition and
+// Verify on every input, and the parallel-execution engines run under
+// a strategy derived from the input (so the fuzzer exercises every
+// scheduler, MARS included). Seeds are the language corpus (the
 // paper's loops plus the parser's deliberate-rejection cases, which
 // exercise the skip path).
 func FuzzConformance(f *testing.F) {
@@ -26,8 +29,9 @@ func FuzzConformance(f *testing.F) {
 		if nest.NumIterations() > 1<<10 {
 			t.Skip("iteration space too large for a fuzz step")
 		}
-		if err := CheckNest(nest); err != nil {
-			t.Fatalf("conformance violation on fuzzed program: %v\nsource:\n%s", err, src)
+		strat := strategies[len(src)%len(strategies)]
+		if err := Check(nest, strat); err != nil {
+			t.Fatalf("conformance violation on fuzzed program (%s): %v\nsource:\n%s", strat, err, src)
 		}
 	})
 }

@@ -98,11 +98,11 @@ func checkNormalizedExecution(nest, twin *loop.Nest, chaosSeed int64) error {
 	want := exec.Sequential(nest, nil)
 
 	for _, strat := range strategies {
-		nres, err := partition.Compute(nest, strat)
+		nres, err := computeFor(nest, strat)
 		if err != nil {
 			return fmt.Errorf("conformance: %s: partition of normalized nest failed: %w", strat, err)
 		}
-		tres, err := partition.Compute(twin, strat)
+		tres, err := computeFor(twin, strat)
 		if err != nil {
 			return fmt.Errorf("conformance: %s: partition of twin failed: %w", strat, err)
 		}

@@ -93,9 +93,16 @@ func Build(res *partition.Result, p int) (*Plan, *transform.Transformed, *assign
 	}
 	consumers := map[string]*consumerSet{}
 	red := res.Redundant
+	// Placement is block-granular (node of the block's base point):
+	// identical to the per-forall owner for coset strategies, and the
+	// only correct choice for MARS blocks that span forall points.
+	blockNode := make(map[int]int, len(res.Iter.Blocks))
+	for _, b := range res.Iter.Blocks {
+		blockNode[b.ID] = asg.OwnerID(tr.NewPoint(b.Base)[:tr.K])
+	}
 	tr.Visit(nil, func(forall, orig []int64) {
-		node := asg.OwnerID(forall)
 		blk := res.Iter.BlockOf(orig).ID
+		node := blockNode[blk]
 		for si, st := range nest.Body {
 			if red != nil && red.IsRedundant(si, orig) {
 				continue
@@ -266,13 +273,25 @@ func ParallelPlanned(res *partition.Result, p int, cost machine.CostModel) (*exe
 		block int
 		iter  []int64
 	}
+	blockNode := make(map[int]int, len(res.Iter.Blocks))
+	for _, b := range res.Iter.Blocks {
+		blockNode[b.ID] = asg.OwnerID(tr.NewPoint(b.Base)[:tr.K])
+	}
 	perNode := make([][]blockIter, used)
 	tr.Visit(nil, func(forall, orig []int64) {
-		id := asg.OwnerID(forall)
 		cp := make([]int64, len(orig))
 		copy(cp, orig)
-		perNode[id] = append(perNode[id], blockIter{block: res.Iter.BlockOf(cp).ID, iter: cp})
+		blk := res.Iter.BlockOf(cp).ID
+		perNode[blockNode[blk]] = append(perNode[blockNode[blk]], blockIter{block: blk, iter: cp})
 	})
+	// Execute each node's work in original program order: the visit
+	// order follows the transformed coordinates, which need not agree
+	// with the nest's lexicographic order inside a block (it does for
+	// coset blocks, but MARS blocks span forall points). Intra-block
+	// flow requires writers before readers in program order.
+	for _, w := range perNode {
+		sort.Slice(w, func(i, j int) bool { return loop.LexLess(w[i].iter, w[j].iter) })
+	}
 	err = mach.Run(func(n *machine.Node) error {
 		for _, bi := range perNode[n.ID] {
 			for si, st := range nest.Body {
@@ -302,9 +321,8 @@ func ParallelPlanned(res *partition.Result, p int, cost machine.CostModel) (*exe
 	}
 	owner := map[string]ownerInfo{}
 	for _, it := range nest.Iterations() {
-		f := tr.NewPoint(it)[:tr.K]
-		id := asg.OwnerID(f)
 		blk := res.Iter.BlockOf(it).ID
+		id := blockNode[blk]
 		for si, st := range nest.Body {
 			if red != nil && red.IsRedundant(si, it) {
 				continue

@@ -308,11 +308,19 @@ func ParallelOpts(res *partition.Result, p int, cost machine.CostModel, opts Opt
 		node  int
 		block int
 	}
+	// Node placement is block-granular (a block runs wholly on the node
+	// of its base point): for the coset strategies every iteration of a
+	// block projects to the same forall point, so this is identical to
+	// per-iteration lookup, but MARS blocks group iterations across
+	// forall points and must not be split.
+	blockNode := make(map[int]int, len(res.Iter.Blocks))
+	for _, b := range res.Iter.Blocks {
+		blockNode[b.ID] = asg.OwnerID(tr.NewPoint(b.Base)[:tr.K])
+	}
 	owner := map[string]ownerInfo{}
 	nest.Walk(func(it []int64) bool {
-		f := tr.NewPoint(it)[:tr.K]
-		id := asg.OwnerID(f)
 		blk := res.Iter.BlockOf(it).ID
+		id := blockNode[blk]
 		for si, st := range nest.Body {
 			if red != nil && red.IsRedundant(si, it) {
 				continue

@@ -52,7 +52,26 @@ var fuzzSeeds = []string{
 	"for i = 1 to 4\nfor j = 1 to 4\n A[i + j, i + j] = A[i + j, j] + 1\nend\nend", // rejected: non-invertible-index-map
 	"for i = 1 to 4\nfor j = 1 to 4\n A[i + j] = A[i] + 1\nend\nend",               // rejected: coupled-subscripts
 	"for i = 1 to 4\n A[i] = A[2i] + 1\nend",                                       // rejected: variable-distance
+
+	// MARS seeds: nests where the usage-based partition is strictly
+	// finer or strictly cheaper than the paper's coset strategies.
+	srcMarsRedundantFeed,
+	"for i = 1 to 8\n A[i] = A[i-2] + 2\nend", // two interleaved chains: flow closure splits what span{(2)} merges
+	"for i = 1 to 4\n S1: A[i] = B[i] + 1\n S2: C[i] = A[i] + A[i-1]\n S3: D[i] = A[i] * 2\nend", // partial-overlap consumer sets across S2/S3
 }
+
+// srcMarsRedundantFeed is the corpus witness that MARS strictly beats
+// Selective on redundant-copy volume: S1 is overwritten by S2 before
+// any read, so the copies of B exist only to feed redundant work.
+// Selective (which never prunes redundancy) allocates them in every
+// per-array duplication choice; MARS allocates none.
+const srcMarsRedundantFeed = `
+for i = 1 to 6
+  S1: A[i] = B[i] + 1
+  S2: A[i] = C[i] * 2
+  S3: D[i] = A[i] + C[i]
+end
+`
 
 // Corpus returns a copy of the shared seed corpus. Entries are raw
 // fuzz inputs: some parse, some are deliberate rejections — callers

@@ -51,6 +51,66 @@ func Generate(rnd *rand.Rand, cfg Config) *loop.Nest {
 	}
 }
 
+// GenerateUsage returns a random valid nest biased toward non-trivial
+// usage structure: an extra statement is inserted that writes some
+// array through the same reference an existing statement writes, so
+// the earlier write of each element is overwritten (usually making it
+// redundant), and its reads give the overwritten values partial-
+// overlap consumer sets. MARS-versus-Selective properties (redundant-
+// copy volume, atomic-set grouping) need such nests to be non-vacuous;
+// plain Generate produces them only rarely.
+func GenerateUsage(rnd *rand.Rand, cfg Config) *loop.Nest {
+	for attempt := 0; ; attempt++ {
+		n := injectOverwrite(rnd, tryGenerate(rnd, cfg))
+		if err := n.Validate(); err == nil {
+			return n
+		}
+		if attempt > 100 {
+			panic(fmt.Errorf("loopgen: could not generate a valid usage nest in 100 attempts"))
+		}
+	}
+}
+
+// injectOverwrite inserts, before a randomly chosen statement, a clone
+// writing the same reference: the clone's writes are overwritten
+// element-for-element by the original, so they are redundant whenever
+// no intervening read consumes them. The clone reads through existing
+// reference shapes, keeping the nest uniformly generated.
+func injectOverwrite(rnd *rand.Rand, n *loop.Nest) *loop.Nest {
+	si := rnd.Intn(len(n.Body))
+	target := n.Body[si]
+	clone := &loop.Statement{Write: copyRef(target.Write)}
+	// Borrow up to two read references from anywhere in the body so the
+	// doomed values can have (partially overlapping) consumers upstream.
+	var pool []loop.Ref
+	for _, st := range n.Body {
+		pool = append(pool, st.Reads...)
+	}
+	for r := 0; r < 2 && len(pool) > 0; r++ {
+		pick := copyRef(pool[rnd.Intn(len(pool))])
+		for i := range pick.Offset {
+			pick.Offset[i] += int64(rnd.Intn(3) - 1)
+		}
+		clone.Reads = append(clone.Reads, pick)
+	}
+	body := make([]*loop.Statement, 0, len(n.Body)+1)
+	body = append(body, n.Body[:si]...)
+	body = append(body, clone)
+	body = append(body, n.Body[si:]...)
+	for i, st := range body {
+		st.Label = fmt.Sprintf("S%d", i+1)
+	}
+	return &loop.Nest{Levels: n.Levels, Body: body}
+}
+
+func copyRef(r loop.Ref) loop.Ref {
+	h := make([][]int64, len(r.H))
+	for i := range h {
+		h[i] = append([]int64(nil), r.H[i]...)
+	}
+	return loop.Ref{Array: r.Array, H: h, Offset: append([]int64(nil), r.Offset...)}
+}
+
 func tryGenerate(rnd *rand.Rand, cfg Config) *loop.Nest {
 	depth := 2
 	if cfg.MaxDepth > 2 {

@@ -1,0 +1,300 @@
+// Package mars computes usage-based atomic partitions of a loop nest's
+// dataflow, after Ferry et al.'s Maximal Atomic irRedundant Sets
+// (arXiv:2211.15933) and their irredundant dataflow decomposition
+// (arXiv:2312.03646). Where the paper's Section III.C eliminates
+// redundancy by dropping overwritten writes and then partitions by
+// affine reference spaces, MARS partitions by *usage*: computations
+// whose produced values have identical consumer sets form one maximal
+// atomic irredundant set, and the iteration space splits into the
+// finest blocks closed under value flow — no affine coset structure is
+// assumed or produced.
+//
+// The result is emitted through the existing partition.Result shape as
+// the fifth strategy (partition.Mars): Ψ is the zero space (the
+// transform is the identity, so bijectivity is trivial) and the blocks
+// are explicit groups built with partition.PartitionIterationsGrouped.
+// Because the blocks are flow closures, every read finds its most
+// recent writer in its own block — exactly the dupOK invariant of
+// partition.VerifyCommunicationFree — and the duplicate-data execution
+// paths (private copies, last-writer commit) run them unchanged.
+package mars
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"commfree/internal/deps"
+	"commfree/internal/loop"
+	"commfree/internal/obs"
+	"commfree/internal/partition"
+	"commfree/internal/redundant"
+	"commfree/internal/space"
+)
+
+// Computation identifies one statement instance S_stmt(ī).
+type Computation struct {
+	Stmt int
+	Iter []int64
+}
+
+func (c Computation) String() string {
+	return fmt.Sprintf("S%d%v", c.Stmt+1, c.Iter)
+}
+
+// AtomicSet is one maximal atomic irredundant set: the non-redundant
+// producers whose values are consumed by exactly the same set of
+// computations (and share liveness into the final state).
+type AtomicSet struct {
+	// Producers are the writes grouped into this set, sorted by
+	// iteration (lexicographic) then statement index.
+	Producers []Computation
+	// Consumers is the shared consumer set: every producer's value is
+	// read by exactly these computations and no others.
+	Consumers []Computation
+	// LiveOut reports whether the produced values survive into the
+	// final data state (no later non-redundant write overwrites them).
+	LiveOut bool
+}
+
+// Decomposition is the usage-based dataflow decomposition of one nest.
+type Decomposition struct {
+	Nest *loop.Nest
+	// Sets are the maximal atomic irredundant sets, sorted by their
+	// first producer.
+	Sets []*AtomicSet
+
+	groups [][][]int64
+}
+
+// Groups returns the iteration groups of the finest flow-closed
+// partition: two iterations share a group exactly when they are
+// connected by a chain of non-redundant flow dependences. Iterations
+// whose computations are all redundant (or touch no flowing values)
+// form singleton groups, so the groups cover the iteration space.
+func (d *Decomposition) Groups() [][][]int64 {
+	return d.groups
+}
+
+// timelineEvent is one non-redundant access on a single array element.
+type timelineEvent struct {
+	stmt    int
+	iter    []int64
+	isWrite bool
+}
+
+// Decompose computes the usage-based decomposition from the dependence
+// analysis and the redundancy oracle. It replays the exact per-element
+// event timelines (the same construction redundant.Eliminate uses),
+// skips redundant computations, and records for every surviving write
+// which computations read its value before the next surviving write.
+func Decompose(a *deps.Analysis, red *redundant.Result) *Decomposition {
+	nest := a.Nest
+	iters := nest.Iterations()
+	dec := &Decomposition{Nest: nest}
+
+	// Union-find over iterations for the flow closure.
+	idx := make(map[string]int, len(iters))
+	for i, it := range iters {
+		idx[fmt.Sprint(it)] = i
+	}
+	parent := make([]int, len(iters))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(x, y int) {
+		rx, ry := find(x), find(y)
+		if rx != ry {
+			parent[ry] = rx
+		}
+	}
+
+	// Per-element timelines in exact execution order: iterations
+	// lexicographic, statements in body order, reads before the write.
+	// Redundant computations are dropped up front — their accesses are
+	// invisible to the irredundant dataflow.
+	timeline := map[string][]timelineEvent{}
+	var elemKeys []string
+	addEvent := func(array string, elem []int64, ev timelineEvent) {
+		k := array + "|" + fmt.Sprint(elem)
+		if _, ok := timeline[k]; !ok {
+			elemKeys = append(elemKeys, k)
+		}
+		timeline[k] = append(timeline[k], ev)
+	}
+	for _, it := range iters {
+		for si, st := range nest.Body {
+			if red.IsRedundant(si, it) {
+				continue
+			}
+			for _, r := range st.Reads {
+				addEvent(r.Array, r.Index(it), timelineEvent{stmt: si, iter: it})
+			}
+			addEvent(st.Write.Array, st.Write.Index(it), timelineEvent{stmt: si, iter: it, isWrite: true})
+		}
+	}
+
+	// Walk each timeline: each write opens a value generation; every
+	// read until the next write consumes it (and joins the writer's
+	// flow group). A generation with no later write is live-out.
+	type prodState struct {
+		comp      Computation
+		consumers map[string]Computation
+		liveOut   bool
+	}
+	prods := map[string]*prodState{}
+	var prodOrder []string
+	for _, k := range elemKeys {
+		events := timeline[k]
+		var cur *prodState
+		for i, ev := range events {
+			if ev.isWrite {
+				pk := fmt.Sprintf("%d|%v", ev.stmt, ev.iter)
+				ps, ok := prods[pk]
+				if !ok {
+					ps = &prodState{
+						comp:      Computation{Stmt: ev.stmt, Iter: ev.iter},
+						consumers: map[string]Computation{},
+					}
+					prods[pk] = ps
+					prodOrder = append(prodOrder, pk)
+				}
+				last := true
+				for j := i + 1; j < len(events); j++ {
+					if events[j].isWrite {
+						last = false
+						break
+					}
+				}
+				if last {
+					ps.liveOut = true
+				}
+				cur = ps
+				continue
+			}
+			if cur == nil {
+				continue // reads initial data: no producer inside the nest
+			}
+			union(idx[fmt.Sprint(cur.comp.Iter)], idx[fmt.Sprint(ev.iter)])
+			cur.consumers[fmt.Sprintf("%d|%v", ev.stmt, ev.iter)] = Computation{Stmt: ev.stmt, Iter: ev.iter}
+		}
+	}
+
+	// Group producers by identical consumer signature + liveness.
+	bySig := map[string]*AtomicSet{}
+	var sigOrder []string
+	for _, pk := range prodOrder {
+		ps := prods[pk]
+		keys := make([]string, 0, len(ps.consumers))
+		for ck := range ps.consumers {
+			keys = append(keys, ck)
+		}
+		sort.Strings(keys)
+		sig := fmt.Sprintf("live=%v|%s", ps.liveOut, strings.Join(keys, ";"))
+		set, ok := bySig[sig]
+		if !ok {
+			set = &AtomicSet{LiveOut: ps.liveOut}
+			for _, ck := range keys {
+				set.Consumers = append(set.Consumers, ps.consumers[ck])
+			}
+			sortComputations(set.Consumers)
+			bySig[sig] = set
+			sigOrder = append(sigOrder, sig)
+		}
+		set.Producers = append(set.Producers, ps.comp)
+	}
+	for _, sig := range sigOrder {
+		set := bySig[sig]
+		sortComputations(set.Producers)
+		dec.Sets = append(dec.Sets, set)
+	}
+	sort.Slice(dec.Sets, func(i, j int) bool {
+		return lessComputation(dec.Sets[i].Producers[0], dec.Sets[j].Producers[0])
+	})
+
+	// Materialize the flow-closure groups, covering every iteration.
+	byRoot := map[int][][]int64{}
+	var rootOrder []int
+	for i, it := range iters {
+		r := find(i)
+		if _, ok := byRoot[r]; !ok {
+			rootOrder = append(rootOrder, r)
+		}
+		byRoot[r] = append(byRoot[r], it)
+	}
+	for _, r := range rootOrder {
+		dec.groups = append(dec.groups, byRoot[r])
+	}
+	return dec
+}
+
+func sortComputations(cs []Computation) {
+	sort.Slice(cs, func(i, j int) bool { return lessComputation(cs[i], cs[j]) })
+}
+
+func lessComputation(a, b Computation) bool {
+	if loop.LexLess(a.Iter, b.Iter) {
+		return true
+	}
+	if loop.LexLess(b.Iter, a.Iter) {
+		return false
+	}
+	return a.Stmt < b.Stmt
+}
+
+// Compute runs the MARS pipeline on a validated nest and emits the
+// result in the common partition.Result shape with Strategy ==
+// partition.Mars.
+func Compute(nest *loop.Nest) (*partition.Result, error) {
+	return ComputeWithTrace(nest, nil, 0)
+}
+
+// ComputeWithTrace is Compute with span instrumentation, mirroring
+// partition.ComputeWithTrace: "deps", "redundant", and "partition"
+// spans under the given parent; a nil trace costs nothing.
+func ComputeWithTrace(nest *loop.Nest, tr *obs.Trace, parent obs.SpanID) (*partition.Result, error) {
+	sp := tr.Start(parent, "deps")
+	a, err := deps.Analyze(nest)
+	sp.End()
+	if err != nil {
+		return nil, err
+	}
+	sp = tr.Start(parent, "redundant")
+	red, err := redundant.Eliminate(a)
+	if err != nil {
+		sp.End()
+		return nil, err
+	}
+	sp.SetInt("eliminated", int64(red.NumRedundant()))
+	sp.End()
+
+	sp = tr.Start(parent, "partition")
+	defer sp.End()
+	dec := Decompose(a, red)
+	n := nest.Depth()
+	psi := space.Zero(n)
+	res := &partition.Result{
+		Strategy:  partition.Mars,
+		Analysis:  a,
+		Redundant: red,
+		PerArray:  map[string]*space.Space{},
+		Psi:       psi,
+		Data:      map[string]*partition.DataPartition{},
+	}
+	res.Iter = partition.PartitionIterationsGrouped(nest, psi, dec.Groups())
+	for _, array := range nest.Arrays() {
+		res.PerArray[array] = space.Zero(n)
+		res.Data[array] = partition.PartitionData(res.Iter, array, red)
+	}
+	sp.SetInt("blocks", int64(res.Iter.NumBlocks()))
+	sp.SetInt("atomic_sets", int64(len(dec.Sets)))
+	return res, nil
+}

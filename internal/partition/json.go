@@ -21,7 +21,7 @@ func (s *Strategy) UnmarshalJSON(data []byte) error {
 		return err
 	}
 	for _, cand := range []Strategy{
-		NonDuplicate, Duplicate, MinimalNonDuplicate, MinimalDuplicate, Selective,
+		NonDuplicate, Duplicate, MinimalNonDuplicate, MinimalDuplicate, Selective, Mars,
 	} {
 		if cand.String() == name {
 			*s = cand

@@ -47,7 +47,20 @@ const (
 	// Selective duplicates only a chosen subset of the arrays (Section
 	// IV's L5′ duplicates array B but not A). Use ComputeSelective.
 	Selective
+	// Mars is the usage-based atomic partitioning after Ferry et al.
+	// (Maximal Atomic irRedundant Sets): iteration points whose produced
+	// values have identical consumer sets form atomic sets, and blocks
+	// are the finest flow-closed grouping of those sets. MARS partitions
+	// are computed by package mars (mars.Compute), which emits them
+	// through this package's Result shape with Ψ = the zero space and
+	// explicitly grouped blocks (PartitionIterationsGrouped).
+	Mars
 )
+
+// NumStrategies is the number of Strategy values. The compile-time
+// guard in strategy_guard_test.go fails when a new value is added
+// without growing this constant (and the switches below).
+const NumStrategies = 6
 
 // String names the strategy.
 func (s Strategy) String() string {
@@ -62,14 +75,24 @@ func (s Strategy) String() string {
 		return "minimal duplicate"
 	case Selective:
 		return "selective duplicate"
+	case Mars:
+		return "mars"
 	}
 	return fmt.Sprintf("Strategy(%d)", int(s))
 }
 
 // Minimal reports whether the strategy requires redundant-computation
-// elimination first.
+// elimination first. Every Strategy value is classified explicitly —
+// Mars builds on the eliminated (irredundant) program, so it counts as
+// minimal; its Result always carries a non-nil Redundant.
 func (s Strategy) Minimal() bool {
-	return s == MinimalNonDuplicate || s == MinimalDuplicate
+	switch s {
+	case MinimalNonDuplicate, MinimalDuplicate, Mars:
+		return true
+	case NonDuplicate, Duplicate, Selective:
+		return false
+	}
+	return false
 }
 
 // kernelSpace returns Ker(H_A) over Q.
@@ -202,6 +225,39 @@ func PartitionIterations(nest *loop.Nest, psi *space.Space) *IterationPartition 
 	for i, b := range p.Blocks {
 		b.ID = i + 1
 		b.Base = b.Iterations[0] // iterations were appended in lex order
+	}
+	return p
+}
+
+// PartitionIterationsGrouped builds an IterationPartition from explicit
+// iteration groups instead of the coset structure of Ψ. It exists for
+// usage-based partitions (package mars) whose blocks are value-flow
+// closures, not affine cosets. The caller passes psi = the zero space,
+// under which Q is an invertible n×n basis and projectKey is injective
+// per iteration — so BlockOf keeps working by giving every iteration
+// its own index entry pointing at its group's block.
+//
+// Groups must cover the nest's iteration space exactly once; iterations
+// inside each group may be in any order. Block IDs are assigned in
+// lexicographic order of the blocks' base points.
+func PartitionIterationsGrouped(nest *loop.Nest, psi *space.Space, groups [][][]int64) *IterationPartition {
+	q := psi.OrthogonalComplementIntegerBasis()
+	p := &IterationPartition{Nest: nest, Psi: psi, Q: q, index: map[string]*Block{}}
+	for _, g := range groups {
+		its := append([][]int64(nil), g...)
+		sort.Slice(its, func(i, j int) bool { return loop.LexLess(its[i], its[j]) })
+		b := &Block{Iterations: its, Base: its[0]}
+		b.Key = projectKey(q, b.Base)
+		p.Blocks = append(p.Blocks, b)
+		for _, it := range its {
+			p.index[fmt.Sprint(projectKey(q, it))] = b
+		}
+	}
+	sort.Slice(p.Blocks, func(i, j int) bool {
+		return loop.LexLess(p.Blocks[i].Base, p.Blocks[j].Base)
+	})
+	for i, b := range p.Blocks {
+		b.ID = i + 1
 	}
 	return p
 }
@@ -369,6 +425,10 @@ func ComputeWithTrace(nest *loop.Nest, strat Strategy, tr *obs.Trace, parent obs
 			sp = MinimalReferenceSpace(res.Redundant, array)
 		case MinimalDuplicate:
 			sp = MinimalReducedReferenceSpace(res.Redundant, array)
+		case Selective:
+			return nil, fmt.Errorf("partition: selective partitions need per-array choices — use ComputeSelective")
+		case Mars:
+			return nil, fmt.Errorf("partition: MARS partitions are usage-based — use mars.Compute")
 		default:
 			return nil, fmt.Errorf("partition: unknown strategy %d", int(strat))
 		}
@@ -387,6 +447,47 @@ func ComputeWithTrace(nest *loop.Nest, strat Strategy, tr *obs.Trace, parent obs
 // space (0 means sequential execution).
 func (r *Result) ParallelismDim() int {
 	return r.Analysis.Nest.Depth() - r.Psi.Dim()
+}
+
+// RedundantCopyVolume counts the data-block element copies that exist
+// only to feed redundant computations: (block, element) pairs where no
+// non-redundant access by the block's iterations touches the element.
+// The minimal strategies and MARS build their data partitions with the
+// redundancy oracle applied, so their volume is 0 by construction; the
+// non-minimal strategies (including Selective) allocate for every
+// access and pay for copies whose consumers are all overwritten later.
+// The caller supplies the redundancy oracle for the nest (from
+// redundant.Eliminate) so results built without one are measurable.
+func (r *Result) RedundantCopyVolume(red *redundant.Result) int {
+	nest := r.Analysis.Nest
+	volume := 0
+	for array, dp := range r.Data {
+		for bi, db := range dp.Blocks {
+			b := r.Iter.Blocks[bi]
+			useful := map[string]bool{}
+			for _, it := range b.Iterations {
+				for si, st := range nest.Body {
+					if red.IsRedundant(si, it) {
+						continue
+					}
+					for _, rd := range st.Reads {
+						if rd.Array == array {
+							useful[fmt.Sprint(rd.Index(it))] = true
+						}
+					}
+					if st.Write.Array == array {
+						useful[fmt.Sprint(st.Write.Index(it))] = true
+					}
+				}
+			}
+			for _, e := range db.Elements {
+				if !useful[fmt.Sprint(e)] {
+					volume++
+				}
+			}
+		}
+	}
+	return volume
 }
 
 // ComputeSelective partitions with per-array duplication choices: arrays
@@ -439,8 +540,19 @@ func ComputeSelectiveWithTrace(nest *loop.Nest, duplicated map[string]bool, tr *
 }
 
 // AllowsDuplication reports whether the strategy may replicate data.
+// Every Strategy value is classified explicitly. Mars allows it: its
+// blocks group iterations by value flow, so distinct blocks may read
+// (and, across overwrite generations, write) copies of one element —
+// the executors must therefore use private per-block copies with
+// last-writer commit, exactly like the duplicate theorems.
 func (r *Result) AllowsDuplication() bool {
-	return r.Strategy == Duplicate || r.Strategy == MinimalDuplicate || r.Strategy == Selective
+	switch r.Strategy {
+	case Duplicate, MinimalDuplicate, Selective, Mars:
+		return true
+	case NonDuplicate, MinimalNonDuplicate:
+		return false
+	}
+	return false
 }
 
 // Verify exhaustively checks communication-freeness of the result on the

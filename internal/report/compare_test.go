@@ -1,0 +1,145 @@
+package report
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"commfree/internal/machine"
+)
+
+// compareWireOrder is the strategy row order the artifact guarantees.
+var compareWireOrder = []string{
+	"non-duplicate", "duplicate", "minimal non-duplicate",
+	"minimal duplicate", "selective duplicate", "mars",
+}
+
+// TestCompareArtifactSchema gates the JSON artifact's shape — the
+// contract CI and downstream consumers (EXPERIMENTS.md) depend on. A
+// change that breaks any assertion here must bump CompareSchemaVersion.
+func TestCompareArtifactSchema(t *testing.T) {
+	cmp, err := Compare(4, machine.Transputer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.SchemaVersion != CompareSchemaVersion {
+		t.Fatalf("schema version %d, want %d", cmp.SchemaVersion, CompareSchemaVersion)
+	}
+	if cmp.Processors != 4 {
+		t.Fatalf("processors %d, want 4", cmp.Processors)
+	}
+	if len(cmp.Nests) < 5 {
+		t.Fatalf("only %d nests compared — the corpus should contribute more", len(cmp.Nests))
+	}
+	for _, nc := range cmp.Nests {
+		if nc.Name == "" || nc.Class == "" || nc.Source == "" || nc.Iterations <= 0 {
+			t.Errorf("nest %+v: incomplete identity fields", nc.Name)
+		}
+		if len(nc.Strategies) != len(compareWireOrder) {
+			t.Fatalf("nest %s: %d strategy rows, want %d", nc.Name, len(nc.Strategies), len(compareWireOrder))
+		}
+		var mars StrategyMetrics
+		for i, m := range nc.Strategies {
+			if m.Strategy != compareWireOrder[i] {
+				t.Errorf("nest %s row %d: strategy %q, want %q", nc.Name, i, m.Strategy, compareWireOrder[i])
+			}
+			if m.Blocks <= 0 || m.MaxBlockSize <= 0 {
+				t.Errorf("nest %s %s: empty partition (%d blocks)", nc.Name, m.Strategy, m.Blocks)
+			}
+			if m.DeliveredWords < m.CommWords {
+				t.Errorf("nest %s %s: delivered %d < wire %d", nc.Name, m.Strategy, m.DeliveredWords, m.CommWords)
+			}
+			if m.RedundantCopyVolume < 0 || m.SimTotalS < 0 {
+				t.Errorf("nest %s %s: negative metric", nc.Name, m.Strategy)
+			}
+			if m.Strategy == "mars" {
+				mars = m
+			}
+		}
+		// The MARS invariants the comparison exists to exhibit: zero
+		// redundant-copy volume, and never less parallelism (blocks)
+		// than any coset strategy.
+		if mars.RedundantCopyVolume != 0 {
+			t.Errorf("nest %s: mars redundant-copy volume %d, want 0", nc.Name, mars.RedundantCopyVolume)
+		}
+		for _, m := range nc.Strategies {
+			if m.Blocks > mars.Blocks {
+				t.Errorf("nest %s: %s has %d blocks > mars %d — dominance broken",
+					nc.Name, m.Strategy, m.Blocks, mars.Blocks)
+			}
+		}
+		if nc.Baseline.Found && nc.Baseline.Blocks <= 0 {
+			t.Errorf("nest %s: baseline found but %d blocks", nc.Name, nc.Baseline.Blocks)
+		}
+	}
+
+	// The artifact round-trips through its JSON encoding losslessly, and
+	// the wire keys CI greps for are present.
+	data, err := cmp.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Comparison
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cmp, &back) {
+		t.Error("artifact does not survive a JSON round-trip")
+	}
+	var wire map[string]any
+	if err := json.Unmarshal(data, &wire); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"schema_version", "processors", "cost_model", "nests"} {
+		if _, ok := wire[key]; !ok {
+			t.Errorf("artifact missing top-level key %q", key)
+		}
+	}
+	nest0 := wire["nests"].([]any)[0].(map[string]any)
+	for _, key := range []string{"name", "class", "source", "iterations", "strategies", "baseline"} {
+		if _, ok := nest0[key]; !ok {
+			t.Errorf("nest object missing key %q", key)
+		}
+	}
+	row0 := nest0["strategies"].([]any)[0].(map[string]any)
+	for _, key := range []string{"strategy", "parallelism_dim", "blocks", "max_block_size",
+		"comm_words", "delivered_words", "redundant_copy_volume", "sim_total_s"} {
+		if _, ok := row0[key]; !ok {
+			t.Errorf("strategy row missing key %q", key)
+		}
+	}
+}
+
+// TestCompareSelectiveSubsetChoice pins that the Selective row is the
+// best-of-subsets, not an arbitrary one: its redundant-copy volume is
+// never larger than both the duplicate-nothing and duplicate-everything
+// extremes on any nest.
+func TestCompareSelectiveSubsetChoice(t *testing.T) {
+	cmp, err := Compare(4, machine.Transputer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, nc := range cmp.Nests {
+		var sel, nondup, dup *StrategyMetrics
+		for i := range nc.Strategies {
+			switch nc.Strategies[i].Strategy {
+			case "selective duplicate":
+				sel = &nc.Strategies[i]
+			case "non-duplicate":
+				nondup = &nc.Strategies[i]
+			case "duplicate":
+				dup = &nc.Strategies[i]
+			}
+		}
+		if sel == nil || nondup == nil || dup == nil {
+			t.Fatalf("nest %s: missing strategy rows", nc.Name)
+		}
+		if sel.Variant == "" {
+			t.Errorf("nest %s: selective row has no subset variant", nc.Name)
+		}
+		if sel.RedundantCopyVolume > nondup.RedundantCopyVolume && sel.RedundantCopyVolume > dup.RedundantCopyVolume {
+			t.Errorf("nest %s: selective volume %d worse than both extremes (%d, %d)",
+				nc.Name, sel.RedundantCopyVolume, nondup.RedundantCopyVolume, dup.RedundantCopyVolume)
+		}
+	}
+}

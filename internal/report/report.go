@@ -34,11 +34,12 @@ type Options struct {
 	Figures  bool
 	Gallery  bool
 	Selector bool
+	Compare  bool
 }
 
 // AllSections enables everything.
 func AllSections() Options {
-	return Options{Tables: true, Figures: true, Gallery: true, Selector: true}
+	return Options{Tables: true, Figures: true, Gallery: true, Selector: true, Compare: true}
 }
 
 // Generate produces the markdown report.
@@ -66,6 +67,11 @@ func Generate(opts Options) (string, error) {
 	}
 	if opts.Selector {
 		if err := selectorSection(&b, cost); err != nil {
+			return "", err
+		}
+	}
+	if opts.Compare {
+		if err := compareSection(&b, cost); err != nil {
 			return "", err
 		}
 	}

@@ -22,6 +22,8 @@ func TestGenerateFullReport(t *testing.T) {
 		"| gauss-seidel | 1 | 1 | 1 | 1 |",
 		"## Strategy selection",
 		"strategy ranking",
+		"## Strategy comparison",
+		"hyperplane baseline",
 	} {
 		if !strings.Contains(s, want) {
 			t.Errorf("report missing %q", want)

@@ -20,6 +20,7 @@ import (
 	"commfree/internal/distplan"
 	"commfree/internal/loop"
 	"commfree/internal/machine"
+	"commfree/internal/mars"
 	"commfree/internal/partition"
 	"commfree/internal/transform"
 )
@@ -76,6 +77,19 @@ func Best(nest *loop.Nest, p int, cost machine.CostModel) (Candidate, []Candidat
 		}
 	}
 
+	// MARS: the usage-based partition (finest flow closure). Its label
+	// is the strategy name so strategy-pinned callers can find it in
+	// the ranking.
+	{
+		res, err := mars.Compute(nest)
+		if err != nil {
+			return Candidate{}, nil, err
+		}
+		if err := add(partition.Mars.String(), res, nil); err != nil {
+			return Candidate{}, nil, err
+		}
+	}
+
 	// Selective subsets over the arrays that can profit from duplication.
 	arrays := nest.Arrays()
 	if len(arrays) <= 4 {
@@ -117,7 +131,7 @@ func estimate(label string, res *partition.Result, p int, cost machine.CostModel
 	}
 	mach := machine.New(topo, cost)
 	plan.Execute(mach)
-	loads := workloads(tr, asg)
+	loads := workloads(res, tr, asg)
 	var max int64
 	for _, l := range loads {
 		if l > max {
@@ -136,11 +150,15 @@ func estimate(label string, res *partition.Result, p int, cost machine.CostModel
 	}, nil
 }
 
-func workloads(tr *transform.Transformed, asg *assign.Assignment) []int64 {
+// workloads counts iterations per processor at block granularity: a
+// block runs wholly on the node owning its base point. For coset
+// strategies this matches the per-forall count; MARS blocks span
+// forall points and must not be split.
+func workloads(res *partition.Result, tr *transform.Transformed, asg *assign.Assignment) []int64 {
 	loads := make([]int64, asg.NumProcessors())
-	tr.Visit(nil, func(forall, _ []int64) {
-		loads[asg.OwnerID(forall)]++
-	})
+	for _, b := range res.Iter.Blocks {
+		loads[asg.OwnerID(tr.NewPoint(b.Base)[:tr.K])] += int64(b.Size())
+	}
 	return loads
 }
 

@@ -23,10 +23,10 @@ func TestL5PrefersDuplication(t *testing.T) {
 	if best.Blocks <= 1 {
 		t.Errorf("best has no parallelism: %s", best)
 	}
-	// The ranking covers the four theorems plus selective subsets of the
-	// three arrays: 4 + (2³−2) = 10 candidates.
-	if len(all) != 10 {
-		t.Errorf("candidates = %d, want 10", len(all))
+	// The ranking covers the four theorems, MARS, and selective subsets
+	// of the three arrays: 4 + 1 + (2³−2) = 11 candidates.
+	if len(all) != 11 {
+		t.Errorf("candidates = %d, want 11", len(all))
 	}
 	// Ranking is sorted ascending.
 	for i := 1; i < len(all); i++ {

@@ -1,0 +1,64 @@
+package service
+
+import (
+	"context"
+	"testing"
+)
+
+// TestStorePreMarsRecordsRehydrate is the backward-compatibility
+// satellite test for the MARS rollout: plan records written before the
+// fifth strategy existed carry the four original wire names
+// ("non-duplicate" … "minimal-duplicate"), and the record format for
+// those strategies is unchanged — so records produced today for the
+// legacy strategies are bit-identical to pre-MARS records. A fresh
+// service over the same store must revive every one of them unchanged,
+// with zero full compiles, and the records must still carry exactly
+// the legacy wire spellings (no silent migration).
+func TestStorePreMarsRecordsRehydrate(t *testing.T) {
+	legacy := []string{"non-duplicate", "duplicate", "minimal-non-duplicate", "minimal-duplicate"}
+	dir := t.TempDir()
+	s1 := newStoreService(t, Config{StoreDir: dir})
+	want := map[string]string{}
+	for _, strat := range legacy {
+		resp, err := s1.Compile(context.Background(), CompileRequest{Source: srcL1, Strategy: strat, Processors: 4})
+		if err != nil {
+			t.Fatalf("%s: %v", strat, err)
+		}
+		want[strat] = planJSON(t, resp.Plan)
+	}
+	// The persisted records use the pre-MARS wire names verbatim.
+	got := map[string]bool{}
+	for _, rec := range s1.ExportRecords() {
+		got[rec.Strategy] = true
+	}
+	for _, strat := range legacy {
+		if !got[strat] {
+			t.Errorf("no stored record with legacy wire strategy %q (have %v)", strat, got)
+		}
+	}
+	if got["mars"] {
+		t.Error("legacy-only workload produced a mars record")
+	}
+	s1.Close()
+
+	s2 := newStoreService(t, Config{StoreDir: dir})
+	for _, strat := range legacy {
+		resp, err := s2.Compile(context.Background(), CompileRequest{Source: srcL1, Strategy: strat, Processors: 4})
+		if err != nil {
+			t.Fatalf("%s: %v", strat, err)
+		}
+		if !resp.Cached {
+			t.Errorf("%s: store hit not reported as cached", strat)
+		}
+		if pj := planJSON(t, resp.Plan); pj != want[strat] {
+			t.Errorf("%s: rehydrated plan differs from the pre-MARS original\n got %s\nwant %s", strat, pj, want[strat])
+		}
+	}
+	m := s2.Metrics()
+	if c := m.Counter("compiles"); c != 0 {
+		t.Fatalf("restarted service ran %d full compiles on legacy records, want 0", c)
+	}
+	if r := m.Counter("rehydrates"); r != int64(len(legacy)) {
+		t.Fatalf("rehydrates = %d, want %d", r, len(legacy))
+	}
+}

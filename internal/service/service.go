@@ -33,6 +33,7 @@ import (
 	"commfree/internal/lang"
 	"commfree/internal/loop"
 	"commfree/internal/machine"
+	"commfree/internal/mars"
 	"commfree/internal/normalize"
 	"commfree/internal/obs"
 	"commfree/internal/partition"
@@ -205,9 +206,10 @@ type CompileRequest struct {
 	// Source is the loop-nest DSL program.
 	Source string `json:"source"`
 	// Strategy is one of "non-duplicate", "duplicate",
-	// "minimal-non-duplicate", "minimal-duplicate", or "auto" (pick the
-	// cheapest allocation, including selective duplication subsets).
-	// Empty means "non-duplicate".
+	// "minimal-non-duplicate", "minimal-duplicate", "mars" (usage-based
+	// atomic partitions), or "auto" (pick the cheapest allocation,
+	// including selective duplication subsets and MARS). Empty means
+	// "non-duplicate".
 	Strategy string `json:"strategy,omitempty"`
 	// Processors is the machine size (default 16).
 	Processors int `json:"processors,omitempty"`
@@ -518,6 +520,8 @@ func parseStrategy(name string) (strat partition.Strategy, auto bool, err error)
 		return partition.MinimalNonDuplicate, false, nil
 	case "minimal-duplicate":
 		return partition.MinimalDuplicate, false, nil
+	case "mars":
+		return partition.Mars, false, nil
 	case "auto":
 		return partition.NonDuplicate, true, nil
 	default:
@@ -726,18 +730,25 @@ func (s *Service) compile(ctx context.Context, key string, nest *loop.Nest, stra
 	var res *partition.Result
 	var predicted *selector.Candidate
 	if auto {
-		if best.Strategy == partition.Selective {
+		switch best.Strategy {
+		case partition.Selective:
 			dup := map[string]bool{}
 			for _, a := range best.Duplicated {
 				dup[a] = true
 			}
 			res, err = partition.ComputeSelectiveWithTrace(cn, dup, trc, 0)
-		} else {
+		case partition.Mars:
+			res, err = mars.ComputeWithTrace(cn, trc, 0)
+		default:
 			res, err = partition.ComputeWithTrace(cn, best.Strategy, trc, 0)
 		}
 		predicted = &best
 	} else {
-		res, err = partition.ComputeWithTrace(cn, strat, trc, 0)
+		if strat == partition.Mars {
+			res, err = mars.ComputeWithTrace(cn, trc, 0)
+		} else {
+			res, err = partition.ComputeWithTrace(cn, strat, trc, 0)
+		}
 		for i := range ranking {
 			if ranking[i].Label == strat.String() {
 				predicted = &ranking[i]
@@ -770,7 +781,11 @@ func (s *Service) compile(ctx context.Context, key string, nest *loop.Nest, stra
 		asg = assign.Assign(tr, procs)
 		asp.SetInt("processors", int64(asg.NumProcessors()))
 		asp.End()
-		spmd, err = codegen.Generate(tr, asg, codegen.Options{})
+		copts := codegen.Options{}
+		if res.Strategy == partition.Mars {
+			copts.PEIterations = codegen.PETable(res, tr, asg)
+		}
+		spmd, err = codegen.Generate(tr, asg, copts)
 	}
 	csp.End()
 	if err != nil {

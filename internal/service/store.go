@@ -31,6 +31,7 @@ import (
 	"commfree/internal/assign"
 	"commfree/internal/chaos"
 	"commfree/internal/lang"
+	"commfree/internal/mars"
 	"commfree/internal/obs"
 	"commfree/internal/partition"
 	"commfree/internal/store"
@@ -104,6 +105,8 @@ func wireStrategy(st partition.Strategy) string {
 		return "minimal-duplicate"
 	case partition.Selective:
 		return "selective"
+	case partition.Mars:
+		return "mars"
 	default:
 		return "non-duplicate"
 	}
@@ -225,13 +228,16 @@ func (s *Service) rehydrate(rec *store.Record, trc *obs.Trace) (*cacheEntry, err
 		return nil, fmt.Errorf("service: record %q canonical source does not parse: %w", rec.Key, err)
 	}
 	var res *partition.Result
-	if rec.Strategy == "selective" {
+	switch rec.Strategy {
+	case "selective":
 		dup := map[string]bool{}
 		for _, a := range rec.Duplicated {
 			dup[a] = true
 		}
 		res, err = partition.ComputeSelectiveWithTrace(cn, dup, trc, rsp.ID())
-	} else {
+	case "mars":
+		res, err = mars.ComputeWithTrace(cn, trc, rsp.ID())
+	default:
 		strat, _, perr := parseStrategy(rec.Strategy)
 		if perr != nil {
 			return nil, fmt.Errorf("service: record %q: %w", rec.Key, perr)

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Strategy-comparison artifact gate: run the schema test, then exercise
+# the real cmd/report binary end-to-end —
+#
+#  1. `go test -run TestCompare ./internal/report` pins the artifact
+#     schema (row order, wire keys, MARS invariants);
+#  2. `report -sections compare -compare-out` must emit a JSON artifact
+#     whose schema_version matches the gate below, with all six strategy
+#     rows per nest and a zero redundant-copy volume on every MARS row;
+#  3. the rendered markdown must contain the comparison table.
+#
+# Bumping CompareSchemaVersion without updating EXPECTED_SCHEMA here is
+# a deliberate, reviewable event. Requires: python3.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+EXPECTED_SCHEMA=1
+TMP="$(mktemp -d)"
+trap 'rm -rf "${TMP}"' EXIT
+
+go test -run 'TestCompare' -count=1 ./internal/report
+
+go run ./cmd/report -sections compare -o "${TMP}/compare.md" -compare-out "${TMP}/compare.json"
+
+grep -q '## Strategy comparison' "${TMP}/compare.md"
+grep -q 'hyperplane baseline' "${TMP}/compare.md"
+
+python3 - "${TMP}/compare.json" "${EXPECTED_SCHEMA}" <<'EOF'
+import json, sys
+
+artifact, expected = sys.argv[1], int(sys.argv[2])
+with open(artifact) as f:
+    c = json.load(f)
+
+assert c["schema_version"] == expected, \
+    f"schema_version {c['schema_version']} != gate {expected} — update scripts/compare_smoke.sh deliberately"
+assert c["processors"] > 0
+assert len(c["nests"]) >= 5, f"only {len(c['nests'])} nests"
+
+order = ["non-duplicate", "duplicate", "minimal non-duplicate",
+         "minimal duplicate", "selective duplicate", "mars"]
+for nest in c["nests"]:
+    rows = nest["strategies"]
+    assert [r["strategy"] for r in rows] == order, f"{nest['name']}: row order {rows}"
+    mars = rows[-1]
+    assert mars["redundant_copy_volume"] == 0, f"{nest['name']}: MARS copies {mars}"
+    assert all(mars["blocks"] >= r["blocks"] for r in rows), f"{nest['name']}: dominance"
+    for r in rows:
+        for key in ("parallelism_dim", "blocks", "max_block_size", "comm_words",
+                    "delivered_words", "redundant_copy_volume", "sim_total_s"):
+            assert key in r, f"{nest['name']}/{r['strategy']}: missing {key}"
+
+print(f"compare artifact OK: {len(c['nests'])} nests x {len(order)} strategies, schema v{c['schema_version']}")
+EOF
